@@ -1,0 +1,69 @@
+"""Benchmark-harness helpers.
+
+Every experiment file regenerates one row-set of EXPERIMENTS.md: it runs
+the measurement inside `benchmark.pedantic` (one round — the simulator is
+deterministic, repetition adds nothing), prints the result table, and
+asserts the qualitative *shape* the paper claims.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+import pytest
+
+from repro.chord import IdentifierSpace
+from repro.overlay import HybridSystem
+
+
+def build_system(
+    num_index: int = 8,
+    parts=None,
+    replication_factor: int = 1,
+    space_bits: int = 32,
+) -> HybridSystem:
+    system = HybridSystem(
+        space=IdentifierSpace(space_bits), replication_factor=replication_factor
+    )
+    for i in range(num_index):
+        system.add_index_node(f"N{i}")
+    system.build_ring()
+    if parts:
+        if isinstance(parts, dict):
+            for storage_id, triples in parts.items():
+                system.add_storage_node(storage_id, triples)
+        else:
+            for i, triples in enumerate(parts):
+                system.add_storage_node(f"D{i}", triples)
+    return system
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+#: All experiment tables from the current run are also appended here, so
+#: a plain ``pytest benchmarks/ --benchmark-only`` (stdout captured)
+#: still leaves the measurements on disk.
+RESULTS_PATH = pathlib.Path(__file__).parent / "latest_results.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _truncate_results():
+    RESULTS_PATH.write_text("", encoding="utf-8")
+    yield
+
+
+def emit(table_text: str) -> None:
+    """Print an experiment table (shown with -s) and persist it."""
+    print("\n" + table_text + "\n")
+    with RESULTS_PATH.open("a", encoding="utf-8") as fh:
+        fh.write(table_text + "\n\n")

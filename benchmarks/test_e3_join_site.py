@@ -1,0 +1,130 @@
+"""E3 — Join site selection (paper Sect. II; Move-Small / Query-Site /
+Third-Site).
+
+Claims under test:
+
+* Move-Small ships fewer intermediate bytes than Query-Site whenever the
+  join inputs are larger than the join output (the initiator otherwise
+  receives both full inputs).
+* The advantage grows with the size asymmetry |Ω1| / |Ω2|.
+* Third-Site spreads combine work across nodes (load balancing), at a
+  transmission cost between the other two.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.metrics import render_table
+from repro.query import DistributedExecutor, ExecutionOptions, JoinSitePolicy
+from repro.rdf import FOAF
+from repro.workloads import FoafConfig, generate_foaf_triples
+
+from conftest import build_system, emit, run_once
+
+#: Join of a large side (knows) against a small side (nick), disjoint
+#: provider sets so a real cross-site join is forced.
+QUERY = """SELECT ?x ?z ?k WHERE {
+  ?x foaf:knows ?z .
+  ?x foaf:nick ?k .
+}"""
+
+
+def make_parts(knows_per_person: int, seed: int = 11):
+    triples = generate_foaf_triples(FoafConfig(
+        num_people=100, knows_per_person=knows_per_person,
+        nick_fraction=0.15, seed=seed,
+    ))
+    rng = random.Random(seed)
+    parts = {"D0": [], "D1": [], "D2": [], "D3": []}
+    for t in triples:
+        if t.p == FOAF.knows:
+            parts[f"D{rng.randrange(2)}"].append(t)   # large side: D0, D1
+        elif t.p == FOAF.nick:
+            parts["D2"].append(t)                      # small side: D2
+        else:
+            parts["D3"].append(t)
+    return parts
+
+
+def measure(parts, policy):
+    system = build_system(num_index=12, parts=parts)
+    executor = DistributedExecutor(system, ExecutionOptions(join_site_policy=policy))
+    system.stats.reset()
+    result, report = executor.execute(QUERY, initiator="D3")
+    return {
+        "rows": len(result.rows),
+        "bytes": report.bytes_total,
+        "time_ms": report.response_time * 1000,
+        "load": dict(executor.load),
+    }
+
+
+def run_sweep():
+    results = {}
+    rows = []
+    for knows in (2, 5, 8):  # asymmetry lever
+        parts = make_parts(knows)
+        for policy in JoinSitePolicy:
+            m = measure(parts, policy)
+            results[(knows, policy)] = m
+            rows.append([knows, policy.value, m["rows"],
+                         round(m["time_ms"], 1), m["bytes"]])
+    return results, rows
+
+
+def test_e3_join_site_policies(benchmark):
+    results, rows = run_once(benchmark, run_sweep)
+    emit(render_table(
+        ["knows/person", "policy", "rows", "time_ms", "bytes"],
+        rows,
+        title="E3: join-site selection vs input asymmetry (Sect. II)",
+    ))
+
+    for knows in (2, 5, 8):
+        ms = results[(knows, JoinSitePolicy.MOVE_SMALL)]
+        qs = results[(knows, JoinSitePolicy.QUERY_SITE)]
+        ts = results[(knows, JoinSitePolicy.THIRD_SITE)]
+        assert ms["rows"] == qs["rows"] == ts["rows"]
+        # Move-Small never ships more than Query-Site in this workload.
+        assert ms["bytes"] <= qs["bytes"]
+
+    # The Move-Small advantage grows with asymmetry.
+    gain = {
+        knows: results[(knows, JoinSitePolicy.QUERY_SITE)]["bytes"]
+        - results[(knows, JoinSitePolicy.MOVE_SMALL)]["bytes"]
+        for knows in (2, 5, 8)
+    }
+    assert gain[8] > gain[2]
+
+
+def test_e3_third_site_balances_load(benchmark):
+    """Repeated joins under Third-Site spread across storage nodes; under
+    Move-Small they pile onto the data-heavy site."""
+    parts = make_parts(5)
+
+    def run():
+        out = {}
+        for policy in (JoinSitePolicy.MOVE_SMALL, JoinSitePolicy.THIRD_SITE):
+            system = build_system(num_index=12, parts=parts)
+            executor = DistributedExecutor(
+                system, ExecutionOptions(join_site_policy=policy)
+            )
+            for _ in range(6):
+                executor.execute(QUERY, initiator="D3")
+            load = executor.load
+            out[policy] = (max(load.values()), len(load))
+        return out
+
+    loads = run_once(benchmark, run)
+    ms_max, ms_sites = loads[JoinSitePolicy.MOVE_SMALL]
+    ts_max, ts_sites = loads[JoinSitePolicy.THIRD_SITE]
+    emit(render_table(
+        ["policy", "max_load", "distinct_sites"],
+        [["move-small", ms_max, ms_sites], ["third-site", ts_max, ts_sites]],
+        title="E3b: combine-operation load distribution over 6 queries",
+    ))
+    assert ts_sites > ms_sites      # work spread over more nodes
+    assert ts_max <= ms_max          # hottest node is cooler

@@ -1,0 +1,103 @@
+"""E5 — Union graph patterns (paper Sect. IV-F).
+
+Claims under test:
+
+* The two branches evaluate in parallel: the union's response time is
+  close to the slower branch, not the sum of both.
+* When both branches' chains end at a shared storage node (the paper's
+  S1={D1,D3}, S2={D2,D3} example, both ending at D3) the union costs no
+  extra result shipping compared to branches ending apart.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.metrics import render_table
+from repro.query import DistributedExecutor, ExecutionOptions
+from repro.rdf import COMMON_PREFIXES, FOAF
+from repro.sparql import evaluate_query, parse_query
+from repro.workloads import FoafConfig, generate_foaf_triples
+
+from conftest import build_system, emit, run_once
+
+UNION_QUERY = """SELECT ?x ?v WHERE {
+  { ?x foaf:name ?v . }
+  UNION
+  { ?x foaf:nick ?v . }
+}"""
+
+BRANCH_1 = "SELECT ?x ?v WHERE { ?x foaf:name ?v . }"
+BRANCH_2 = "SELECT ?x ?v WHERE { ?x foaf:nick ?v . }"
+
+
+def make_parts(shared: bool, seed: int = 23):
+    """shared=True: names on {D0,D2}, nicks on {D1,D2} — D2 in both, so
+    both chains can end there. shared=False: fully disjoint providers."""
+    triples = generate_foaf_triples(FoafConfig(
+        num_people=100, nick_fraction=0.6, seed=seed,
+    ))
+    rng = random.Random(seed)
+    parts = {"D0": [], "D1": [], "D2": [], "D3": [], "D4": []}
+    for t in triples:
+        if t.p == FOAF.name:
+            parts[["D0", "D2"][rng.randrange(2)]].append(t)
+        elif t.p == FOAF.nick:
+            homes = ["D1", "D2"] if shared else ["D1", "D3"]
+            parts[homes[rng.randrange(2)]].append(t)
+        else:
+            parts["D4"].append(t)
+    return parts
+
+
+def measure(parts, query):
+    system = build_system(num_index=12, parts=parts)
+    executor = DistributedExecutor(system)
+    system.stats.reset()
+    result, report = executor.execute(query, initiator="D4")
+    oracle = evaluate_query(parse_query(query, COMMON_PREFIXES), system.union_graph())
+    assert result.rows == oracle.rows
+    return {"rows": len(result.rows), "bytes": report.bytes_total,
+            "time_ms": report.response_time * 1000}
+
+
+def run_experiment():
+    results = {}
+    rows = []
+    for shared in (True, False):
+        parts = make_parts(shared)
+        union = measure(parts, UNION_QUERY)
+        b1 = measure(parts, BRANCH_1)
+        b2 = measure(parts, BRANCH_2)
+        results[shared] = {"union": union, "b1": b1, "b2": b2}
+        rows.append(["shared" if shared else "disjoint", union["rows"],
+                     round(union["time_ms"], 1), union["bytes"],
+                     round(b1["time_ms"], 1), round(b2["time_ms"], 1)])
+    return results, rows
+
+
+def test_e5_union_parallelism_and_shared_site(benchmark):
+    results, rows = run_once(benchmark, run_experiment)
+    emit(render_table(
+        ["providers", "rows", "union_time_ms", "union_bytes",
+         "branch1_time_ms", "branch2_time_ms"],
+        rows,
+        title="E5: UNION branch parallelism and shared collection site (Sect. IV-F)",
+    ))
+    for shared in (True, False):
+        union = results[shared]["union"]
+        b1, b2 = results[shared]["b1"], results[shared]["b2"]
+        # Every branch solution survives the union (same ?v variable).
+        assert union["rows"] == b1["rows"] + b2["rows"]
+
+    # With a shared collection site the branches run fully in parallel and
+    # the union is free: cheaper in time than running the branches back to
+    # back, and cheaper in bytes than the disjoint layout, which must ship
+    # one branch's result across sites before uniting.
+    shared_u = results[True]["union"]
+    b1, b2 = results[True]["b1"], results[True]["b2"]
+    assert shared_u["time_ms"] < b1["time_ms"] + b2["time_ms"]
+    assert shared_u["bytes"] < results[False]["union"]["bytes"]
+    assert shared_u["time_ms"] < results[False]["union"]["time_ms"]

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The same node code on real OS processes (no simulator).
+
+Four storage-node processes are spawned; the parent process acts as the
+query initiator. A sub-query chains through all four providers with
+in-network aggregation (the optimized strategy of Sect. IV-C), and the
+final solution mappings arrive back as real pickled bytes over
+``multiprocessing`` queues.
+
+Run:  python examples/multiprocess_demo.py
+"""
+
+from repro.net.mp import MpCluster
+from repro.overlay import StorageNode
+from repro.rdf import FOAF, TriplePattern, Variable
+from repro.sparql.algebra import BGP
+from repro.workloads import paper_example_partition
+
+
+def main() -> None:
+    parts = paper_example_partition()
+    algebra = BGP((TriplePattern(Variable("x"), FOAF.knows, Variable("y")),))
+
+    with MpCluster() as cluster:
+        for storage_id, triples in parts.items():
+            cluster.spawn(StorageNode(storage_id, triples))
+
+        # Direct sub-query to a single provider (request/response).
+        rows = cluster.call("D2", "evaluate", {"algebra": algebra})
+        print(f"D2 alone answers {len(rows)} solution mappings")
+
+        # In-network aggregation across all four real processes: each node
+        # merges its matches into the accumulated set and forwards; the
+        # last node delivers to us.
+        cluster.send("D1", "chain_step", {
+            "algebra": algebra,
+            "acc": [],
+            "route": ["D2", "D3", "D4"],
+            "final": "client",
+            "corr": "demo-query",
+            "notify": None,
+        })
+        merged = cluster.wait_delivery("demo-query")
+        print(f"chain D1 -> D2 -> D3 -> D4 -> client: {len(merged)} "
+              f"deduplicated solution mappings")
+        for mu in sorted(merged, key=repr)[:5]:
+            pairs = {v.name: t.value.rsplit("/", 1)[-1] for v, t in mu.items()}
+            print("  ", pairs)
+        print("   ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: build an ad-hoc Semantic Web data sharing system and query it.
+
+Reproduces the paper's running scenario end to end:
+
+1. five index nodes self-organize into a Chord ring;
+2. four storage nodes attach beneath them and publish their RDF triples
+   into the two-level distributed index (six keys per triple);
+3. SPARQL queries from any node are parsed, transformed to algebra,
+   optimized, executed across the network, and post-processed at the
+   initiator — with exact transmission accounting.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DistributedExecutor, HybridSystem
+from repro.workloads import paper_example_partition
+
+
+def main() -> None:
+    # --- build the overlay ------------------------------------------------
+    system = HybridSystem()
+    for i in range(8):
+        system.add_index_node(f"N{i}")
+    system.build_ring()
+
+    # Four providers share the paper's example dataset; each keeps its own
+    # triples locally and publishes only index entries.
+    for storage_id, triples in paper_example_partition().items():
+        system.add_storage_node(storage_id, triples)
+
+    print(f"ring of {len(system.index_nodes)} index nodes, "
+          f"{len(system.storage_nodes)} storage nodes, "
+          f"{system.total_triples()} triples (all provider-resident)\n")
+
+    executor = DistributedExecutor(system)
+
+    # --- the paper's Fig. 5 primitive query --------------------------------
+    fig5 = "SELECT ?x WHERE { ?x foaf:knows ns:me . }"
+    result, report = executor.execute(fig5, initiator="D1")
+    print("Fig. 5 query:", fig5.strip())
+    for binding in result.bindings():
+        print("   ?x =", binding["x"].value)
+    print(f"   [{report.messages} messages, {report.bytes_total} bytes, "
+          f"{report.response_time * 1000:.1f} ms simulated]\n")
+
+    # --- the paper's Fig. 9 query: filter + optional -----------------------
+    fig9 = """
+        SELECT ?x ?y ?z WHERE {
+          ?x foaf:name ?name ;
+             ns:knowsNothingAbout ?y .
+          FILTER regex(?name, "Smith")
+          OPTIONAL { ?y foaf:knows ?z . }
+        }
+    """
+    result, report = executor.execute(fig9, initiator="D1")
+    print("Fig. 9 query (filter pushed to the providers):")
+    for binding in result.bindings():
+        row = {k: v.value.rsplit('/', 1)[-1] for k, v in binding.items()}
+        print("  ", row)
+    print(f"   [{report.messages} messages, {report.bytes_total} bytes, "
+          f"{report.response_time * 1000:.1f} ms simulated; "
+          f"notes: {', '.join(report.notes)}]")
+
+
+if __name__ == "__main__":
+    main()

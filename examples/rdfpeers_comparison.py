@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Architecture comparison: the paper's hybrid overlay vs RDFPeers.
+
+RDFPeers (Cai & Frank, 2004) *stores* each triple at three ring nodes;
+the paper's system keeps triples at their providers and distributes only
+a six-key location index. This script publishes the same dataset into
+both systems and compares:
+
+* where the data ends up (migrated vs provider-resident),
+* data-plane publication traffic,
+* the cost of resolving the same triple pattern in each.
+
+Run:  python examples/rdfpeers_comparison.py
+"""
+
+from repro import DistributedExecutor, HybridSystem
+from repro.baselines import RDFPeersSystem
+from repro.metrics import render_table
+from repro.rdf import FOAF, TriplePattern, Variable
+from repro.workloads import FoafConfig, generate_foaf_triples
+
+PATTERN = TriplePattern(Variable("x"), FOAF.knows, Variable("y"))
+
+
+def main() -> None:
+    triples = generate_foaf_triples(FoafConfig(num_people=60, seed=13))
+
+    # --- the paper's hybrid system -----------------------------------------
+    hybrid = HybridSystem()
+    for i in range(16):
+        hybrid.add_index_node(f"N{i}")
+    hybrid.build_ring()
+    hybrid.add_storage_node("D0", triples, publish=True, protocol=True)
+    hybrid_pub = hybrid.stats.bytes_for(
+        "publish", "publish.reply", "index_put", "index_put.reply", "replica_put"
+    )
+    executor = DistributedExecutor(hybrid)
+    result, report = executor.execute(
+        "SELECT ?x ?y WHERE { ?x foaf:knows ?y . }", initiator="D0"
+    )
+
+    # --- RDFPeers -----------------------------------------------------------
+    rdfpeers = RDFPeersSystem()
+    for i in range(16):
+        rdfpeers.add_node(f"P{i}")
+    rdfpeers.build_ring()
+    rdfpeers.publish("P0", triples)
+    rdfpeers_pub = rdfpeers.stats.bytes_for("store_triples", "store_triples.reply")
+    checkpoint = rdfpeers.stats.checkpoint()
+    matches = rdfpeers.query_pattern("P1", PATTERN)
+    rdfpeers_query_bytes = rdfpeers.stats.delta(checkpoint).bytes
+
+    print(render_table(
+        ["metric", "hybrid (this paper)", "RDFPeers"],
+        [
+            ["triples migrated off provider", 0, rdfpeers.total_stored()],
+            ["publication data-plane bytes", hybrid_pub, rdfpeers_pub],
+            ["pattern-query answer rows", len(result.rows), len(matches)],
+            ["pattern-query bytes", report.bytes_total, rdfpeers_query_bytes],
+        ],
+        title="Publishing 60 people's FOAF data into both architectures",
+    ))
+    print(
+        "\nThe hybrid design trades slightly costlier queries (two-level "
+        "indirection)\nfor provider-resident data and index-entry-sized "
+        "publication — the paper's\ncentral architectural argument (Sect. I)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro — distributed SPARQL query processing in an ad-hoc Semantic Web
+data sharing system.
+
+A from-scratch reproduction of Zhou, v. Bochmann & Shi, *Distributed
+Query Processing in an Ad-Hoc Semantic Web Data Sharing System* (IPDPS
+Workshops / IPPS 2013): a hybrid two-level P2P overlay (Chord ring of
+index nodes with storage nodes beneath), a six-key distributed index over
+RDF triples, and distributed processing of SPARQL queries with the
+paper's optimization strategies.
+
+Quickstart::
+
+    from repro import HybridSystem
+    from repro.workloads import paper_example_partition
+
+    system = HybridSystem()
+    for i in range(8):
+        system.add_index_node(f"N{i}")
+    system.build_ring()
+    for storage_id, triples in paper_example_partition().items():
+        system.add_storage_node(storage_id, triples)
+
+    result, report = system.execute(
+        "SELECT ?x WHERE { ?x foaf:knows ns:me . }", initiator="D1"
+    )
+    print(result.bindings(), report.bytes_total)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .rdf import (
+    BlankNode,
+    Graph,
+    IRI,
+    Literal,
+    Triple,
+    TriplePattern,
+    Variable,
+)
+from .sparql import QueryResult, evaluate_query, parse_query
+from .net import LinkModel, Network, NetworkStats, Simulator
+from .chord import ChordRing, IdentifierSpace
+from .overlay import HybridSystem, IndexNode, StorageNode, fig1_network
+from .query import (
+    ConjunctionMode,
+    DistributedExecutor,
+    ExecutionOptions,
+    ExecutionReport,
+    JoinSitePolicy,
+    PrimitiveStrategy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Variable",
+    "Triple",
+    "TriplePattern",
+    "Graph",
+    "parse_query",
+    "evaluate_query",
+    "QueryResult",
+    "Simulator",
+    "Network",
+    "NetworkStats",
+    "LinkModel",
+    "IdentifierSpace",
+    "ChordRing",
+    "HybridSystem",
+    "IndexNode",
+    "StorageNode",
+    "fig1_network",
+    "DistributedExecutor",
+    "ExecutionOptions",
+    "ExecutionReport",
+    "PrimitiveStrategy",
+    "ConjunctionMode",
+    "JoinSitePolicy",
+    "__version__",
+]

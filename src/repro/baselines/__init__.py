@@ -1,0 +1,16 @@
+"""Baseline comparators (S13): the RDFPeers flat-DHT repository and the
+unstructured (Gnutella-style) flooding overlay."""
+
+from .rdfpeers import RDFPeersNode, RDFPeersSystem
+from .flooding import FloodingNode, FloodingSystem
+from .ranges import LocalityHash, NumericRange, sort_ranges
+
+__all__ = [
+    "RDFPeersNode",
+    "RDFPeersSystem",
+    "FloodingNode",
+    "FloodingSystem",
+    "LocalityHash",
+    "NumericRange",
+    "sort_ranges",
+]

@@ -1,0 +1,94 @@
+"""Locality-preserving hashing and range queries (paper Sect. II).
+
+The paper credits RDFPeers with resolving "a range query for ?o
+efficiently by using a uniform locality preserving hashing function and a
+range ordering algorithm that sorts the query ranges in ascending order".
+This module implements both:
+
+* :class:`LocalityHash` — maps numeric object values onto the identifier
+  ring *order-preservingly*, so a value range corresponds to a contiguous
+  arc of the ring;
+* :class:`RangeIndex` mixin methods on the RDFPeers system — numeric
+  triples are additionally stored under their locality key, and a range
+  query walks the arc's successor chain, visiting only the nodes whose
+  ranges intersect the query;
+* disjunctive range queries — multiple ranges are sorted ascending and
+  resolved in one ring traversal (the "range ordering algorithm").
+
+The hybrid system needs none of this machinery: a range is simply a
+FILTER over the ⟨p⟩-indexed pattern, evaluated *at the providers*
+(Sect. IV-G filter pushing). Experiment E13 compares the two designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..chord.idspace import IdentifierSpace
+from ..rdf.terms import Literal, RDFTerm
+from ..rdf.triple import Triple
+
+__all__ = ["LocalityHash", "NumericRange", "sort_ranges"]
+
+
+@dataclass(frozen=True, slots=True)
+class NumericRange:
+    """A closed numeric interval [lo, hi]."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"empty range [{self.lo}, {self.hi}]")
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def wire_size(self) -> int:
+        return 16
+
+
+def sort_ranges(ranges: Iterable[NumericRange]) -> List[NumericRange]:
+    """RDFPeers' range ordering: ascending by lower bound, so a single
+    clockwise traversal of the ring serves every range."""
+    return sorted(ranges, key=lambda r: (r.lo, r.hi))
+
+
+@dataclass(frozen=True, slots=True)
+class LocalityHash:
+    """Order-preserving map from a numeric attribute domain to the ring.
+
+    RDFPeers assumes the attribute's domain is globally known; values are
+    mapped linearly onto the identifier space, so ``v1 <= v2  =>
+    key(v1) <= key(v2)`` and a value range is a contiguous arc.
+    Out-of-domain values clamp to the ends.
+    """
+
+    domain_lo: float
+    domain_hi: float
+    space: IdentifierSpace
+
+    def __post_init__(self) -> None:
+        if self.domain_hi <= self.domain_lo:
+            raise ValueError("locality hash needs a non-degenerate domain")
+
+    def key(self, value: float) -> int:
+        clamped = min(max(value, self.domain_lo), self.domain_hi)
+        fraction = (clamped - self.domain_lo) / (self.domain_hi - self.domain_lo)
+        return min(self.space.size - 1, int(fraction * (self.space.size - 1)))
+
+    def arc(self, rng: NumericRange) -> Tuple[int, int]:
+        """The (start, end) ring keys covering *rng* (inclusive arc)."""
+        return self.key(rng.lo), self.key(rng.hi)
+
+
+def numeric_value(term: RDFTerm) -> Optional[float]:
+    """The numeric value of a literal, or None."""
+    if isinstance(term, Literal) and term.is_numeric:
+        try:
+            return float(term.to_python())  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return None
+    return None

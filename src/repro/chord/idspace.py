@@ -1,0 +1,60 @@
+"""The m-bit circular identifier space of Chord.
+
+All interval arithmetic is modular; Chord correctness hinges on getting
+the open/closed interval ends right, so that logic lives here in one
+place with exhaustive unit tests (the paper's Fig. 1 uses a 4-bit space,
+which the tests reuse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IdentifierSpace"]
+
+
+@dataclass(frozen=True, slots=True)
+class IdentifierSpace:
+    """The ring Z / 2^m with interval tests."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not (2 <= self.bits <= 160):
+            raise ValueError("identifier space must use between 2 and 160 bits")
+
+    @property
+    def size(self) -> int:
+        return 1 << self.bits
+
+    def normalize(self, value: int) -> int:
+        return value % self.size
+
+    def between_open(self, x: int, a: int, b: int) -> bool:
+        """x ∈ (a, b) on the ring. Empty when a == b? No: (a, a) is the
+        *full* ring minus a — Chord's convention for a single-node ring."""
+        x, a, b = self.normalize(x), self.normalize(a), self.normalize(b)
+        if a == b:
+            return x != a
+        if a < b:
+            return a < x < b
+        return x > a or x < b
+
+    def between_right_closed(self, x: int, a: int, b: int) -> bool:
+        """x ∈ (a, b] on the ring; (a, a] is again the full ring."""
+        x, a, b = self.normalize(x), self.normalize(a), self.normalize(b)
+        if a == b:
+            return True
+        if a < b:
+            return a < x <= b
+        return x > a or x <= b
+
+    def distance(self, a: int, b: int) -> int:
+        """Clockwise distance from a to b."""
+        return self.normalize(b - a)
+
+    def finger_start(self, node: int, index: int) -> int:
+        """start of finger *index* (0-based): (node + 2^index) mod 2^m."""
+        if not (0 <= index < self.bits):
+            raise ValueError(f"finger index {index} out of range for m={self.bits}")
+        return self.normalize(node + (1 << index))

@@ -1,0 +1,284 @@
+"""A Chord ring participant.
+
+Implements the Chord protocol of Stoica et al. [5] as used by the paper's
+index nodes (Sect. III): finger tables for O(log N) lookup, a successor
+list for fault tolerance, the stabilize/notify repair protocol, and
+key-range transfer on join/leave (Sect. III-C/D).
+
+The class is transport-level: lookups are real simulated RPCs, so hop
+counts and lookup latencies measured in experiments are the message-level
+truth, not formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..net.sim import Event
+from ..net.transport import Node, RpcError, RpcTimeout
+from .idspace import IdentifierSpace
+
+__all__ = ["NodeRef", "ChordNode", "LookupResult"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class NodeRef:
+    """A (ring id, address) pair — how nodes refer to one another."""
+
+    ident: int
+    node_id: str
+
+    def wire_size(self) -> int:
+        return 8 + len(self.node_id)
+
+
+@dataclass(frozen=True, slots=True)
+class LookupResult:
+    """Outcome of find_successor: the owner and the route length."""
+
+    ref: NodeRef
+    hops: int
+
+    def wire_size(self) -> int:
+        return self.ref.wire_size() + 4
+
+
+class ChordNode(Node):
+    """One node of the Chord ring.
+
+    Subclasses (the overlay's index nodes) may override
+    :meth:`export_keys` / :meth:`import_keys` to move their application
+    state (location-table rows) during membership changes.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        ident: int,
+        space: IdentifierSpace,
+        successor_list_size: int = 3,
+    ) -> None:
+        super().__init__(node_id)
+        self.space = space
+        self.ident = space.normalize(ident)
+        self.ref = NodeRef(self.ident, node_id)
+        self.fingers: List[Optional[NodeRef]] = [None] * space.bits
+        self.successor_list: List[NodeRef] = []
+        self.successor_list_size = successor_list_size
+        self.predecessor: Optional[NodeRef] = None
+        self._next_finger_to_fix = 0
+
+    # ------------------------------------------------------------ topology
+
+    @property
+    def successor(self) -> NodeRef:
+        if self.successor_list:
+            return self.successor_list[0]
+        return self.ref
+
+    def set_successor(self, ref: NodeRef) -> None:
+        if self.successor_list:
+            self.successor_list[0] = ref
+        else:
+            self.successor_list = [ref]
+        self.fingers[0] = ref
+
+    def owns(self, key: int) -> bool:
+        """True when this node is the successor of *key*.
+
+        A node owns the keys in (predecessor, self]; with no predecessor
+        known (single-node ring) it owns everything.
+        """
+        if self.predecessor is None:
+            return True
+        return self.space.between_right_closed(key, self.predecessor.ident, self.ident)
+
+    def closest_preceding(self, key: int) -> NodeRef:
+        """Best known strictly-preceding hop toward *key* (fingers, then
+        successor list)."""
+        for finger in reversed(self.fingers):
+            if finger is not None and self.space.between_open(
+                finger.ident, self.ident, key
+            ):
+                return finger
+        for ref in reversed(self.successor_list):
+            if self.space.between_open(ref.ident, self.ident, key):
+                return ref
+        return self.ref
+
+    # -------------------------------------------------------- RPC handlers
+
+    def rpc_ping(self, payload: Any, src: str) -> bool:
+        return True
+
+    def rpc_get_predecessor(self, payload: Any, src: str) -> Optional[NodeRef]:
+        return self.predecessor
+
+    def rpc_get_successor_list(self, payload: Any, src: str) -> List[NodeRef]:
+        return list(self.successor_list)
+
+    def rpc_find_successor(self, payload: Dict[str, int], src: str):
+        """Recursive find_successor carrying a hop counter.
+
+        Generator handler: forwarding hops are real messages, so the
+        experiment's hop counts come straight from the message log.
+        """
+        key = payload["key"]
+        hops = payload.get("hops", 0)
+        if self.space.between_right_closed(key, self.ident, self.successor.ident):
+            return LookupResult(self.successor, hops)
+        nxt = self.closest_preceding(key)
+        if nxt == self.ref:
+            return LookupResult(self.ref, hops)
+        try:
+            result = yield self.call(
+                nxt.node_id, "find_successor", {"key": key, "hops": hops + 1}
+            )
+            return result
+        except RpcError:
+            # The chosen hop is dead: drop it from our tables and route via
+            # the successor list instead (Chord's fault-tolerant lookup).
+            self._evict(nxt)
+            for backup in list(self.successor_list):
+                if backup == nxt:
+                    continue
+                try:
+                    result = yield self.call(
+                        backup.node_id, "find_successor", {"key": key, "hops": hops + 1}
+                    )
+                    return result
+                except RpcError:
+                    self._evict(backup)
+            raise
+
+    def rpc_notify(self, candidate: NodeRef, src: str) -> bool:
+        """Chord notify: *candidate* believes it is our predecessor."""
+        if self.predecessor is None or self.space.between_open(
+            candidate.ident, self.predecessor.ident, self.ident
+        ):
+            self.predecessor = candidate
+            return True
+        return False
+
+    def rpc_export_keys(self, payload: Dict[str, int], src: str) -> Dict[int, Any]:
+        """Hand over the keys in (lo, hi] to a joining predecessor
+        (Sect. III-C: 'transfer of a portion of the location table')."""
+        lo, hi = payload["lo"], payload["hi"]
+        exported = {
+            key: value
+            for key, value in self.export_keys()
+            if self.space.between_right_closed(key, lo, hi)
+        }
+        self.drop_keys(exported.keys())
+        return exported
+
+    def rpc_import_keys(self, payload: Dict[int, Any], src: str) -> int:
+        self.import_keys(payload)
+        return len(payload)
+
+    # ----------------------------------------- application-state interface
+
+    def export_keys(self):
+        """Iterable of (key, value) pairs of application state; overridden
+        by the overlay's index node."""
+        return ()
+
+    def import_keys(self, items: Dict[int, Any]) -> None:  # pragma: no cover
+        pass
+
+    def drop_keys(self, keys) -> None:  # pragma: no cover
+        pass
+
+    # ------------------------------------------------------- ring protocols
+
+    def find_successor(self, key: int) -> Event:
+        """Client-side lookup entry point (returns an Event of LookupResult)."""
+        assert self.network is not None
+        return self.network.call(self.node_id, self.node_id, "find_successor", {"key": key})
+
+    def join(self, bootstrap: NodeRef):
+        """Generator process: join the ring known to *bootstrap* and pull
+        our key range from our new successor."""
+        self.predecessor = None
+        result: LookupResult = yield self.call(
+            bootstrap.node_id, "find_successor", {"key": self.ident}
+        )
+        self.set_successor(result.ref)
+        # Take over (successor.predecessor, self] — approximated by asking
+        # for (our id's predecessor range]; the successor computes the cut.
+        pred: Optional[NodeRef] = yield self.call(result.ref.node_id, "get_predecessor")
+        # With no predecessor known (e.g. a single-node ring) the successor
+        # keeps (self, successor] and we take the complement (successor, self].
+        lo = pred.ident if pred is not None else result.ref.ident
+        imported = yield self.call(
+            result.ref.node_id, "export_keys", {"lo": lo, "hi": self.ident}
+        )
+        self.import_keys(imported)
+        yield from self.stabilize()
+
+    def stabilize(self):
+        """One stabilize round: verify successor, adopt a closer one,
+        notify it, and refresh the successor list."""
+        try:
+            candidate: Optional[NodeRef] = yield self.call(
+                self.successor.node_id, "get_predecessor"
+            )
+        except RpcError:
+            self._advance_successor()
+            return
+        if candidate is not None and self.space.between_open(
+            candidate.ident, self.ident, self.successor.ident
+        ):
+            self.set_successor(candidate)
+        try:
+            yield self.call(self.successor.node_id, "notify", self.ref)
+            succ_list: List[NodeRef] = yield self.call(
+                self.successor.node_id, "get_successor_list"
+            )
+        except RpcError:
+            self._advance_successor()
+            return
+        merged = [self.successor] + [r for r in succ_list if r != self.ref]
+        self.successor_list = merged[: self.successor_list_size]
+        self.fingers[0] = self.successor
+
+    def fix_finger(self, index: Optional[int] = None):
+        """Refresh one finger-table entry via a real lookup."""
+        if index is None:
+            index = self._next_finger_to_fix
+            self._next_finger_to_fix = (self._next_finger_to_fix + 1) % self.space.bits
+        start = self.space.finger_start(self.ident, index)
+        try:
+            result: LookupResult = yield self.call(
+                self.node_id, "find_successor", {"key": start}
+            )
+            self.fingers[index] = result.ref
+        except RpcError:
+            self.fingers[index] = None
+
+    def check_predecessor(self):
+        """Clear a dead predecessor so notify can repair it."""
+        if self.predecessor is None:
+            return
+        try:
+            yield self.call(self.predecessor.node_id, "ping")
+        except RpcError:
+            self.predecessor = None
+
+    # ------------------------------------------------------------ internals
+
+    def _advance_successor(self) -> None:
+        if len(self.successor_list) > 1:
+            self.successor_list.pop(0)
+        else:
+            self.successor_list = [self.ref]
+        self.fingers[0] = self.successor
+
+    def _evict(self, dead: NodeRef) -> None:
+        self.fingers = [None if f == dead else f for f in self.fingers]
+        self.successor_list = [r for r in self.successor_list if r != dead]
+        if not self.successor_list:
+            self.successor_list = [self.ref]
+        if self.predecessor == dead:
+            self.predecessor = None

@@ -1,0 +1,42 @@
+"""Aggregation helpers for experiment measurements."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from statistics import mean, median
+from typing import Iterable, List, Sequence
+
+__all__ = ["Summary", "summarize"]
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-ish summary of a measurement series."""
+
+    count: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    p95: float
+
+    def __str__(self) -> str:  # pragma: no cover - presentation
+        return (
+            f"n={self.count} mean={self.mean:.3f} median={self.median:.3f} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f} p95={self.p95:.3f}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    data: List[float] = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot summarize an empty series")
+    return Summary(
+        count=len(data),
+        mean=mean(data),
+        median=median(data),
+        minimum=data[0],
+        maximum=data[-1],
+        p95=data[min(len(data) - 1, math.ceil(0.95 * len(data)) - 1)],
+    )

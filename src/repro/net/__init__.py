@@ -1,0 +1,40 @@
+"""Simulated network substrate (S7): DES kernel, transport, sizes, stats.
+
+The multi-process (real OS processes) transport lives in
+:mod:`repro.net.mp` and is imported explicitly by the examples that use
+it, to keep simulation imports light.
+"""
+
+from .sim import AllOf, AnyOf, Event, Process, SimError, Simulator, Timeout
+from .sizes import HEADER_BYTES, size_of
+from .stats import MessageRecord, NetworkStats
+from .transport import (
+    LinkModel,
+    Network,
+    Node,
+    NodeUnknown,
+    RemoteError,
+    RpcError,
+    RpcTimeout,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "SimError",
+    "size_of",
+    "HEADER_BYTES",
+    "NetworkStats",
+    "MessageRecord",
+    "LinkModel",
+    "Network",
+    "Node",
+    "RpcError",
+    "RpcTimeout",
+    "RemoteError",
+    "NodeUnknown",
+]

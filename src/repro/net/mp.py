@@ -1,0 +1,187 @@
+"""Real multi-process transport: the same node logic over OS processes.
+
+The simulator (``repro.net.transport``) is where experiments run, but the
+node implementations are not simulator-bound: any handler that does not
+suspend (no generator RPCs) — local evaluation, mailbox delivery, and the
+one-way ``chain_step`` used by the optimized strategies of Sect. IV-C —
+runs unchanged over this transport, where every node is a separate OS
+process and messages are real pickled bytes over ``multiprocessing``
+queues.
+
+``examples/multiprocess_demo.py`` uses this to run a chained distributed
+query across four real processes — the zero-to-aha proof that the design
+survives outside the simulator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import uuid
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["MpCluster", "MpTransportError"]
+
+_STOP = "__stop__"
+
+
+class MpTransportError(RuntimeError):
+    """Transport-level failure (dead worker, timeout)."""
+
+
+class _WorkerTransport:
+    """The ``network`` facade handed to a node inside its worker process.
+
+    Supports exactly the subset non-suspending handlers use:
+    ``send`` (one-way). ``call`` is deliberately absent — a suspending
+    handler would need the simulator's process machinery.
+    """
+
+    def __init__(self, queues: Dict[str, mp.Queue]) -> None:
+        self._queues = queues
+
+    def send(self, src: str, dst: str, method: str, payload: Any = None) -> None:
+        q = self._queues.get(dst)
+        if q is not None:
+            q.put(("oneway", src, method, payload))
+
+
+def _worker_main(node, queues: Dict[str, mp.Queue]) -> None:
+    """Worker loop: dispatch incoming messages to ``rpc_*`` handlers."""
+    node.network = _WorkerTransport(queues)
+    inbox = queues[node.node_id]
+    while True:
+        message = inbox.get()
+        if message == _STOP:
+            return
+        kind, src, *rest = message
+        if kind == "oneway":
+            method, payload = rest
+            handler = getattr(node, f"rpc_{method}", None)
+            if handler is not None:
+                try:
+                    handler(payload, src)
+                except Exception:  # noqa: BLE001 - one-way faults vanish
+                    pass
+        elif kind == "call":
+            corr, method, payload = rest
+            handler = getattr(node, f"rpc_{method}", None)
+            try:
+                if handler is None:
+                    raise MpTransportError(f"no handler rpc_{method}")
+                result: Tuple[str, Any] = ("ok", handler(payload, src))
+            except Exception as exc:  # noqa: BLE001 - shipped back to caller
+                result = ("error", repr(exc))
+            reply_q = queues.get(src)
+            if reply_q is not None:
+                reply_q.put(("reply", node.node_id, corr, result))
+
+
+class MpCluster:
+    """Hosts nodes in separate OS processes; the creating process acts as
+    the client endpoint (query initiator)."""
+
+    CLIENT_ID = "client"
+
+    def __init__(self) -> None:
+        self._ctx = mp.get_context("fork")
+        self._queues: Dict[str, mp.Queue] = {self.CLIENT_ID: self._ctx.Queue()}
+        self._nodes: Dict[str, Any] = {}
+        self._procs: Dict[str, mp.process.BaseProcess] = {}
+        #: Deliveries addressed to the client (e.g. a chain's final result).
+        self._deliveries: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------ lifecycle
+
+    def spawn(self, node) -> None:
+        """Register *node* (any object with ``node_id`` and ``rpc_*``
+        handlers) to run in its own process. Processes launch together on
+        :meth:`start` — or implicitly at the first message — so that every
+        worker holds the queues of *all* nodes (a worker forked earlier
+        would silently lack the queues of later nodes)."""
+        node_id = node.node_id
+        if node_id in self._nodes or node_id in self._procs:
+            raise ValueError(f"node {node_id!r} already spawned")
+        self._queues[node_id] = self._ctx.Queue()
+        self._nodes[node_id] = node
+
+    def start(self) -> None:
+        for node_id, node in self._nodes.items():
+            proc = self._ctx.Process(
+                target=_worker_main, args=(node, self._queues), daemon=True
+            )
+            proc.start()
+            self._procs[node_id] = proc
+        self._nodes.clear()
+
+    def _ensure_started(self) -> None:
+        if self._nodes:
+            self.start()
+
+    def shutdown(self) -> None:
+        for node_id, proc in self._procs.items():
+            self._queues[node_id].put(_STOP)
+        for proc in self._procs.values():
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._procs.clear()
+
+    def __enter__(self) -> "MpCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ----------------------------------------------------------- messaging
+
+    def send(self, dst: str, method: str, payload: Any = None) -> None:
+        self._ensure_started()
+        q = self._queues.get(dst)
+        if q is None:
+            raise MpTransportError(f"unknown node {dst!r}")
+        q.put(("oneway", self.CLIENT_ID, method, payload))
+
+    def call(self, dst: str, method: str, payload: Any = None,
+             timeout: float = 30.0) -> Any:
+        """Blocking request/response from the client to a node."""
+        self._ensure_started()
+        q = self._queues.get(dst)
+        if q is None:
+            raise MpTransportError(f"unknown node {dst!r}")
+        corr = uuid.uuid4().hex
+        q.put(("call", self.CLIENT_ID, corr, method, payload))
+        while True:
+            message = self._next_client_message(timeout)
+            kind = message[0]
+            if kind == "reply":
+                _, src, reply_corr, (status, value) = message
+                if reply_corr != corr:
+                    continue  # stale reply from an abandoned call
+                if status == "error":
+                    raise MpTransportError(f"{dst}.{method}: {value}")
+                return value
+            self._absorb(message)
+
+    def wait_delivery(self, corr: str, timeout: float = 30.0) -> Any:
+        """Wait for a one-way ``deliver`` addressed to the client."""
+        while corr not in self._deliveries:
+            self._absorb(self._next_client_message(timeout))
+        return self._deliveries.pop(corr)
+
+    # ------------------------------------------------------------ internals
+
+    def _next_client_message(self, timeout: float):
+        try:
+            return self._queues[self.CLIENT_ID].get(timeout=timeout)
+        except queue_mod.Empty as exc:
+            raise MpTransportError("timed out waiting for cluster message") from exc
+
+    def _absorb(self, message) -> None:
+        kind = message[0]
+        if kind == "oneway":
+            _, src, method, payload = message
+            if method == "deliver":
+                self._deliveries[payload["corr"]] = payload.get("data", [])
+            # 'delivered' notifications and anything else are ignored: the
+            # client polls deliveries directly.

@@ -1,0 +1,273 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based process simulator in the style of
+SimPy, purpose-built for the paper's evaluation: processes are Python
+generators that ``yield`` events (timeouts, other processes, composites);
+the kernel advances virtual time event by event.
+
+Determinism: ties in the event heap break on a monotonically increasing
+sequence number, never on object identity, so repeated runs with the same
+seed produce byte-identical traces. That property underpins every number
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = ["Simulator", "Event", "Timeout", "Process", "AllOf", "AnyOf", "SimError"]
+
+
+class SimError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Event:
+    """A one-shot occurrence with a value and callbacks.
+
+    Events are created pending, then either *succeed* or *fail* exactly
+    once. Processes waiting on an event are resumed with its value (or
+    have the failure raised inside them).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_failure", "_done")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._failure: Optional[BaseException] = None
+        self._done = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimError("event has not triggered yet")
+        return self._value
+
+    @property
+    def failure(self) -> Optional[BaseException]:
+        return self._failure
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._done:
+            raise SimError("event already triggered")
+        self._done = True
+        self._value = value
+        self.sim._ready(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self._done:
+            raise SimError("event already triggered")
+        self._done = True
+        self._failure = exception
+        self.sim._ready(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimError(f"negative timeout delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        sim._schedule_at(sim.now + delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class Process(Event):
+    """A running generator; completes (as an Event) when it returns.
+
+    The generator yields Events; it is resumed with each event's value.
+    A failed awaited event is thrown into the generator so processes can
+    ``try/except`` simulated failures (e.g. RPC timeouts).
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any]) -> None:
+        super().__init__(sim)
+        self._gen = gen
+        sim._schedule_now(self._resume, None, None)
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Exception as failure:  # noqa: BLE001 - propagate into waiters
+            self.fail(failure)
+            return
+        if not isinstance(target, Event):
+            self._gen.close()
+            self.fail(SimError(f"process yielded non-Event {target!r}"))
+            return
+        if target.triggered:
+            self.sim._schedule_now(self._resume, target.value, target.failure)
+        else:
+            target.callbacks.append(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        self._resume(event.value, event.failure)
+
+
+class AllOf(Event):
+    """Succeeds when all child events have succeeded.
+
+    Value: list of child values in the order given. This is the kernel's
+    *parallel fan-out* primitive: completion time is the max of the
+    children — exactly the paper's "parallelism is exploited" timing for
+    the BASIC strategy. Fails fast if any child fails.
+    """
+
+    __slots__ = ("_children", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        self._pending = 0
+        for event in self._children:
+            if event.triggered:
+                if event.failure is not None:
+                    if not self.triggered:
+                        self.fail(event.failure)
+                    return
+            else:
+                self._pending += 1
+                event.callbacks.append(self._on_child)
+        if self._pending == 0 and not self.triggered:
+            self.succeed([e.value for e in self._children])
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.failure is not None:
+            self.fail(event.failure)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e.value for e in self._children])
+
+
+class AnyOf(Event):
+    """Succeeds with (index, value) of the first child to succeed."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        if not self._children:
+            raise SimError("AnyOf requires at least one event")
+        for i, event in enumerate(self._children):
+            if event.triggered and not self.triggered:
+                if event.failure is not None:
+                    self.fail(event.failure)
+                else:
+                    self.succeed((i, event.value))
+                return
+        for i, event in enumerate(self._children):
+            event.callbacks.append(lambda e, i=i: self._on_child(i, e))
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.failure is not None:
+            self.fail(event.failure)
+        else:
+            self.succeed((index, event.value))
+
+
+class Simulator:
+    """The event loop: a heap of (time, seq, action) entries."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[tuple] = []
+        self._seq = itertools.count()
+        self._ready_queue: List[Event] = []
+
+    # ------------------------------------------------------------ factories
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        if not hasattr(gen, "send"):
+            raise SimError("process() requires a generator (did you forget to call it?)")
+        return Process(self, gen)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------ internals
+
+    def _schedule_at(self, time: float, fn: Callable, *args: Any) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), fn, args))
+
+    def _schedule_now(self, fn: Callable, *args: Any) -> None:
+        self._schedule_at(self.now, fn, *args)
+
+    def _ready(self, event: Event) -> None:
+        # Run callbacks via the queue so triggering is never re-entrant.
+        self._schedule_now(self._dispatch, event)
+
+    @staticmethod
+    def _dispatch(event: Event) -> None:
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    # ----------------------------------------------------------------- run
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the heap drains or *until* is reached.
+
+        Returns the final simulation time.
+        """
+        while self._heap:
+            time, _, fn, args = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            fn(*args)
+        return self.now
+
+    def run_process(self, gen: Generator[Event, Any, Any]) -> Any:
+        """Convenience: spawn *gen*, run to completion, return its value.
+
+        Raises the process's failure, if any — so simulated exceptions
+        surface naturally in tests.
+        """
+        proc = self.process(gen)
+        self.run()
+        if not proc.triggered:
+            raise SimError("deadlock: process never completed")
+        if proc.failure is not None:
+            raise proc.failure
+        return proc.value

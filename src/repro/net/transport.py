@@ -1,0 +1,286 @@
+"""Simulated message transport: nodes, links, and RPC.
+
+Models the ad-hoc network substrate of the paper: every node "has an IP
+address by which it may be contacted" (Sect. III-A) — here a string node
+id — and exchanges messages whose cost is ``latency + bytes/bandwidth``.
+All traffic is charged to :class:`~repro.net.stats.NetworkStats`, giving
+the exact transmission totals the optimization study compares.
+
+The RPC layer dispatches a message of kind ``m`` to the destination
+node's ``rpc_m`` method. A handler may return a value directly or be a
+generator that performs further RPCs (that is how sub-query shipping
+chains through storage nodes). Failed nodes silently drop traffic; callers
+observe an :class:`RpcTimeout`, which is precisely the failure-detection
+mechanism Sect. III-D prescribes ("no acknowledgement ... after a timeout
+period").
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional
+
+from .sim import Event, Simulator
+from .sizes import HEADER_BYTES, size_of
+from .stats import NetworkStats
+
+__all__ = [
+    "LinkModel",
+    "Node",
+    "Network",
+    "RpcError",
+    "RpcTimeout",
+    "RemoteError",
+    "NodeUnknown",
+]
+
+
+class RpcError(Exception):
+    """Base class for RPC failures."""
+
+
+class RpcTimeout(RpcError):
+    """No response within the timeout (dead or partitioned peer)."""
+
+
+class RemoteError(RpcError):
+    """The remote handler raised; carries the original message."""
+
+
+class NodeUnknown(RpcError):
+    """Destination id was never registered."""
+
+
+@dataclass(frozen=True, slots=True)
+class LinkModel:
+    """Per-message cost model.
+
+    Defaults approximate a broadband WAN: 10 ms one-way latency, 1 MB/s.
+    Absolute values are arbitrary; experiments only compare strategies
+    under the *same* link model (and sweep it where relevant).
+    """
+
+    latency: float = 0.010
+    bandwidth: float = 1_000_000.0
+
+    def delay(self, nbytes: int) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+
+class Node:
+    """Base class for simulated nodes.
+
+    Subclasses expose RPC handlers as methods named ``rpc_<kind>`` taking
+    ``(payload, src)``. ``compute_delay`` adds a fixed local-processing
+    cost per handled request (0 by default: the paper's cost model is
+    communication-dominated).
+    """
+
+    compute_delay: float = 0.0
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self.network: Optional["Network"] = None
+        self.alive = True
+
+    # Wiring ----------------------------------------------------------------
+
+    def attach(self, network: "Network") -> None:
+        self.network = network
+
+    @property
+    def sim(self) -> Simulator:
+        assert self.network is not None, "node not registered with a network"
+        return self.network.sim
+
+    # Convenience for handler code -------------------------------------------
+
+    def call(self, dst: str, method: str, payload: Any = None, timeout: Optional[float] = None) -> Event:
+        assert self.network is not None
+        return self.network.call(self.node_id, dst, method, payload, timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "up" if self.alive else "down"
+        return f"<{type(self).__name__} {self.node_id} ({status})>"
+
+
+class Network:
+    """The simulated network: node registry + message fabric."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        link: Optional[LinkModel] = None,
+        stats: Optional[NetworkStats] = None,
+        default_timeout: float = 5.0,
+    ) -> None:
+        self.sim = sim or Simulator()
+        self.link = link or LinkModel()
+        self.stats = stats or NetworkStats()
+        self.default_timeout = default_timeout
+        self.nodes: Dict[str, Node] = {}
+
+    # ----------------------------------------------------------- membership
+
+    def register(self, node: Node) -> Node:
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        node.attach(self)
+        self.nodes[node.node_id] = node
+        return node
+
+    def deregister(self, node_id: str) -> None:
+        self.nodes.pop(node_id, None)
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise NodeUnknown(node_id) from None
+
+    def fail_node(self, node_id: str) -> None:
+        """Crash a node: it stops answering but keeps its state (III-D)."""
+        self.node(node_id).alive = False
+
+    def recover_node(self, node_id: str) -> None:
+        self.node(node_id).alive = True
+
+    # ------------------------------------------------------------------ rpc
+
+    def call(
+        self,
+        src: str,
+        dst: str,
+        method: str,
+        payload: Any = None,
+        timeout: Optional[float] = None,
+    ) -> Event:
+        """Invoke ``rpc_<method>`` on *dst*, returning an Event.
+
+        The event succeeds with the handler's return value, or fails with
+        :class:`RpcTimeout` / :class:`RemoteError`. Both the request and
+        the response are charged to the traffic stats.
+        """
+        result = self.sim.event()
+        deadline = timeout if timeout is not None else self.default_timeout
+        state = {"done": False}
+
+        def expire(_event: Event) -> None:
+            if not state["done"]:
+                state["done"] = True
+                result.fail(RpcTimeout(f"{src} -> {dst}.{method} timed out"))
+
+        timer = self.sim.timeout(deadline)
+        timer.callbacks.append(expire)
+
+        request_bytes = HEADER_BYTES + size_of(method) + size_of(payload)
+        target = self.nodes.get(dst)
+        if target is None:
+            # Unknown address: fail fast (a real stack would ICMP-reject).
+            self.sim._schedule_now(self._fail_fast, result, state, NodeUnknown(dst))
+            return result
+
+        self.stats.record(self.sim.now, src, dst, method, request_bytes)
+        arrival = self.sim.timeout(self.link.delay(request_bytes))
+        arrival.callbacks.append(
+            lambda _e: self._deliver(src, dst, method, payload, result, state)
+        )
+        return result
+
+    def send(self, src: str, dst: str, method: str, payload: Any = None) -> None:
+        """One-way (unacknowledged) message — used for sub-query shipping
+        along storage-node chains, where the paper's optimized strategies
+        deliberately avoid response traffic. Dropped silently when the
+        destination is unknown or dead, like a datagram."""
+        nbytes = HEADER_BYTES + size_of(method) + size_of(payload)
+        if dst not in self.nodes:
+            return
+        self.stats.record(self.sim.now, src, dst, method, nbytes)
+        arrival = self.sim.timeout(self.link.delay(nbytes))
+        arrival.callbacks.append(lambda _e: self._deliver_oneway(src, dst, method, payload))
+
+    def _deliver_oneway(self, src: str, dst: str, method: str, payload: Any) -> None:
+        target = self.nodes.get(dst)
+        if target is None or not target.alive:
+            return
+        handler = getattr(target, f"rpc_{method}", None)
+        if handler is None:
+            return
+        try:
+            outcome = handler(payload, src)
+        except Exception:  # noqa: BLE001 - one-way faults vanish, like UDP
+            return
+        if inspect.isgenerator(outcome):
+            self.sim.process(outcome)
+
+    @staticmethod
+    def _fail_fast(result: Event, state: dict, exc: Exception) -> None:
+        if not state["done"]:
+            state["done"] = True
+            result.fail(exc)
+
+    def _deliver(
+        self, src: str, dst: str, method: str, payload: Any, result: Event, state: dict
+    ) -> None:
+        target = self.nodes.get(dst)
+        if target is None or not target.alive:
+            return  # dropped; the caller's timer will fire
+        handler = getattr(target, f"rpc_{method}", None)
+        if handler is None:
+            self._respond_failure(src, dst, method, result, state,
+                                  RemoteError(f"{dst} has no handler rpc_{method}"))
+            return
+        try:
+            outcome = handler(payload, src)
+        except Exception as exc:  # noqa: BLE001 - remote fault becomes RemoteError
+            self._respond_failure(src, dst, method, result, state,
+                                  RemoteError(f"{dst}.{method}: {exc}"))
+            return
+        if inspect.isgenerator(outcome):
+            proc = self.sim.process(outcome)
+            proc.callbacks.append(
+                lambda event: self._respond_event(src, dst, method, event, result, state, target)
+            )
+        else:
+            self._respond_value(src, dst, method, outcome, result, state, target)
+
+    def _respond_event(
+        self, src: str, dst: str, method: str, event: Event, result: Event, state: dict, target: Node
+    ) -> None:
+        if event.failure is not None:
+            self._respond_failure(src, dst, method, result, state,
+                                  RemoteError(f"{dst}.{method}: {event.failure}"))
+        else:
+            self._respond_value(src, dst, method, event.value, result, state, target)
+
+    def _respond_value(
+        self, src: str, dst: str, method: str, value: Any, result: Event, state: dict, target: Node
+    ) -> None:
+        if not target.alive:
+            return  # crashed before replying
+        response_bytes = HEADER_BYTES + size_of(value)
+        self.stats.record(self.sim.now, dst, src, f"{method}.reply", response_bytes)
+        total_delay = self.link.delay(response_bytes) + target.compute_delay
+        arrival = self.sim.timeout(total_delay)
+
+        def finish(_event: Event) -> None:
+            if not state["done"]:
+                state["done"] = True
+                result.succeed(value)
+
+        arrival.callbacks.append(finish)
+
+    def _respond_failure(
+        self, src: str, dst: str, method: str, result: Event, state: dict, exc: Exception
+    ) -> None:
+        response_bytes = HEADER_BYTES + size_of(str(exc))
+        self.stats.record(self.sim.now, dst, src, f"{method}.error", response_bytes)
+        arrival = self.sim.timeout(self.link.delay(response_bytes))
+
+        def finish(_event: Event) -> None:
+            if not state["done"]:
+                state["done"] = True
+                result.fail(exc)
+
+        arrival.callbacks.append(finish)

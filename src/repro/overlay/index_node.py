@@ -1,0 +1,277 @@
+"""Index nodes: ring members hosting the distributed index.
+
+An index node is a Chord participant (Sect. III-A) that additionally
+keeps a :class:`~repro.overlay.location_table.LocationTable` for the keys
+it owns (Sect. III-B), orchestrates primitive-query resolution over the
+storage nodes listed there (Sect. IV-C), and replicates its rows to ring
+successors so that the system "can eventually recover" from index-node
+failures (Sect. III-D).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..chord.idspace import IdentifierSpace
+from ..chord.node import ChordNode
+from ..net.transport import RpcError
+from ..sparql.solutions import SolutionMapping, union as omega_union
+from .location_table import LocationEntry, LocationTable
+from .peer import QueryPeer, _mapping_sort_key
+
+__all__ = ["IndexNode", "PRIMITIVE_STRATEGIES"]
+
+#: Strategy names understood by rpc_execute_primitive (Sect. IV-C):
+#: * ``basic`` — parallel fan-out, union at the index node (assembly site)
+#: * ``chained`` — in-network aggregation along an arbitrary node sequence
+#: * ``freq`` — chain ordered by increasing frequency; the node with the
+#:   most matching triples is last and returns directly to the initiator.
+PRIMITIVE_STRATEGIES = ("basic", "chained", "freq")
+
+
+class IndexNode(QueryPeer, ChordNode):
+    """A ring node hosting part of the two-level distributed index."""
+
+    def __init__(
+        self,
+        node_id: str,
+        ident: int,
+        space: IdentifierSpace,
+        successor_list_size: int = 3,
+        replication_factor: int = 1,
+    ) -> None:
+        ChordNode.__init__(self, node_id, ident, space, successor_list_size)
+        if replication_factor < 1:
+            raise ValueError("replication factor must be >= 1")
+        self.table = LocationTable()
+        #: Rows replicated here by ring predecessors (kept apart from the
+        #: primary table so load accounting stays honest).
+        self.replicas = LocationTable()
+        self.replication_factor = replication_factor
+        #: Storage nodes attached beneath this index node (Sect. III-A).
+        self.attached_storage: List[str] = []
+
+    # ------------------------------------------------- index write handlers
+
+    def rpc_index_put(self, payload: Dict[str, Any], src: str) -> int:
+        """Install location-table entries; replicate to successors.
+
+        Payload: ``entries`` — list of (key, storage_id, frequency).
+        """
+        entries = payload["entries"]
+        for key, storage_id, freq in entries:
+            self.table.add(key, storage_id, freq)
+        self._replicate(entries)
+        return len(entries)
+
+    def rpc_replica_put(self, payload: Dict[str, Any], src: str) -> None:
+        for key, storage_id, freq in payload["entries"]:
+            self.replicas.import_row(key, {storage_id: freq})
+
+    def rpc_index_remove_storage(self, payload: Dict[str, Any], src: str) -> int:
+        """Remove all entries of a departed/failed storage node (III-D)."""
+        storage_id = payload["storage_id"]
+        touched = self.table.remove_storage_node(storage_id)
+        self.replicas.remove_storage_node(storage_id)
+        if storage_id in self.attached_storage:
+            self.attached_storage.remove(storage_id)
+        return touched
+
+    def _replicate(self, entries) -> None:
+        if self.replication_factor <= 1 or self.network is None:
+            return
+        for ref in self.successor_list[: self.replication_factor - 1]:
+            if ref == self.ref:
+                continue
+            self.network.send(
+                self.node_id, ref.node_id, "replica_put", {"entries": entries}
+            )
+
+    def rpc_publish(self, payload: Dict[str, Any], src: str):
+        """Publication entry point for an attached storage node.
+
+        Routes each key to its owning index node with real
+        ``find_successor`` lookups, then installs rows in per-owner
+        batches — the index-construction process of Sect. III-B.
+        """
+        storage_id = payload["storage_id"]
+        by_owner: Dict[str, List] = {}
+        pending = []
+        for key, freq in payload["entries"]:
+            if self.owns(key):
+                by_owner.setdefault(self.node_id, []).append((key, storage_id, freq))
+            else:
+                pending.append(
+                    (key, freq, self.call(self.node_id, "find_successor", {"key": key}))
+                )
+        if pending:
+            # Resolve all owner lookups in parallel (they are independent).
+            results = yield self.sim.all_of([event for _, _, event in pending])
+            for (key, freq, _), result in zip(pending, results):
+                by_owner.setdefault(result.ref.node_id, []).append(
+                    (key, storage_id, freq)
+                )
+        installed = 0
+        for owner in sorted(by_owner):
+            batch = by_owner[owner]
+            if owner == self.node_id:
+                installed += self.rpc_index_put({"entries": batch}, self.node_id)
+            else:
+                installed += yield self.call(owner, "index_put", {"entries": batch})
+        return installed
+
+    # ------------------------------------------------------- index lookups
+
+    def locate(self, key: int) -> List[LocationEntry]:
+        """Location-table row for *key*, falling back to replicas.
+
+        The replica fallback is the takeover path after a predecessor
+        failure: this node now owns the key range and serves it from the
+        replicated rows, which it promotes on first touch.
+        """
+        entries = self.table.lookup(key)
+        if entries:
+            return entries
+        replica_row = self.replicas.row_dict(key)
+        if replica_row:
+            self.table.import_row(key, replica_row)
+            self.replicas.drop_row(key)
+            return self.table.lookup(key)
+        return []
+
+    def rpc_index_lookup(self, payload: Dict[str, Any], src: str) -> List[LocationEntry]:
+        return self.locate(payload["key"])
+
+    # ----------------------------------------- primitive query orchestration
+
+    def rpc_execute_primitive(self, payload: Dict[str, Any], src: str):
+        """Resolve a single-triple-pattern sub-query (Sect. IV-C).
+
+        Payload: ``algebra`` (the sub-query — a BGP of one pattern,
+        possibly wrapped in a pushed-down Filter), ``key`` (ring key of
+        the pattern), ``strategy``, plus delivery directives:
+
+        * ``deposit`` — assemble here and keep the result in this node's
+          mailbox under ``corr`` (the basic conjunction scheme of IV-D,
+          where the next step ships index-node to index-node);
+        * ``final`` — the site the result must reach: for *basic* the
+          assembled union is shipped there one-way; for *chained*/*freq*
+          the chain's last node delivers there (``end_at`` pins the shared
+          site to the end of the route, as in the paper's D1 example);
+        * neither — *basic* replies with the data directly (the reply to
+          the caller is the N7→N1 transfer of the paper's basic scheme).
+        """
+        strategy = payload.get("strategy", "basic")
+        entries = self.locate(payload["key"])
+        if strategy == "basic":
+            result = yield from self._execute_basic(payload, entries)
+            corr = payload.get("corr")
+            if payload.get("deposit"):
+                self.mailbox[corr] = set(result)
+                return {"mode": "deposited", "count": len(result)}
+            final = payload.get("final")
+            if final is not None and final != src:
+                assert self.network is not None
+                self.network.send(
+                    self.node_id,
+                    final,
+                    "deliver",
+                    {"corr": corr, "data": result, "notify": payload.get("notify")},
+                )
+                return {"mode": "shipped", "count": len(result)}
+            return {"mode": "direct", "data": result}
+        if strategy in ("chained", "freq"):
+            route = self._route(entries, strategy, end_at=payload.get("end_at"))
+            if not route:
+                return {"mode": "direct", "data": []}
+            self._kickoff_chain(payload, route)
+            return {"mode": "chained", "route": route}
+        raise ValueError(f"unknown primitive strategy {strategy!r}")
+
+    def _execute_basic(self, payload: Dict[str, Any], entries: List[LocationEntry]):
+        """Parallel fan-out to every target storage node; union here.
+
+        ``storage_timeout`` (from the initiator's options) bounds how long
+        we wait for each provider before declaring it failed.
+        """
+        assert self.network is not None
+        per_node_timeout = payload.get("storage_timeout")
+        calls = [
+            (
+                entry.storage_id,
+                self.call(
+                    entry.storage_id,
+                    "evaluate",
+                    {"algebra": payload["algebra"]},
+                    timeout=per_node_timeout,
+                ),
+            )
+            for entry in entries
+        ]
+        solutions: set = set()
+        for storage_id, event in calls:
+            try:
+                batch = yield event
+            except RpcError:
+                # No acknowledgement within the timeout: the storage node
+                # is gone — drop its stale entries (Sect. III-D).
+                self.table.remove_storage_node(storage_id)
+                self.replicas.remove_storage_node(storage_id)
+                continue
+            solutions = omega_union(solutions, batch)
+        return sorted(solutions, key=_mapping_sort_key)
+
+    def _route(
+        self,
+        entries: List[LocationEntry],
+        strategy: str,
+        end_at: Optional[str] = None,
+    ) -> List[str]:
+        if strategy == "freq":
+            # Increasing frequency; the largest provider is the final node
+            # and returns the result directly to the initiator (IV-C).
+            ordered = sorted(entries, key=lambda e: (e.frequency, e.storage_id))
+        else:
+            ordered = sorted(entries, key=lambda e: e.storage_id)
+        route = [e.storage_id for e in ordered]
+        if end_at is not None and end_at in route:
+            # The shared join site is visited last (IV-D: the chains for
+            # P1 and P2 both end at D1).
+            route.remove(end_at)
+            route.append(end_at)
+        return route
+
+    def _kickoff_chain(self, payload: Dict[str, Any], route: List[str]) -> None:
+        assert self.network is not None
+        first, rest = route[0], route[1:]
+        self.network.send(
+            self.node_id,
+            first,
+            "chain_step",
+            {
+                "algebra": payload["algebra"],
+                "acc": [],
+                "route": rest,
+                "final": payload["final"],
+                "corr": payload["corr"],
+                "notify": payload.get("notify"),
+            },
+        )
+
+    def rpc_get_attached(self, payload: Any, src: str) -> List[str]:
+        """Storage nodes attached beneath this index node (used by the
+        ring walk that resolves fully-unbound patterns)."""
+        return list(self.attached_storage)
+
+    # --------------------------------------------- key transfer (Chord hook)
+
+    def export_keys(self):
+        return list(self.table.export_range())
+
+    def import_keys(self, items: Dict[int, Any]) -> None:
+        for key, row in items.items():
+            self.table.import_row(key, row)
+
+    def drop_keys(self, keys: Iterable[int]) -> None:
+        for key in list(keys):
+            self.table.drop_row(key)

@@ -1,0 +1,84 @@
+"""The six-key distributed index scheme of Sect. III-B.
+
+RDFPeers hashes each triple on ⟨s⟩, ⟨p⟩ and ⟨o⟩; the paper *extends* that
+practice by also hashing the pairs ⟨s,p⟩, ⟨p,o⟩ and ⟨s,o⟩, storing the
+mapping from each hash value to the providing storage nodes "at six
+places ... on the Chord ring". This module computes those keys and maps
+each of the eight triple-pattern shapes (Sect. IV-C) to the most selective
+index key available for it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..chord.hashing import hash_term, hash_terms
+from ..chord.idspace import IdentifierSpace
+from ..rdf.terms import RDFTerm
+from ..rdf.triple import PatternShape, Triple, TriplePattern
+
+__all__ = ["KeyKind", "index_keys", "key_for_pattern", "ring_key"]
+
+
+class KeyKind(enum.Enum):
+    """Which attribute combination a key hashes."""
+
+    S = ("s",)
+    P = ("p",)
+    O = ("o",)
+    SP = ("s", "p")
+    PO = ("p", "o")
+    SO = ("s", "o")
+
+    @property
+    def positions(self) -> Tuple[str, ...]:
+        return self.value
+
+
+#: Pattern shape → the index key that serves it (Sect. IV-C). The fully
+#: bound shape uses ⟨s,p⟩ by convention (any pair key identifies the same
+#: providers; storage nodes verify the remaining attribute locally). The
+#: fully unbound shape has no usable key: the dataset is the union of all
+#: storage nodes, so the planner falls back to a ring-wide broadcast.
+SHAPE_TO_KEY: Dict[PatternShape, Optional[KeyKind]] = {
+    PatternShape.SPO: KeyKind.SP,
+    PatternShape.SPo: KeyKind.SP,
+    PatternShape.SpO: KeyKind.SO,
+    PatternShape.sPO: KeyKind.PO,
+    PatternShape.Spo: KeyKind.S,
+    PatternShape.sPo: KeyKind.P,
+    PatternShape.spO: KeyKind.O,
+    PatternShape.spo: None,
+}
+
+
+def _attr_values(triple_or_pattern, kind: KeyKind) -> Tuple[RDFTerm, ...]:
+    return tuple(getattr(triple_or_pattern, pos) for pos in kind.positions)
+
+
+def ring_key(kind: KeyKind, values: Tuple[RDFTerm, ...], space: IdentifierSpace) -> int:
+    """The ring identifier for one attribute combination.
+
+    The kind name participates in the hash so that e.g. the ⟨s⟩ key of a
+    term and the ⟨o⟩ key of the same term land on different identifiers,
+    as they would with six independent 'globally known hash functions'.
+    """
+    return hash_terms((kind.name, *values), space)
+
+
+def index_keys(triple: Triple, space: IdentifierSpace) -> Iterator[Tuple[KeyKind, int]]:
+    """The six (kind, ring key) pairs under which *triple* is indexed."""
+    for kind in KeyKind:
+        yield kind, ring_key(kind, _attr_values(triple, kind), space)
+
+
+def key_for_pattern(
+    pattern: TriplePattern, space: IdentifierSpace
+) -> Optional[Tuple[KeyKind, int]]:
+    """The index key serving *pattern*, or None for (?s, ?p, ?o)."""
+    kind = SHAPE_TO_KEY[pattern.shape]
+    if kind is None:
+        return None
+    return kind, ring_key(kind, _attr_values(pattern, kind), space)

@@ -1,0 +1,140 @@
+"""The location table kept by every index node (Table I of the paper).
+
+Each row maps a key K_i — the hash value of a single attribute or a pair
+of attributes — to the storage nodes sharing matching triples, each with a
+*frequency*: "the number of triples that share the same hash value for
+their attribute(s)". The frequency drives the optimizations of Sect. IV
+(chain ordering, move-small, join ordering), so it is maintained exactly
+under publication, unpublication, and node removal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["LocationEntry", "LocationTable"]
+
+
+@dataclass(frozen=True, slots=True)
+class LocationEntry:
+    """One (storage node, frequency) cell of a location-table row."""
+
+    storage_id: str
+    frequency: int
+
+    def wire_size(self) -> int:
+        return len(self.storage_id) + 4
+
+
+class LocationTable:
+    """key → {storage node id → frequency}."""
+
+    __slots__ = ("_rows",)
+
+    def __init__(self) -> None:
+        self._rows: Dict[int, Dict[str, int]] = {}
+
+    # -------------------------------------------------------------- updates
+
+    def add(self, key: int, storage_id: str, count: int = 1) -> None:
+        """Record *count* more triples from *storage_id* under *key*."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        row = self._rows.setdefault(key, {})
+        row[storage_id] = row.get(storage_id, 0) + count
+
+    def remove(self, key: int, storage_id: str, count: Optional[int] = None) -> None:
+        """Remove *count* triples (or the whole cell when None)."""
+        row = self._rows.get(key)
+        if row is None or storage_id not in row:
+            return
+        if count is None or row[storage_id] <= count:
+            del row[storage_id]
+        else:
+            row[storage_id] -= count
+        if not row:
+            del self._rows[key]
+
+    def remove_storage_node(self, storage_id: str) -> int:
+        """Drop every cell of *storage_id* (stale-entry cleanup, III-D).
+
+        Returns the number of rows touched.
+        """
+        touched = 0
+        for key in list(self._rows):
+            row = self._rows[key]
+            if storage_id in row:
+                del row[storage_id]
+                touched += 1
+                if not row:
+                    del self._rows[key]
+        return touched
+
+    # -------------------------------------------------------------- queries
+
+    def lookup(self, key: int) -> List[LocationEntry]:
+        """The row for *key*, deterministically ordered by node id."""
+        row = self._rows.get(key, {})
+        return [
+            LocationEntry(storage_id, freq)
+            for storage_id, freq in sorted(row.items())
+        ]
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def keys(self) -> Iterator[int]:
+        return iter(self._rows)
+
+    def total_frequency(self, key: int) -> int:
+        return sum(self._rows.get(key, {}).values())
+
+    def cell_count(self) -> int:
+        """Total number of (key, storage node) cells — the index-load
+        metric of experiment E9."""
+        return sum(len(row) for row in self._rows.values())
+
+    # ------------------------------------------------------------- transfer
+
+    def export_range(self) -> Iterator[Tuple[int, Dict[str, int]]]:
+        """All rows as (key, cells) pairs — for key transfer on join/leave."""
+        for key, row in self._rows.items():
+            yield key, dict(row)
+
+    def import_row(self, key: int, cells: Dict[str, int]) -> None:
+        """Merge a transferred/replicated row (max-merge is idempotent)."""
+        row = self._rows.setdefault(key, {})
+        for storage_id, freq in cells.items():
+            row[storage_id] = max(row.get(storage_id, 0), freq)
+
+    def drop_row(self, key: int) -> None:
+        self._rows.pop(key, None)
+
+    def row_dict(self, key: int) -> Dict[str, int]:
+        return dict(self._rows.get(key, {}))
+
+    def wire_size(self) -> int:
+        return sum(
+            8 + sum(len(s) + 4 for s in row) for key, row in self._rows.items()
+        )
+
+    # --------------------------------------------------------- presentation
+
+    def format_table(self, key_names: Optional[Dict[int, str]] = None) -> str:
+        """Render in the style of the paper's Table I."""
+        names = key_names or {}
+        lines = ["Key | Storage node (frequency)"]
+        for key in sorted(self._rows):
+            label = names.get(key, f"K={key}")
+            cells = ", ".join(
+                f"{entry.storage_id} ({entry.frequency})" for entry in self.lookup(key)
+            )
+            lines.append(f"{label} | {cells}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LocationTable({len(self._rows)} keys, {self.cell_count()} cells)"

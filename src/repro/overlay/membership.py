@@ -1,0 +1,128 @@
+"""Membership changes: joins, departures, failures (Sect. III-C/D).
+
+These functions drive the protocol-level membership operations of the
+paper on a live :class:`~repro.overlay.system.HybridSystem`:
+
+* **index node join** — ring join plus "the transfer of a portion of the
+  location table to the new node from its predecessor node" (III-C; the
+  transfer actually comes from the *successor*, which held the keys the
+  new node now owns — the paper's wording describes the same range).
+* **index node graceful departure** — "requires its immediate successor
+  node to take over its location table" (III-D).
+* **index node failure** — crash without handover; recovery relies on the
+  successor list and the replication policy (III-D).
+* **storage node departure/failure** — at most stale location-table
+  entries remain, removed on query timeout (III-D) or eagerly on a
+  graceful goodbye.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..chord.hashing import hash_string
+from .index_node import IndexNode
+from .storage_node import StorageNode
+from .system import HybridSystem
+
+__all__ = [
+    "join_index_node",
+    "depart_index_node",
+    "fail_index_node",
+    "depart_storage_node",
+    "fail_storage_node",
+]
+
+
+def join_index_node(
+    system: HybridSystem,
+    node_id: str,
+    ident: Optional[int] = None,
+    stabilize_rounds: int = 2,
+) -> IndexNode:
+    """Join a new index node through the Chord protocol.
+
+    The joining node locates its successor, imports the location-table
+    rows for the key range it now owns, and the ring re-stabilizes.
+    """
+    if ident is None:
+        ident = hash_string(node_id, system.space)
+    node = IndexNode(
+        node_id,
+        ident,
+        system.space,
+        successor_list_size=system.successor_list_size,
+        replication_factor=system.replication_factor,
+    )
+    system.ring.add_node(node)
+    system.index_nodes[node_id] = node
+    system.ring.join_via(node)
+    system.ring.stabilize(stabilize_rounds)
+    return node
+
+
+def depart_index_node(system: HybridSystem, node_id: str, stabilize_rounds: int = 2) -> None:
+    """Graceful departure: hand the location table to the successor, then
+    leave the ring."""
+    node = system.index_nodes[node_id]
+    successor = node.successor
+    if successor != node.ref:
+        heir = system.index_nodes[successor.node_id]
+
+        def handover():
+            rows = {key: row for key, row in node.table.export_range()}
+            count = yield node.call(successor.node_id, "import_keys", rows)
+            return count
+
+        system.sim.run_process(handover())
+        # Any storage nodes attached beneath the leaver re-attach to the heir.
+        for storage_id in node.attached_storage:
+            storage = system.storage_nodes.get(storage_id)
+            if storage is not None:
+                storage.index_node_id = heir.node_id
+                heir.attached_storage.append(storage_id)
+        node.attached_storage.clear()
+    system.network.fail_node(node_id)  # stops answering
+    system.network.deregister(node_id)
+    del system.index_nodes[node_id]
+    del system.ring.nodes[node_id]
+    system.ring.stabilize(stabilize_rounds)
+
+
+def fail_index_node(system: HybridSystem, node_id: str, stabilize_rounds: int = 3) -> None:
+    """Crash an index node. Its primary rows are lost; queries recover via
+    the successor list (routing) and the replicas (data), per III-D."""
+    system.network.fail_node(node_id)
+    system.ring.stabilize(stabilize_rounds)
+
+
+def depart_storage_node(system: HybridSystem, node_id: str) -> None:
+    """Graceful storage departure: eagerly unpublish from every index node
+    (a courtesy the protocol allows; failure relies on timeouts instead)."""
+    storage = system.storage_nodes[node_id]
+
+    def goodbye():
+        removed = 0
+        for index_id in sorted(system.index_nodes):
+            index_node = system.index_nodes[index_id]
+            if not index_node.alive:
+                continue
+            removed += yield system.network.call(
+                node_id, index_id, "index_remove_storage", {"storage_id": node_id}
+            )
+        return removed
+
+    system.sim.run_process(goodbye())
+    if storage.index_node_id is not None:
+        parent = system.index_nodes.get(storage.index_node_id)
+        if parent is not None and node_id in parent.attached_storage:
+            parent.attached_storage.remove(node_id)
+    system.network.fail_node(node_id)
+    system.network.deregister(node_id)
+    del system.storage_nodes[node_id]
+
+
+def fail_storage_node(system: HybridSystem, node_id: str) -> None:
+    """Crash a storage node: location tables keep stale pointers that are
+    cleaned lazily when queries time out against it (III-D)."""
+    system.network.fail_node(node_id)

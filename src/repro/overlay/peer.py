@@ -1,0 +1,208 @@
+"""Query-peer behaviour shared by index and storage nodes.
+
+The distributed execution model of Sect. IV moves *sets of solution
+mappings* between sites and combines them where they meet (join site
+selection). This mixin gives every overlay node:
+
+* a **mailbox** of named intermediate results (``corr`` ids), filled by
+  one-way ``deliver`` messages — the "data shipping" of the paper;
+* local **combine** operations (join / union / left outer join / minus /
+  filter) over mailbox entries, so any node can be the join site;
+* ``ship`` / ``fetch`` to move a result on, or pull it to the query
+  initiator as the final answer;
+* orchestration plumbing: an initiator can ``expect()`` a notification
+  that some site received its inputs, which is how the executor sequences
+  multi-site plans without global knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from ..net.sim import Event
+from ..sparql import ast
+from ..sparql.expr import filter_passes
+from ..sparql.solutions import (
+    SolutionMapping,
+    join as omega_join,
+    left_outer_join,
+    minus as omega_minus,
+    union as omega_union,
+)
+
+__all__ = ["QueryPeer"]
+
+
+def _combine(op: str, left, right, condition: Optional[ast.Expression]):
+    if op == "join":
+        out = omega_join(left, right)
+    elif op == "union":
+        out = omega_union(left, right)
+    elif op == "minus":
+        out = omega_minus(left, right)
+    elif op == "leftjoin":
+        if condition is None:
+            return left_outer_join(left, right)
+        out: Set[SolutionMapping] = set()
+        for mu in left:
+            extended = False
+            for nu in omega_join([mu], right):
+                if filter_passes(condition, nu):
+                    out.add(nu)
+                    extended = True
+            if not extended:
+                out.add(mu)
+        return out
+    else:
+        raise ValueError(f"unknown combine op {op!r}")
+    if condition is not None:
+        out = {mu for mu in out if filter_passes(condition, mu)}
+    return out
+
+
+class QueryPeer:
+    """Mixin for :class:`~repro.net.transport.Node` subclasses adding the
+    mailbox and local solution-set operators.
+
+    Implemented as a pure mixin with lazily-created state so it composes
+    with both plain storage nodes and Chord-derived index nodes without
+    cooperative ``__init__`` gymnastics.
+    """
+
+    # The concrete class provides these (from Node):
+    node_id: str
+    network: Any
+    sim: Any
+
+    @property
+    def mailbox(self) -> Dict[str, Set[SolutionMapping]]:
+        box = self.__dict__.get("_qp_mailbox")
+        if box is None:
+            box = self.__dict__["_qp_mailbox"] = {}
+        return box
+
+    @property
+    def _expected(self) -> Dict[str, Event]:
+        pending = self.__dict__.get("_qp_expected")
+        if pending is None:
+            pending = self.__dict__["_qp_expected"] = {}
+        return pending
+
+    @property
+    def _delivered_early(self) -> Dict[str, int]:
+        early = self.__dict__.get("_qp_delivered_early")
+        if early is None:
+            early = self.__dict__["_qp_delivered_early"] = {}
+        return early
+
+    # ----------------------------------------------------- orchestrator side
+
+    def expect(self, corr: str) -> Event:
+        """Event that succeeds when a ``delivered`` notification for
+        *corr* reaches this node (value: the reported solution count).
+
+        Notifications latch: if the delivery raced ahead of ``expect``,
+        the event succeeds immediately.
+        """
+        event = self.sim.event()
+        if corr in self._delivered_early:
+            event.succeed(self._delivered_early.pop(corr))
+            return event
+        self._expected[corr] = event
+        return event
+
+    def rpc_delivered(self, payload: Dict[str, Any], src: str) -> None:
+        corr = payload["corr"]
+        count = payload.get("count", 0)
+        event = self._expected.pop(corr, None)
+        if event is not None and not event.triggered:
+            event.succeed(count)
+        else:
+            self._delivered_early[corr] = count
+
+    # ------------------------------------------------------------- mailbox
+
+    def rpc_deliver(self, payload: Dict[str, Any], src: str) -> None:
+        """Receive a batch of solutions (one-way data shipping).
+
+        Multiple deliveries to the same corr id accumulate by set union —
+        that is what the in-network aggregation chains rely on.
+        """
+        corr = payload["corr"]
+        data = payload.get("data", ())
+        box = self.mailbox.setdefault(corr, set())
+        box.update(data)
+        notify = payload.get("notify")
+        if notify == self.node_id:
+            # The initiator is the final site: resolve locally, no message.
+            self.rpc_delivered({"corr": corr, "count": len(box)}, self.node_id)
+        elif notify is not None:
+            assert self.network is not None
+            self.network.send(
+                self.node_id, notify, "delivered", {"corr": corr, "count": len(box)}
+            )
+
+    def rpc_fetch(self, payload: Dict[str, Any], src: str) -> List[SolutionMapping]:
+        """Return (and optionally drop) a mailbox entry — the final result
+        transfer to the query initiator, charged as reply traffic."""
+        corr = payload["corr"]
+        data = self.mailbox.get(corr, set())
+        if payload.get("discard", True):
+            self.mailbox.pop(corr, None)
+        return sorted(data, key=_mapping_sort_key)
+
+    def rpc_discard(self, payload: Dict[str, Any], src: str) -> int:
+        dropped = 0
+        for corr in payload["corrs"]:
+            if self.mailbox.pop(corr, None) is not None:
+                dropped += 1
+        return dropped
+
+    def rpc_ship(self, payload: Dict[str, Any], src: str) -> int:
+        """Forward a mailbox entry to another site's mailbox (one-way)."""
+        corr = payload["corr"]
+        data = self.mailbox.get(corr, set())
+        if payload.get("discard", True):
+            self.mailbox.pop(corr, None)
+        assert self.network is not None
+        self.network.send(
+            self.node_id,
+            payload["dst"],
+            "deliver",
+            {
+                "corr": payload.get("dst_corr", corr),
+                "data": sorted(data, key=_mapping_sort_key),
+                "notify": payload.get("notify"),
+            },
+        )
+        return len(data)
+
+    # ------------------------------------------------------------- operators
+
+    def rpc_combine(self, payload: Dict[str, Any], src: str) -> Dict[str, int]:
+        """Combine two mailbox entries at this site.
+
+        Payload: op, left, right, out, condition (optional). Returns the
+        result cardinality (a small control reply; the data stays here).
+        """
+        left = self.mailbox.get(payload["left"], set())
+        right = self.mailbox.get(payload["right"], set())
+        out = _combine(payload["op"], left, right, payload.get("condition"))
+        if payload.get("discard_inputs", True):
+            self.mailbox.pop(payload["left"], None)
+            self.mailbox.pop(payload["right"], None)
+        self.mailbox[payload["out"]] = out
+        return {"count": len(out)}
+
+    def rpc_filter_box(self, payload: Dict[str, Any], src: str) -> Dict[str, int]:
+        """Apply a FILTER condition to a mailbox entry in place."""
+        corr = payload["corr"]
+        condition: ast.Expression = payload["condition"]
+        box = self.mailbox.get(corr, set())
+        out = {mu for mu in box if filter_passes(condition, mu)}
+        self.mailbox[payload.get("out", corr)] = out
+        return {"count": len(out)}
+
+
+def _mapping_sort_key(mu: SolutionMapping):
+    return tuple((v.name, t.n3()) for v, t in mu.items())

@@ -1,0 +1,136 @@
+"""Storage nodes: the data providers of the ad-hoc system.
+
+A storage node "stores locally and manipulates data items of its own"
+(Sect. I) and attaches to one index node on the ring (Sect. III-A). It
+answers sub-queries over its local graph, participates in the chained
+in-network aggregation of Sect. IV-C, and can host join/union operations
+through the :class:`~repro.overlay.peer.QueryPeer` mailbox — the paper's
+join-site flexibility.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..chord.idspace import IdentifierSpace
+from ..net.transport import Node
+from ..rdf.graph import Graph
+from ..rdf.triple import Triple, TriplePattern
+from ..sparql.algebra import Algebra, BGP
+from ..sparql.eval import evaluate_algebra
+from ..sparql.solutions import SolutionMapping, union as omega_union
+from .keys import KeyKind, index_keys
+from .peer import QueryPeer, _mapping_sort_key
+
+__all__ = ["StorageNode"]
+
+
+class StorageNode(QueryPeer, Node):
+    """A data provider holding its own RDF graph."""
+
+    def __init__(self, node_id: str, triples: Optional[Iterable[Triple]] = None) -> None:
+        Node.__init__(self, node_id)
+        self.graph = Graph(triples)
+        #: The ring node this storage node is attached to (Sect. III-A:
+        #: "attach to one of the nodes on the ring").
+        self.index_node_id: Optional[str] = None
+
+    # ------------------------------------------------------------- data mgmt
+
+    def add_triples(self, triples: Iterable[Triple]) -> int:
+        """Insert triples into the local graph only.
+
+        The distributed index is *not* touched; callers that want the new
+        triples discoverable must publish the delta (see
+        :meth:`HybridSystem.publish_delta <repro.overlay.system.HybridSystem.publish_delta>`),
+        mirroring how a provider first stores data and then announces it.
+        """
+        return self.graph.update(triples)
+
+    def remove_triples(self, triples: Iterable[Triple]) -> int:
+        """Remove triples from the local graph only (see add_triples)."""
+        return sum(1 for t in triples if self.graph.discard(t))
+
+    def key_counts_for(self, triples, space: IdentifierSpace) -> Dict[Tuple[KeyKind, int], int]:
+        """Aggregate the six index keys over an explicit triple set (the
+        delta-publication path)."""
+        counts: Counter = Counter()
+        for triple in triples:
+            for kind, key in index_keys(triple, space):
+                counts[(kind, key)] += 1
+        return dict(counts)
+
+    def key_counts(self, space: IdentifierSpace) -> Dict[Tuple[KeyKind, int], int]:
+        """Aggregate the six index keys over the local graph.
+
+        Returns (kind, ring key) → triple count; the counts become the
+        frequency numbers in the location tables (Table I).
+        """
+        counts: Counter = Counter()
+        for triple in self.graph:
+            for kind, key in index_keys(triple, space):
+                counts[(kind, key)] += 1
+        return dict(counts)
+
+    # ------------------------------------------------------------ local eval
+
+    def local_eval(self, algebra: Algebra):
+        """⟦P⟧ over the local repository only."""
+        return evaluate_algebra(algebra, self.graph)
+
+    # ---------------------------------------------------------- RPC handlers
+
+    def rpc_evaluate(self, payload: Dict[str, Any], src: str) -> List[SolutionMapping]:
+        """Evaluate a sub-query and reply with the local solutions
+        (the BASIC strategy's storage-node step)."""
+        solutions = self.local_eval(payload["algebra"])
+        return sorted(solutions, key=_mapping_sort_key)
+
+    def rpc_count(self, payload: Dict[str, Any], src: str) -> int:
+        """Local cardinality of a triple pattern (planner statistics)."""
+        pattern: TriplePattern = payload["pattern"]
+        return self.graph.count(pattern)
+
+    def rpc_chain_step(self, payload: Dict[str, Any], src: str) -> None:
+        """One step of in-network aggregation (Sect. IV-C optimization).
+
+        Evaluate the sub-query locally, merge with the accumulated
+        solutions from the predecessor node, then either forward the
+        (query, merged solutions) to the next node on the sequence list or
+        deliver the final result.
+
+        One-way semantics: invoked via ``Network.send``; intermediate
+        results never back-track, which is the whole point of the chain.
+        """
+        assert self.network is not None
+        local = self.local_eval(payload["algebra"])
+        merged = omega_union(payload.get("acc", ()), local)
+        route: List[str] = list(payload.get("route", ()))
+        if route:
+            next_hop = route[0]
+            self.network.send(
+                self.node_id,
+                next_hop,
+                "chain_step",
+                {
+                    "algebra": payload["algebra"],
+                    "acc": sorted(merged, key=_mapping_sort_key),
+                    "route": route[1:],
+                    "final": payload["final"],
+                    "corr": payload["corr"],
+                    "notify": payload.get("notify"),
+                },
+            )
+        else:
+            delivery = {
+                "corr": payload["corr"],
+                "data": sorted(merged, key=_mapping_sort_key),
+                "notify": payload.get("notify"),
+            }
+            if payload["final"] == self.node_id:
+                # This node *is* the destination site (the shared node the
+                # chain was routed to end at): deposit locally, no message.
+                self.rpc_deliver(delivery, self.node_id)
+            else:
+                self.network.send(self.node_id, payload["final"], "deliver", delivery)

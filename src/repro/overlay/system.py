@@ -1,0 +1,292 @@
+"""Assembly of the hybrid two-level P2P system (Sect. III).
+
+:class:`HybridSystem` wires the pieces together: a simulated network, a
+Chord ring of index nodes, storage nodes attached beneath them, and the
+two-level distributed index built by publishing every storage node's
+triples under the six keys of Sect. III-B.
+
+Publication modes:
+
+* ``publish_protocol`` — the faithful message-level process: the storage
+  node ships its key batch to its index node, which routes every key to
+  its owner with real ``find_successor`` lookups and installs the rows
+  with ``index_put``. Used by the experiments that *measure* publication.
+* ``publish_fast`` — ground-truth placement without messages (identical
+  resulting index). Used to set up large systems whose experiments only
+  measure the query phase.
+
+The module also provides :func:`fig1_network`, the paper's example
+topology: index nodes N1, N4, N7, N12, N15 and storage nodes D1..D4 in a
+4-bit identifier space.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..chord.hashing import hash_string
+from ..chord.idspace import IdentifierSpace
+from ..chord.ring import ChordRing
+from ..net.transport import LinkModel, Network
+from ..rdf.triple import Triple
+from .index_node import IndexNode
+from .storage_node import StorageNode
+
+__all__ = ["HybridSystem", "fig1_network", "FIG1_INDEX_IDS", "FIG1_STORAGE_IDS"]
+
+
+class HybridSystem:
+    """A complete ad-hoc Semantic Web data sharing system instance."""
+
+    def __init__(
+        self,
+        space: Optional[IdentifierSpace] = None,
+        network: Optional[Network] = None,
+        replication_factor: int = 1,
+        successor_list_size: int = 3,
+        link: Optional[LinkModel] = None,
+    ) -> None:
+        self.space = space or IdentifierSpace(32)
+        self.network = network or Network(link=link)
+        self.ring = ChordRing(self.network, self.space)
+        self.replication_factor = replication_factor
+        self.successor_list_size = successor_list_size
+        self.index_nodes: Dict[str, IndexNode] = {}
+        self.storage_nodes: Dict[str, StorageNode] = {}
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    @property
+    def stats(self):
+        return self.network.stats
+
+    # ------------------------------------------------------------ building
+
+    def add_index_node(self, node_id: str, ident: Optional[int] = None) -> IndexNode:
+        """Create an index node; its ring id defaults to Hash(node_id)."""
+        if ident is None:
+            ident = hash_string(node_id, self.space)
+        node = IndexNode(
+            node_id,
+            ident,
+            self.space,
+            successor_list_size=self.successor_list_size,
+            replication_factor=self.replication_factor,
+        )
+        self.ring.add_node(node)
+        self.index_nodes[node_id] = node
+        return node
+
+    def build_ring(self) -> None:
+        """Wire the (fully converged) ring; call once after adding index
+        nodes, before attaching storage."""
+        self.ring.build_static()
+
+    def add_storage_node(
+        self,
+        node_id: str,
+        triples: Iterable[Triple] = (),
+        attach_to: Optional[str] = None,
+        publish: bool = True,
+        protocol: bool = False,
+    ) -> StorageNode:
+        """Create a storage node, attach it beneath an index node, and
+        publish its triples into the distributed index."""
+        if not self.index_nodes:
+            raise RuntimeError("add index nodes and build the ring first")
+        node = StorageNode(node_id, triples)
+        self.network.register(node)
+        self.storage_nodes[node_id] = node
+        if attach_to is None:
+            # Deterministic attachment: the index node owning Hash(node_id).
+            attach_to = self.ring.owner_of(hash_string(node_id, self.space)).node_id
+        index_node = self.index_nodes[attach_to]
+        node.index_node_id = attach_to
+        index_node.attached_storage.append(node_id)
+        if publish:
+            if protocol:
+                self.publish_protocol(node)
+            else:
+                self.publish_fast(node)
+        return node
+
+    # ----------------------------------------------------------- publication
+
+    def publish_fast(self, storage: StorageNode) -> int:
+        """Install the storage node's six-key index without messages."""
+        count = 0
+        for (kind, key), freq in sorted(storage.key_counts(self.space).items(),
+                                        key=lambda kv: (kv[0][1], kv[0][0].name)):
+            owner = self.ring.owner_of(key)
+            owner.table.add(key, storage.node_id, freq)
+            count += 1
+            for ref in owner.successor_list[: self.replication_factor - 1]:
+                if ref == owner.ref:
+                    continue
+                replica = self.index_nodes[ref.node_id]
+                replica.replicas.import_row(key, {storage.node_id: freq})
+        return count
+
+    def publish_protocol(self, storage: StorageNode) -> int:
+        """Publish through real messages via the attached index node."""
+        assert storage.index_node_id is not None
+        entries = [
+            (key, freq)
+            for (kind, key), freq in sorted(storage.key_counts(self.space).items(),
+                                            key=lambda kv: (kv[0][1], kv[0][0].name))
+        ]
+
+        # Publication is a long-running batch: give it a generous deadline
+        # that scales with the batch instead of the per-RPC default.
+        deadline = max(60.0, 0.5 * len(entries))
+
+        def proc():
+            result = yield self.network.call(
+                storage.node_id,
+                storage.index_node_id,
+                "publish",
+                {"storage_id": storage.node_id, "entries": entries},
+                timeout=deadline,
+            )
+            return result
+
+        return self.sim.run_process(proc())
+
+    # ------------------------------------------------------ incremental data
+
+    def publish_delta(
+        self, storage: StorageNode, triples, protocol: bool = False
+    ) -> int:
+        """Make newly added triples discoverable.
+
+        *triples* must already be in the node's graph (``add_triples``).
+        Fast mode places the entries directly; protocol mode announces
+        them through the attached index node with real messages.
+        """
+        counts = storage.key_counts_for(triples, self.space)
+        if not counts:
+            return 0
+        if protocol:
+            assert storage.index_node_id is not None
+            entries = [
+                (key, freq)
+                for (kind, key), freq in sorted(counts.items(),
+                                                key=lambda kv: (kv[0][1], kv[0][0].name))
+            ]
+            deadline = max(60.0, 0.5 * len(entries))
+
+            def proc():
+                return (yield self.network.call(
+                    storage.node_id,
+                    storage.index_node_id,
+                    "publish",
+                    {"storage_id": storage.node_id, "entries": entries},
+                    timeout=deadline,
+                ))
+
+            return self.sim.run_process(proc())
+        count = 0
+        for (kind, key), freq in sorted(counts.items(),
+                                        key=lambda kv: (kv[0][1], kv[0][0].name)):
+            owner = self.ring.owner_of(key)
+            owner.table.add(key, storage.node_id, freq)
+            count += 1
+            for ref in owner.successor_list[: self.replication_factor - 1]:
+                if ref == owner.ref:
+                    continue
+                self.index_nodes[ref.node_id].replicas.import_row(
+                    key, {storage.node_id: freq}
+                )
+        return count
+
+    def unpublish_delta(self, storage: StorageNode, triples) -> int:
+        """Withdraw index entries for triples the provider removed.
+
+        Frequencies are decremented; a cell vanishes when it reaches zero,
+        so the location tables stay exact. (Fast placement — the paper
+        does not specify a wire protocol for unpublication.)
+        """
+        counts = storage.key_counts_for(triples, self.space)
+        removed = 0
+        for (kind, key), freq in counts.items():
+            owner = self.ring.owner_of(key)
+            owner.table.remove(key, storage.node_id, freq)
+            owner.replicas.remove(key, storage.node_id, freq)
+            removed += 1
+            for node in self.index_nodes.values():
+                if node is not owner:
+                    node.replicas.remove(key, storage.node_id, freq)
+        return removed
+
+    # -------------------------------------------------------------- queries
+
+    def execute(self, query_text: str, initiator: Optional[str] = None, **options):
+        """Parse and execute a SPARQL query distributedly.
+
+        Convenience wrapper over
+        :class:`repro.query.executor.DistributedExecutor`; see there for
+        options (strategy, join-site policy, optimization switches).
+        """
+        from ..query.executor import DistributedExecutor  # local import: layering
+
+        executor = DistributedExecutor(self, **options)
+        return executor.execute(query_text, initiator=initiator)
+
+    # ------------------------------------------------------------- utilities
+
+    def union_graph(self):
+        """The union of all storage-node graphs — the paper's dataset
+        semantics for queries without FROM clauses; used as the oracle."""
+        from ..rdf.graph import Graph
+
+        union = Graph()
+        for node in self.storage_nodes.values():
+            union.update(iter(node.graph))
+        return union
+
+    def total_triples(self) -> int:
+        return sum(len(n.graph) for n in self.storage_nodes.values())
+
+    def any_index_node(self) -> IndexNode:
+        return self.index_nodes[min(self.index_nodes)]
+
+
+# ---------------------------------------------------------------- Fig. 1
+
+
+#: The identifiers of the paper's Fig. 1: a 9-node network in a 4-bit
+#: identifier space.
+FIG1_INDEX_IDS: Sequence[Tuple[str, int]] = (
+    ("N1", 1), ("N4", 4), ("N7", 7), ("N12", 12), ("N15", 15),
+)
+FIG1_STORAGE_IDS: Sequence[str] = ("D1", "D2", "D3", "D4")
+
+
+def fig1_network(
+    triples_by_storage: Optional[Dict[str, Iterable[Triple]]] = None,
+    replication_factor: int = 1,
+) -> HybridSystem:
+    """Build the paper's Fig. 1 topology.
+
+    Index nodes N1, N4, N7, N12, N15 form the 4-bit ring; storage nodes
+    D1..D4 attach beneath (D1, D3, D4 under N7 and D2 under N15, matching
+    the pointers drawn in Fig. 1/2).
+    """
+    system = HybridSystem(space=IdentifierSpace(4), replication_factor=replication_factor)
+    for node_id, ident in FIG1_INDEX_IDS:
+        system.add_index_node(node_id, ident)
+    system.build_ring()
+    attachments = {"D1": "N7", "D2": "N15", "D3": "N7", "D4": "N7"}
+    data = triples_by_storage or {}
+    for storage_id in FIG1_STORAGE_IDS:
+        system.add_storage_node(
+            storage_id,
+            data.get(storage_id, ()),
+            attach_to=attachments[storage_id],
+        )
+    return system

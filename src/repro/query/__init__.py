@@ -1,0 +1,37 @@
+"""Distributed SPARQL query processing — the paper's core contribution
+(S10): planning over the two-level index, the primitive / conjunction /
+optional / union / filter execution schemes of Sect. IV, and join-site
+selection."""
+
+from .strategies import (
+    ConjunctionMode,
+    ExecutionOptions,
+    JoinSitePolicy,
+    PrimitiveStrategy,
+)
+from .adaptive import CostModel, StrategyCosts, choose_strategy
+from .plan import PatternInfo, ResultHandle, choose_shared_site, subquery_algebra
+from .executor import (
+    DistributedExecutor,
+    ExecutionContext,
+    ExecutionReport,
+    QueryFailed,
+)
+
+__all__ = [
+    "PrimitiveStrategy",
+    "ConjunctionMode",
+    "JoinSitePolicy",
+    "ExecutionOptions",
+    "PatternInfo",
+    "ResultHandle",
+    "choose_shared_site",
+    "subquery_algebra",
+    "DistributedExecutor",
+    "ExecutionContext",
+    "ExecutionReport",
+    "QueryFailed",
+    "CostModel",
+    "StrategyCosts",
+    "choose_strategy",
+]

@@ -1,0 +1,182 @@
+"""Conjunction graph patterns: multi-pattern BGPs (Sect. IV-D).
+
+Two processing modes, as in the paper:
+
+* **BASIC** — patterns resolve one after another at their owning index
+  nodes; the accumulated solutions ship index-node to index-node and join
+  locally at each step; the last index node sends the result to the
+  initiator (the N4 → N15 → N1 walk of the paper's example).
+* **OPTIMIZED** — exploit overlap between the patterns' storage-node
+  sets: pick a shared storage node, run every pattern's chain in parallel
+  with that node as the final stop, join everything there, and have it
+  return the ultimate mappings directly to the initiator (the paper's
+  S1 = {D1,D3,D4}, S2 = {D1,D2} example, joined at D1).
+
+Join *order* uses the location tables' frequency totals as cardinality
+estimates — AND is associative and commutative (Sect. IV-D), so the
+planner may reorder freely; smallest-estimate-first shrinks intermediate
+results.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..rdf.triple import TriplePattern
+from ..sparql import ast
+from ..sparql.algebra import Join
+from .join_site import combine_handles
+from .plan import PatternInfo, ResultHandle, choose_shared_site, subquery_algebra
+from .primitive import exec_broadcast, exec_pattern_to_site
+from .strategies import ConjunctionMode, JoinSitePolicy
+
+__all__ = ["exec_bgp", "exec_join", "locate_all"]
+
+
+def locate_all(ctx, patterns: Sequence[TriplePattern],
+               conditions: Optional[Sequence] = None):
+    """Generator: consult the index for every pattern in parallel."""
+    conditions = conditions or [None] * len(patterns)
+    processes = [
+        ctx.sim.process(ctx.locate(p, c)) for p, c in zip(patterns, conditions)
+    ]
+    infos = yield ctx.sim.all_of(processes)
+    return list(infos)
+
+
+def exec_bgp(ctx, patterns: Sequence[TriplePattern],
+             post_filter: Optional[ast.Expression]):
+    """Generator: execute a conjunction BGP → ResultHandle."""
+    infos = yield from locate_all(ctx, patterns)
+
+    broadcast_infos = [i for i in infos if i.owner is None]
+    indexed_infos = [i for i in infos if i.owner is not None]
+    if ctx.options.reorder_joins:
+        # Smallest estimated cardinality first (frequency statistics).
+        indexed_infos.sort(key=lambda i: (i.total_frequency, str(i.pattern)))
+
+    if not indexed_infos:
+        # Degenerate: every pattern is fully unbound.
+        handle = None
+        for info in broadcast_infos:
+            h = yield from exec_broadcast(ctx, subquery_algebra(info))
+            handle = h if handle is None else (
+                yield from combine_handles(ctx, "join", handle, h)
+            )
+        return _apply_post_filter_done(ctx, handle, post_filter)
+
+    if ctx.options.conjunction_mode is ConjunctionMode.BASIC:
+        handle = yield from _exec_basic_mode(ctx, indexed_infos)
+    else:
+        handle = yield from _exec_optimized_mode(ctx, indexed_infos)
+
+    for info in broadcast_infos:
+        h = yield from exec_broadcast(ctx, subquery_algebra(info))
+        handle = yield from combine_handles(ctx, "join", handle, h)
+
+    return (yield from _apply_post_filter(ctx, handle, post_filter))
+
+
+def _exec_basic_mode(ctx, infos: List[PatternInfo]):
+    """The paper's basic conjunction walk over index nodes."""
+    handle: Optional[ResultHandle] = None
+    for info in infos:
+        corr = ctx.new_corr()
+        payload = {
+            "algebra": subquery_algebra(info),
+            "key": info.key,
+            "strategy": "basic",
+            "corr": corr,
+            "deposit": True,
+            "storage_timeout": ctx.options.delivery_timeout,
+        }
+        ack = yield ctx.call(info.owner, "execute_primitive", payload,
+                             timeout=ctx.options.delivery_timeout * 4)
+        mine = ResultHandle(info.owner, corr, ack["count"])
+        if handle is None:
+            handle = mine
+        else:
+            # Ship the accumulated solutions to this pattern's index node
+            # and join there (N4 forwards its solutions to N15, which
+            # carries out a local join).
+            handle = yield from combine_handles(
+                ctx, "join", handle, mine, site=mine.site
+            )
+    assert handle is not None
+    return handle
+
+
+def _exec_optimized_mode(ctx, infos: List[PatternInfo]):
+    """Overlap-aware parallel chains ending at a shared storage node."""
+    site = choose_shared_site(infos)
+    if site is None:
+        site = _fallback_site(ctx, infos)
+    ctx.report.merge_note(f"conjunction site {site}")
+
+    processes = [
+        ctx.sim.process(exec_pattern_to_site(ctx, info, site)) for info in infos
+    ]
+    handles: List[ResultHandle] = yield ctx.sim.all_of(processes)
+
+    # Pairwise joins at the site, smallest first to keep intermediates low.
+    handles.sort(key=lambda h: (h.count, h.corr))
+    handle = handles[0]
+    for nxt in handles[1:]:
+        handle = yield from combine_handles(ctx, "join", handle, nxt, site=site)
+    return handle
+
+
+def _fallback_site(ctx, infos: List[PatternInfo]) -> str:
+    """No shared provider: place assembly per the join-site policy."""
+    policy = ctx.options.join_site_policy
+    if policy is JoinSitePolicy.QUERY_SITE:
+        return ctx.initiator
+    if policy is JoinSitePolicy.THIRD_SITE:
+        alive = [
+            s for s in sorted(ctx.system.storage_nodes)
+            if ctx.system.network.nodes[s].alive
+        ]
+        if alive:
+            return min(alive, key=lambda node: (ctx.load[node], node))
+        return ctx.initiator
+    # MOVE_SMALL: bring the small sides to the largest pattern's biggest
+    # provider, so the bulkiest data moves least.
+    biggest = max(infos, key=lambda i: i.total_frequency)
+    if biggest.entries:
+        best = max(biggest.entries, key=lambda e: (e.frequency, e.storage_id))
+        return best.storage_id
+    return ctx.initiator
+
+
+def _apply_post_filter(ctx, handle: ResultHandle,
+                       post_filter: Optional[ast.Expression]):
+    """Generator: apply a non-pushable filter where the data sits."""
+    if post_filter is None:
+        return handle
+    out = ctx.new_corr()
+    payload = {"corr": handle.corr, "out": out, "condition": post_filter}
+    if handle.site == ctx.initiator:
+        summary = ctx.initiator_peer.rpc_filter_box(payload, ctx.initiator)
+    else:
+        summary = yield ctx.call(handle.site, "filter_box", payload)
+    return ResultHandle(handle.site, out, summary["count"])
+
+
+def _apply_post_filter_done(ctx, handle, post_filter):
+    """Non-generator shim for the degenerate all-broadcast path."""
+    if post_filter is None:
+        return handle
+    data = ctx.initiator_peer.mailbox.pop(handle.corr, set())
+    from ..sparql.expr import filter_passes
+
+    filtered = {mu for mu in data if filter_passes(post_filter, mu)}
+    return ctx.local_deposit(ctx.new_corr(), filtered)
+
+
+def exec_join(ctx, node: Join):
+    """Generator: a general Join of two subtrees (produced e.g. by the
+    optimizer splitting a filtered BGP)."""
+    from .executor import exec_subtrees_parallel
+
+    left, right = yield from exec_subtrees_parallel(ctx, [node.left, node.right])
+    return (yield from combine_handles(ctx, "join", left, right))

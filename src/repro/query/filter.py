@@ -1,0 +1,38 @@
+"""Filter graph patterns (Sect. IV-G).
+
+After the algebraic optimizer has pushed what can be pushed (a filter
+whose variables are covered by a single pattern travels *with that
+pattern's sub-query* and runs at the storage nodes), whatever Filter
+nodes remain must run where their operand's solutions are collected:
+
+* ``Filter(C, BGP(single))`` — the condition ships inside the primitive
+  sub-query; providers filter before transmitting (maximum saving).
+* ``Filter(C, BGP(multi))`` — the conjunction evaluates first; C runs at
+  the join site before the result moves to the initiator.
+* ``Filter(C, anything else)`` — evaluate the operand, then filter at the
+  site holding the result.
+"""
+
+from __future__ import annotations
+
+from ..sparql.algebra import BGP, Filter
+from .conjunction import exec_bgp, _apply_post_filter
+from .primitive import exec_broadcast, exec_pattern_to_site, exec_primitive
+from .plan import subquery_algebra
+
+__all__ = ["exec_filter"]
+
+
+def exec_filter(ctx, node: Filter, at_home: bool = False):
+    """Generator: execute Filter(condition, pattern) → ResultHandle."""
+    from .executor import exec_algebra
+
+    target = node.pattern
+    if isinstance(target, BGP) and len(target.patterns) == 1:
+        # The filter travels with the sub-query to the providers.
+        return (yield from exec_primitive(
+            ctx, target.patterns[0], node.condition, at_home=at_home))
+    if isinstance(target, BGP) and target.patterns:
+        return (yield from exec_bgp(ctx, target.patterns, node.condition))
+    handle = yield from exec_algebra(ctx, target, at_home=at_home)
+    return (yield from _apply_post_filter(ctx, handle, node.condition))

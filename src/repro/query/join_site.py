@@ -1,0 +1,106 @@
+"""Join site selection and inter-site combination (Sect. II, IV-D/E).
+
+Given two materialized intermediate results (mailbox handles), decide
+*where* to combine them — Move-Small, Query-Site, or Third-Site — ship
+what must move, and run the combine operation at the chosen site. This is
+the distributed-database machinery the paper imports into SPARQL
+processing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sparql import ast
+from .plan import ResultHandle
+from .strategies import JoinSitePolicy
+
+__all__ = ["pick_join_site", "combine_handles", "ship_handle"]
+
+
+def pick_join_site(ctx, left: ResultHandle, right: ResultHandle) -> str:
+    """Choose the combine site under the executor's policy."""
+    policy = ctx.options.join_site_policy
+    if policy is JoinSitePolicy.QUERY_SITE:
+        return ctx.initiator
+    if policy is JoinSitePolicy.MOVE_SMALL:
+        # The smaller operand travels to the site of the larger one; with
+        # equal sizes prefer keeping the left side still (deterministic).
+        if left.count >= right.count:
+            return left.site
+        return right.site
+    if policy is JoinSitePolicy.THIRD_SITE:
+        # Simulated QoS: the executor tracks how many combine operations
+        # each node has served and picks the least-loaded storage node
+        # (falling back to the operand sites when the system has none).
+        candidates = sorted(ctx.system.storage_nodes) or [left.site, right.site]
+        alive = [
+            c for c in candidates if ctx.system.network.nodes[c].alive
+        ]
+        if not alive:
+            return ctx.initiator
+        return min(alive, key=lambda node: (ctx.load[node], node))
+    raise ValueError(f"unknown join-site policy {policy!r}")
+
+
+def ship_handle(ctx, handle: ResultHandle, site: str):
+    """Generator: move *handle*'s data into *site*'s mailbox.
+
+    No-op when already there. Shipping from the initiator is a plain
+    one-way deliver; shipping between two remote sites is a small control
+    message to the holder followed by its one-way transfer (the
+    "data shipping" of Fig. 3), acknowledged to the initiator.
+    """
+    if handle.site == site:
+        return handle
+    if handle.site == ctx.initiator:
+        data = ctx.initiator_peer.mailbox.pop(handle.corr, set())
+        corr = handle.corr
+        yield ctx.call(site, "deliver", {"corr": corr, "data": sorted(data, key=_key)})
+        return ResultHandle(site, corr, len(data))
+    count = yield ctx.call(
+        handle.site,
+        "ship",
+        {"corr": handle.corr, "dst": site, "dst_corr": handle.corr,
+         "notify": ctx.initiator},
+    )
+    yield from ctx.wait_delivery(handle.corr)
+    return ResultHandle(site, handle.corr, count)
+
+
+def combine_handles(
+    ctx,
+    op: str,
+    left: ResultHandle,
+    right: ResultHandle,
+    condition: Optional[ast.Expression] = None,
+    site: Optional[str] = None,
+):
+    """Generator: bring both operands to one site and combine them there.
+
+    Returns the ResultHandle of the combined result. ``op`` is one of
+    join / union / leftjoin / minus (the operations on solution-mapping
+    sets of Sect. IV-A).
+    """
+    if site is None:
+        site = pick_join_site(ctx, left, right)
+    left = yield from ship_handle(ctx, left, site)
+    right = yield from ship_handle(ctx, right, site)
+    out_corr = ctx.new_corr()
+    ctx.load[site] += 1
+    payload = {
+        "op": op,
+        "left": left.corr,
+        "right": right.corr,
+        "out": out_corr,
+        "condition": condition,
+    }
+    if site == ctx.initiator:
+        summary = ctx.initiator_peer.rpc_combine(payload, ctx.initiator)
+    else:
+        summary = yield ctx.call(site, "combine", payload)
+    return ResultHandle(site, out_corr, summary["count"])
+
+
+def _key(mu):
+    return tuple((v.name, t.n3()) for v, t in mu.items())

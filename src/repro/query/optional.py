@@ -1,0 +1,31 @@
+"""Optional graph patterns: distributed left outer join (Sect. IV-E).
+
+Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 − Ω2). The paper prescribes the *move-small*
+strategy: ship the smaller solution set to the node holding the other,
+compute both the join and the difference there, and return the union of
+the two directly to the query initiator. OPTIONAL is left-associative but
+not commutative, so only the *site sequence* is optimized, never the
+operator order — chains of OPTIONALs evaluate left to right.
+"""
+
+from __future__ import annotations
+
+from ..sparql.algebra import LeftJoin
+from .join_site import combine_handles, pick_join_site
+from .strategies import JoinSitePolicy
+
+__all__ = ["exec_leftjoin"]
+
+
+def exec_leftjoin(ctx, node: LeftJoin):
+    """Generator: execute LeftJoin(P1, P2, condition) → ResultHandle."""
+    from .executor import exec_subtrees_parallel
+
+    left, right = yield from exec_subtrees_parallel(ctx, [node.left, node.right])
+    # Move-small is the paper's stated choice for OPTIONAL; other policies
+    # remain available for the join-site experiment (E3/E4).
+    site = pick_join_site(ctx, left, right)
+    handle = yield from combine_handles(
+        ctx, "leftjoin", left, right, condition=node.condition, site=site
+    )
+    return handle

@@ -1,0 +1,102 @@
+"""Planning data structures and the index-consultation step.
+
+``PatternInfo`` captures what the planner learns about one triple pattern
+from the two-level index: which key serves it, which index node owns that
+key, and the location-table row (storage nodes + frequencies). Frequency
+totals order chains, drive move-small, and feed join reordering — the
+three uses the paper assigns to the frequency numbers of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..overlay.keys import KeyKind
+from ..overlay.location_table import LocationEntry
+from ..rdf.triple import TriplePattern
+from ..sparql import ast
+from ..sparql.algebra import Algebra, BGP, Filter
+
+__all__ = ["PatternInfo", "ResultHandle", "subquery_algebra", "choose_shared_site"]
+
+
+@dataclass(frozen=True, slots=True)
+class PatternInfo:
+    """Everything the planner knows about one triple pattern."""
+
+    pattern: TriplePattern
+    #: The index key serving the pattern; None for (?s, ?p, ?o).
+    key_kind: Optional[KeyKind]
+    key: Optional[int]
+    #: Index node owning the key (None for the broadcast case).
+    owner: Optional[str]
+    #: The location-table row.
+    entries: Tuple[LocationEntry, ...]
+    #: DHT hops spent locating the owner.
+    lookup_hops: int = 0
+    #: FILTER condition pushed into this pattern's sub-query, if any.
+    condition: Optional[ast.Expression] = None
+
+    @property
+    def storage_ids(self) -> Set[str]:
+        return {e.storage_id for e in self.entries}
+
+    @property
+    def total_frequency(self) -> int:
+        """Upper bound on matching triples across all providers — the
+        planner's cardinality estimate for this pattern."""
+        return sum(e.frequency for e in self.entries)
+
+    def frequency_of(self, storage_id: str) -> int:
+        for entry in self.entries:
+            if entry.storage_id == storage_id:
+                return entry.frequency
+        return 0
+
+
+@dataclass(frozen=True, slots=True)
+class ResultHandle:
+    """A materialized intermediate result: *count* solutions sitting in
+    the mailbox of node *site* under correlation id *corr*."""
+
+    site: str
+    corr: str
+    count: int
+
+
+def subquery_algebra(info: PatternInfo) -> Algebra:
+    """The sub-query shipped to storage nodes for this pattern: its BGP,
+    wrapped in the pushed-down filter when one travelled with it."""
+    bgp = BGP((info.pattern,))
+    if info.condition is not None:
+        return Filter(info.condition, bgp)
+    return bgp
+
+
+def choose_shared_site(infos: Sequence[PatternInfo]) -> Optional[str]:
+    """The overlap heuristic of Sect. IV-D.
+
+    Prefer the storage node present in the most patterns' provider sets
+    (so the most chains can end there without extra shipping); break ties
+    toward the node holding the most matching triples (its own data never
+    crosses the network), then by node id for determinism. Returns None
+    when no node serves at least two patterns — no useful overlap.
+    """
+    if not infos:
+        return None
+    presence: Dict[str, int] = {}
+    weight: Dict[str, int] = {}
+    for info in infos:
+        for entry in info.entries:
+            presence[entry.storage_id] = presence.get(entry.storage_id, 0) + 1
+            weight[entry.storage_id] = weight.get(entry.storage_id, 0) + entry.frequency
+    if not presence:
+        return None
+    best = max(
+        presence,
+        key=lambda node: (presence[node], weight[node], node),
+    )
+    if len(infos) > 1 and presence[best] < 2:
+        return None
+    return best

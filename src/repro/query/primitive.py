@@ -1,0 +1,196 @@
+"""Primitive SPARQL queries: one triple pattern (Sect. IV-C).
+
+Implements the three processing schemes of the paper:
+
+* **basic** — the owner index node fans the sub-query out to every target
+  storage node in parallel, assembles the union, and sends it to the
+  initiator. "Parallelism is exploited, but ... high transmission
+  overhead may be incurred."
+* **chained** — the index node forwards the query with a sequence of
+  target nodes; each node merges its matches into the accumulated
+  solutions and passes them on; the last node returns the final mappings
+  to the initiator. In-network aggregation trades response time for
+  transmission.
+* **freq** — as chained, but the sequence is "arranged in the increasing
+  order of the frequency information", so the node with the most matching
+  triples is last and its (largest) contribution travels only once,
+  directly to the initiator.
+
+The fully-unbound pattern (?s, ?p, ?o) has no index key: the dataset is
+the union of all triples at all storage nodes (Sect. IV-A), resolved by a
+ring walk over the index nodes followed by a fan-out to every attached
+storage node.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..net.transport import RpcError
+from ..rdf.triple import TriplePattern
+from ..sparql import ast
+from ..sparql.algebra import BGP, Filter
+from ..sparql.solutions import union as omega_union
+from .plan import PatternInfo, ResultHandle, subquery_algebra
+from .strategies import PrimitiveStrategy
+
+__all__ = ["exec_primitive", "exec_pattern_to_site", "exec_broadcast", "discover_all_storage"]
+
+
+def exec_primitive(ctx, pattern: TriplePattern,
+                   condition: Optional[ast.Expression],
+                   at_home: bool = False):
+    """Generator: resolve a primitive query. Returns a ResultHandle.
+
+    ``at_home=False`` materializes at the initiator (the right choice for
+    a top-level primitive query). ``at_home=True`` leaves the result at
+    its *home site* — the provider holding the most matching triples — so
+    that a downstream join/union/left-join's site selection has a real
+    decision to make (otherwise everything would already sit at the query
+    site and every policy would degenerate to Query-Site).
+    """
+    info = yield from ctx.locate(pattern, condition)
+    if info.owner is None:
+        return (yield from exec_broadcast(ctx, subquery_algebra(info)))
+    site = ctx.initiator
+    if at_home and info.entries:
+        heaviest = max(info.entries, key=lambda e: (e.frequency, e.storage_id))
+        site = heaviest.storage_id
+    return (yield from exec_pattern_to_site(ctx, info, site))
+
+
+def exec_pattern_to_site(ctx, info: PatternInfo, site: str):
+    """Generator: evaluate one located pattern, delivering the union of
+    provider matches into *site*'s mailbox. Returns a ResultHandle.
+
+    Applies the executor's primitive strategy; falls back to BASIC when a
+    chain breaks (delivery timeout), which also triggers the stale-entry
+    cleanup of Sect. III-D at the owner index node.
+    """
+    from .executor import DeliveryTimeout  # local import: avoid cycle
+
+    corr = ctx.new_corr()
+    if not info.entries:
+        if site == ctx.initiator:
+            return ctx.local_deposit(corr, set())
+        # Install an empty box remotely so downstream combines find it.
+        yield ctx.call(site, "deliver", {"corr": corr, "data": []})
+        return ResultHandle(site, corr, 0)
+
+    algebra = subquery_algebra(info)
+    strategy = ctx.options.primitive_strategy
+
+    if strategy is PrimitiveStrategy.ADAPTIVE:
+        # Sect. V future work: pick per sub-query from the frequency
+        # statistics, under the executor's objective mixture.
+        from .adaptive import choose_strategy
+
+        strategy, _costs = choose_strategy(
+            info.entries,
+            ctx.network.link,
+            ctx.options.time_weight,
+            ctx.options.dedup_prior,
+        )
+        ctx.report.merge_note(f"adaptive -> {strategy.value} ({corr})")
+
+    if strategy is PrimitiveStrategy.BASIC:
+        return (yield from _basic(ctx, info, algebra, site, corr))
+
+    payload = {
+        "algebra": algebra,
+        "key": info.key,
+        "strategy": strategy.wire_name,
+        "final": site,
+        "end_at": site,
+        "corr": corr,
+        "notify": ctx.initiator,
+    }
+    ack = yield ctx.call(info.owner, "execute_primitive", payload)
+    if ack["mode"] == "direct":
+        # Empty route: no providers left; materialize the empty result.
+        ctx.initiator_peer._expected.pop(corr, None)
+        if site == ctx.initiator:
+            return ctx.local_deposit(corr, set(ack["data"]))
+        yield ctx.call(site, "deliver", {"corr": corr, "data": ack["data"]})
+        return ResultHandle(site, corr, len(ack["data"]))
+    try:
+        count = yield from ctx.wait_delivery(corr)
+    except DeliveryTimeout:
+        # A storage node on the route died mid-chain. Re-execute with the
+        # BASIC strategy: its per-node timeouts clean the stale entries.
+        ctx.report.retries += 1
+        ctx.report.merge_note(f"chain fallback for {corr}")
+        corr = ctx.new_corr()
+        return (yield from _basic(ctx, info, algebra, site, corr))
+    return ResultHandle(site, corr, count)
+
+
+def _basic(ctx, info: PatternInfo, algebra, site: str, corr: str):
+    payload = {
+        "algebra": algebra,
+        "key": info.key,
+        "strategy": "basic",
+        "corr": corr,
+        # Bound the owner's per-provider wait so the whole fan-out always
+        # finishes inside our own call deadline below.
+        "storage_timeout": ctx.options.delivery_timeout,
+    }
+    if site != ctx.initiator:
+        payload["final"] = site
+        payload["notify"] = ctx.initiator
+        ack = yield ctx.call(info.owner, "execute_primitive", payload,
+                             timeout=ctx.options.delivery_timeout * 4)
+        if ack["mode"] == "direct":
+            yield ctx.call(site, "deliver", {"corr": corr, "data": ack["data"]})
+            return ResultHandle(site, corr, len(ack["data"]))
+        yield from ctx.wait_delivery(corr)
+        return ResultHandle(site, corr, ack["count"])
+    response = yield ctx.call(info.owner, "execute_primitive", payload,
+                              timeout=ctx.options.delivery_timeout * 4)
+    return ctx.local_deposit(corr, set(response["data"]))
+
+
+# --------------------------------------------------------------- broadcast
+
+
+def discover_all_storage(ctx):
+    """Generator: walk the ring collecting every attached storage node.
+
+    Starts at the initiator's entry index node and follows successor
+    pointers until the walk closes — O(#index nodes) messages.
+    """
+    storages: List[str] = []
+    start = ctx.entry_index
+    current = start
+    visited = set()
+    while current not in visited:
+        visited.add(current)
+        attached = yield ctx.call(current, "get_attached")
+        storages.extend(attached)
+        succ_list = yield ctx.call(current, "get_successor_list")
+        if not succ_list:
+            break
+        current = succ_list[0].node_id
+    return storages
+
+
+def exec_broadcast(ctx, algebra):
+    """Generator: evaluate a sub-query at *every* storage node (the
+    union-of-all-providers dataset semantics for (?s, ?p, ?o))."""
+    if not ctx.options.allow_broadcast:
+        from .executor import QueryFailed
+
+        raise QueryFailed("broadcast disabled but pattern has no index key")
+    storages = yield from discover_all_storage(ctx)
+    ctx.report.merge_note(f"broadcast to {len(storages)} storage nodes")
+    corr = ctx.new_corr()
+    events = [
+        ctx.call(storage_id, "evaluate", {"algebra": algebra})
+        for storage_id in sorted(set(storages))
+    ]
+    solutions = set()
+    if events:
+        results = yield ctx.sim.all_of(events)
+        for batch in results:
+            solutions = omega_union(solutions, batch)
+    return ctx.local_deposit(corr, solutions)

@@ -1,0 +1,96 @@
+"""Execution strategies and options (Sect. IV, Sect. II).
+
+The paper describes, for each query family, a *basic* processing scheme
+and one or more *optimizations*; and for join placement the classic
+Move-Small / Query-Site / Third-Site policies. These enums name them; the
+benchmark harness sweeps them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "PrimitiveStrategy",
+    "ConjunctionMode",
+    "JoinSitePolicy",
+    "ExecutionOptions",
+]
+
+
+class PrimitiveStrategy(enum.Enum):
+    """How a single-triple-pattern sub-query is resolved (Sect. IV-C)."""
+
+    #: Parallel fan-out from the index node; union at the index node
+    #: (assembly site); result forwarded to the initiator. Lowest response
+    #: time, highest transmission.
+    BASIC = "basic"
+    #: In-network aggregation: the query visits the target storage nodes
+    #: in sequence, merging results along the way; the last node returns
+    #: the final mappings to the initiator.
+    CHAINED = "chained"
+    #: Chained, with nodes "arranged in the increasing order of the
+    #: frequency information", so the largest contributor is last and its
+    #: (biggest) local result set never transits an extra hop.
+    FREQ = "freq"
+    #: Cost-based per-query choice between BASIC and FREQ using the
+    #: location-table statistics and the executor's objective mixture —
+    #: the Sect. V future-work planner (see :mod:`repro.query.adaptive`).
+    ADAPTIVE = "adaptive"
+
+    @property
+    def wire_name(self) -> str:
+        return self.value
+
+
+class ConjunctionMode(enum.Enum):
+    """How a multi-pattern BGP is processed (Sect. IV-D)."""
+
+    #: The paper's basic scheme: resolve P1 at its index node, ship the
+    #: solutions (with the query) to P2's index node, join there, and so
+    #: on; the last index node returns the result to the initiator.
+    BASIC = "basic"
+    #: The paper's optimization: exploit overlap between the storage-node
+    #: sets — chain each pattern's evaluation to a shared storage node and
+    #: join there, with chains running in parallel.
+    OPTIMIZED = "optimized"
+
+
+class JoinSitePolicy(enum.Enum):
+    """Join site selection (Sect. II / Du et al., Cornell & Yu, Ye et al.)."""
+
+    #: Ship the smaller operand to the site of the larger one.
+    MOVE_SMALL = "move-small"
+    #: Perform the join at the site where the query was submitted.
+    QUERY_SITE = "query-site"
+    #: Choose a third site based on (simulated) QoS information — here the
+    #: least-loaded storage node.
+    THIRD_SITE = "third-site"
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionOptions:
+    """Knobs of the distributed executor; defaults are the paper's
+    most-optimized configuration."""
+
+    primitive_strategy: PrimitiveStrategy = PrimitiveStrategy.FREQ
+    conjunction_mode: ConjunctionMode = ConjunctionMode.OPTIMIZED
+    join_site_policy: JoinSitePolicy = JoinSitePolicy.MOVE_SMALL
+    #: Run the algebraic optimizer (filter pushing etc., Sect. IV-G).
+    optimize: bool = True
+    #: Reorder BGP patterns by location-table frequency statistics.
+    reorder_joins: bool = True
+    #: Allow (?s, ?p, ?o) broadcasts over all storage nodes.
+    allow_broadcast: bool = True
+    #: Seconds to wait for a one-way delivery before declaring the chain
+    #: broken and falling back to the BASIC strategy.
+    delivery_timeout: float = 5.0
+    #: Objective mixture for the ADAPTIVE strategy: 0.0 = minimize total
+    #: transmission, 1.0 = minimize response time (Sect. V's conflicting
+    #: optimization criteria, scalarized).
+    time_weight: float = 0.5
+    #: Prior on cross-provider duplication for the adaptive cost model
+    #: (expected |union| / Σ|local results|; 1.0 = no duplication).
+    dedup_prior: float = 1.0

@@ -1,0 +1,79 @@
+"""Union graph patterns (Sect. IV-F).
+
+⟦P1 UNION P2⟧ = ⟦P1⟧ ∪ ⟦P2⟧: the branches "can be carried out in
+parallel"; the union operation "can occur at any of the two nodes that
+collect the solution mappings".
+
+The optimization of the paper's example (S1 = {D1, D3}, S2 = {D2, D3}:
+both chains end at D3 and the union is free) is implemented here: when
+both branches bottom out in located triple patterns, their provider sets
+are inspected *before* execution and, if they overlap, both branches'
+chains are routed to end at a common storage node. Otherwise the branches
+run at their home sites and the smaller result moves (move-small).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sparql.algebra import Algebra, BGP, Filter, Union
+from .join_site import combine_handles
+from .plan import PatternInfo, choose_shared_site
+
+__all__ = ["exec_union"]
+
+
+def _leaf_pattern(node: Algebra) -> Optional[Tuple]:
+    """(pattern, condition) if *node* is a single-pattern BGP, possibly
+    wrapped in a pushed-down Filter; else None."""
+    if isinstance(node, BGP) and len(node.patterns) == 1:
+        return node.patterns[0], None
+    if (
+        isinstance(node, Filter)
+        and isinstance(node.pattern, BGP)
+        and len(node.pattern.patterns) == 1
+    ):
+        return node.pattern.patterns[0], node.condition
+    return None
+
+
+def exec_union(ctx, node: Union):
+    """Generator: execute Union(P1, P2) → ResultHandle."""
+    from .executor import exec_subtrees_parallel
+    from .primitive import exec_pattern_to_site
+
+    left_leaf = _leaf_pattern(node.left)
+    right_leaf = _leaf_pattern(node.right)
+    if left_leaf is not None and right_leaf is not None:
+        # Plan the collection site from the location tables (Sect. IV-F's
+        # D3 example): overlap -> both chains end at the shared node.
+        infos: List[PatternInfo] = yield from _locate_pair(ctx, left_leaf, right_leaf)
+        if all(info.owner is not None for info in infos):
+            site = choose_shared_site(infos)
+            if site is not None:
+                ctx.report.merge_note(f"union site {site}")
+                processes = [
+                    ctx.sim.process(exec_pattern_to_site(ctx, info, site))
+                    for info in infos
+                ]
+                left, right = yield ctx.sim.all_of(processes)
+                handle = yield from combine_handles(
+                    ctx, "union", left, right, site=site
+                )
+                return handle
+
+    left, right = yield from exec_subtrees_parallel(ctx, [node.left, node.right])
+    if left.site == right.site:
+        handle = yield from combine_handles(ctx, "union", left, right, site=left.site)
+        return handle
+    handle = yield from combine_handles(ctx, "union", left, right)
+    return handle
+
+
+def _locate_pair(ctx, left_leaf, right_leaf):
+    processes = [
+        ctx.sim.process(ctx.locate(pattern, condition))
+        for pattern, condition in (left_leaf, right_leaf)
+    ]
+    infos = yield ctx.sim.all_of(processes)
+    return list(infos)

@@ -1,0 +1,50 @@
+"""RDF data model: terms, triples, graphs, namespaces, N-Triples I/O.
+
+This is substrate S1 of DESIGN.md — the local data layer every storage
+node of the hybrid overlay keeps for its own triples.
+"""
+
+from .terms import (
+    IRI,
+    BlankNode,
+    Literal,
+    RDFTerm,
+    Term,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+)
+from .triple import PatternShape, Triple, TriplePattern
+from .graph import Graph
+from .namespaces import COMMON_PREFIXES, FOAF, NS, Namespace, RDF, RDFS
+from .ntriples import NTriplesError, parse_ntriples, serialize_ntriples
+
+__all__ = [
+    "IRI",
+    "BlankNode",
+    "Literal",
+    "Variable",
+    "RDFTerm",
+    "Term",
+    "Triple",
+    "TriplePattern",
+    "PatternShape",
+    "Graph",
+    "Namespace",
+    "FOAF",
+    "NS",
+    "RDF",
+    "RDFS",
+    "COMMON_PREFIXES",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "NTriplesError",
+    "XSD_INTEGER",
+    "XSD_DECIMAL",
+    "XSD_DOUBLE",
+    "XSD_STRING",
+    "XSD_BOOLEAN",
+]

@@ -1,0 +1,221 @@
+"""An indexed, in-memory RDF graph store.
+
+Each storage node of the hybrid overlay "stores locally and manipulates
+data items of its own" (paper, Sect. I); this class is that local
+repository. It maintains three nested hash indexes (SPO, POS, OSP) so that
+a triple pattern of *any* of the eight shapes of Sect. IV-C is answered by
+direct index walks rather than a scan.
+
+The index layout follows the classic scheme of Hexastore-style stores
+reduced to three orderings, which suffice because each ordering serves the
+lookups whose bound prefix matches it:
+
+========  =======================
+index     serves bound positions
+========  =======================
+SPO       s / s,p / s,p,o
+POS       p / p,o
+OSP       o / o,s
+========  =======================
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+from .terms import RDFTerm, Variable, is_concrete
+from .triple import Triple, TriplePattern
+
+__all__ = ["Graph"]
+
+
+def _index3() -> "defaultdict[RDFTerm, defaultdict[RDFTerm, set[RDFTerm]]]":
+    return defaultdict(lambda: defaultdict(set))
+
+
+class Graph:
+    """A set of RDF triples with pattern-match access paths.
+
+    The graph behaves as a set: duplicate adds are idempotent and size is
+    the number of distinct triples.
+    """
+
+    __slots__ = ("_spo", "_pos", "_osp", "_size")
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None) -> None:
+        self._spo = _index3()
+        self._pos = _index3()
+        self._osp = _index3()
+        self._size = 0
+        if triples is not None:
+            for t in triples:
+                self.add(t)
+
+    # ------------------------------------------------------------------ set
+
+    def add(self, triple: Triple) -> bool:
+        """Insert *triple*; returns True if it was not already present."""
+        if not isinstance(triple, Triple):
+            raise TypeError(f"expected Triple, got {type(triple).__name__}")
+        objects = self._spo[triple.s][triple.p]
+        if triple.o in objects:
+            return False
+        objects.add(triple.o)
+        self._pos[triple.p][triple.o].add(triple.s)
+        self._osp[triple.o][triple.s].add(triple.p)
+        self._size += 1
+        return True
+
+    def discard(self, triple: Triple) -> bool:
+        """Remove *triple* if present; returns True if it was removed."""
+        objects = self._spo.get(triple.s, {}).get(triple.p)
+        if not objects or triple.o not in objects:
+            return False
+        objects.discard(triple.o)
+        self._pos[triple.p][triple.o].discard(triple.s)
+        self._osp[triple.o][triple.s].discard(triple.p)
+        self._prune(self._spo, triple.s, triple.p)
+        self._prune(self._pos, triple.p, triple.o)
+        self._prune(self._osp, triple.o, triple.s)
+        self._size -= 1
+        return True
+
+    @staticmethod
+    def _prune(index, k1, k2) -> None:
+        inner = index.get(k1)
+        if inner is not None and not inner.get(k2):
+            inner.pop(k2, None)
+            if not inner:
+                index.pop(k1, None)
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns the number actually inserted."""
+        return sum(1 for t in triples if self.add(t))
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple.o in self._spo.get(triple.s, {}).get(triple.p, ())
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        for s, po in self._spo.items():
+            for p, objs in po.items():
+                for o in objs:
+                    yield Triple(s, p, o)
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # ------------------------------------------------------------ matching
+
+    def triples(self, pattern: TriplePattern) -> Iterator[Triple]:
+        """Yield every triple structurally matching *pattern*.
+
+        Repeated variables in the pattern (e.g. ``?x <p> ?x``) are honoured:
+        positions sharing a variable must hold equal terms.
+        """
+        s = pattern.s if is_concrete(pattern.s) else None
+        p = pattern.p if is_concrete(pattern.p) else None
+        o = pattern.o if is_concrete(pattern.o) else None
+
+        candidates = self._walk(s, p, o)
+
+        # Enforce repeated-variable equality, if any.
+        shared = self._shared_positions(pattern)
+        if shared:
+            for t in candidates:
+                vals = (t.s, t.p, t.o)
+                if all(vals[i] == vals[j] for i, j in shared):
+                    yield t
+        else:
+            yield from candidates
+
+    @staticmethod
+    def _shared_positions(pattern: TriplePattern) -> list[tuple[int, int]]:
+        pos: Dict[Variable, int] = {}
+        shared: list[tuple[int, int]] = []
+        for i, term in enumerate(pattern):
+            if isinstance(term, Variable):
+                if term in pos:
+                    shared.append((pos[term], i))
+                else:
+                    pos[term] = i
+        return shared
+
+    def _walk(self, s, p, o) -> Iterator[Triple]:
+        if s is not None:
+            po = self._spo.get(s)
+            if po is None:
+                return
+            if p is not None:
+                objs = po.get(p)
+                if objs is None:
+                    return
+                if o is not None:
+                    if o in objs:
+                        yield Triple(s, p, o)
+                else:
+                    for obj in objs:
+                        yield Triple(s, p, obj)
+            elif o is not None:
+                preds = self._osp.get(o, {}).get(s)
+                if preds:
+                    for pred in preds:
+                        yield Triple(s, pred, o)
+            else:
+                for pred, objs in po.items():
+                    for obj in objs:
+                        yield Triple(s, pred, obj)
+        elif p is not None:
+            os_ = self._pos.get(p)
+            if os_ is None:
+                return
+            if o is not None:
+                for subj in os_.get(o, ()):
+                    yield Triple(subj, p, o)
+            else:
+                for obj, subjects in os_.items():
+                    for subj in subjects:
+                        yield Triple(subj, p, obj)
+        elif o is not None:
+            for subj, preds in self._osp.get(o, {}).items():
+                for pred in preds:
+                    yield Triple(subj, pred, o)
+        else:
+            yield from iter(self)
+
+    def count(self, pattern: TriplePattern) -> int:
+        """Number of triples matching *pattern* (no materialization)."""
+        return sum(1 for _ in self.triples(pattern))
+
+    # --------------------------------------------------------------- views
+
+    def subjects(self) -> Set[RDFTerm]:
+        return set(self._spo.keys())
+
+    def predicates(self) -> Set[RDFTerm]:
+        return set(self._pos.keys())
+
+    def objects(self) -> Set[RDFTerm]:
+        return set(self._osp.keys())
+
+    def copy(self) -> "Graph":
+        return Graph(iter(self))
+
+    def __or__(self, other: "Graph") -> "Graph":
+        merged = self.copy()
+        merged.update(iter(other))
+        return merged
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._size == other._size and all(t in other for t in self)
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(<{self._size} triples>)"

@@ -1,0 +1,143 @@
+"""N-Triples parsing and serialization.
+
+Storage nodes exchange RDF data with applications (and, in the
+multi-process demo, with each other) in the line-oriented N-Triples
+format. The implementation covers the full RDF 1.0 N-Triples grammar that
+our term model supports: IRIs, blank nodes, and plain / language-tagged /
+datatyped literals with the standard string escapes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, List
+
+from .terms import IRI, BlankNode, Literal, RDFTerm
+from .triple import Triple
+
+__all__ = ["parse_ntriples", "serialize_ntriples", "NTriplesError"]
+
+
+class NTriplesError(ValueError):
+    """Raised on malformed N-Triples input, with a line number."""
+
+    def __init__(self, message: str, lineno: int) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_IRI_RE = re.compile(r"<([^<>\"{}|^`\\\s]*)>")
+_BNODE_RE = re.compile(r"_:([A-Za-z][A-Za-z0-9_.-]*)")
+_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+_LANG_RE = re.compile(r"@([a-zA-Z]+(?:-[a-zA-Z0-9]+)*)")
+
+_UNESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\\\": "\\",
+}
+
+_ESCAPE_RE = re.compile(r"\\(?:[ntr\"\\]|u[0-9A-Fa-f]{4}|U[0-9A-Fa-f]{8})")
+
+
+def _unescape(raw: str) -> str:
+    def sub(m: re.Match[str]) -> str:
+        tok = m.group(0)
+        if tok in _UNESCAPES:
+            return _UNESCAPES[tok]
+        return chr(int(tok[2:], 16))
+
+    return _ESCAPE_RE.sub(sub, raw)
+
+
+class _LineParser:
+    """Cursor-based parser for a single N-Triples statement line."""
+
+    def __init__(self, line: str, lineno: int) -> None:
+        self.line = line
+        self.pos = 0
+        self.lineno = lineno
+
+    def error(self, message: str) -> NTriplesError:
+        return NTriplesError(f"{message} (at column {self.pos})", self.lineno)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.line) and self.line[self.pos] in " \t":
+            self.pos += 1
+
+    def term(self) -> RDFTerm:
+        self.skip_ws()
+        if self.pos >= len(self.line):
+            raise self.error("unexpected end of line")
+        ch = self.line[self.pos]
+        if ch == "<":
+            m = _IRI_RE.match(self.line, self.pos)
+            if not m:
+                raise self.error("malformed IRI")
+            self.pos = m.end()
+            return IRI(m.group(1))
+        if ch == "_":
+            m = _BNODE_RE.match(self.line, self.pos)
+            if not m:
+                raise self.error("malformed blank node label")
+            self.pos = m.end()
+            return BlankNode(m.group(1))
+        if ch == '"':
+            m = _LITERAL_RE.match(self.line, self.pos)
+            if not m:
+                raise self.error("malformed literal")
+            self.pos = m.end()
+            lexical = _unescape(m.group(1))
+            if self.pos < len(self.line) and self.line[self.pos] == "@":
+                lm = _LANG_RE.match(self.line, self.pos)
+                if not lm:
+                    raise self.error("malformed language tag")
+                self.pos = lm.end()
+                return Literal(lexical, language=lm.group(1))
+            if self.line.startswith("^^", self.pos):
+                self.pos += 2
+                dm = _IRI_RE.match(self.line, self.pos)
+                if not dm:
+                    raise self.error("malformed datatype IRI")
+                self.pos = dm.end()
+                return Literal(lexical, datatype=IRI(dm.group(1)))
+            return Literal(lexical)
+        raise self.error(f"unexpected character {ch!r}")
+
+    def dot(self) -> None:
+        self.skip_ws()
+        if self.pos >= len(self.line) or self.line[self.pos] != ".":
+            raise self.error("expected terminating '.'")
+        self.pos += 1
+        self.skip_ws()
+        if self.pos < len(self.line) and not self.line.startswith("#", self.pos):
+            raise self.error("trailing content after '.'")
+
+
+def parse_ntriples(text: str) -> Iterator[Triple]:
+    """Parse N-Triples *text*, yielding triples in document order.
+
+    Blank lines and ``#`` comment lines are skipped. Malformed lines raise
+    :class:`NTriplesError` carrying the 1-based line number.
+    """
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parser = _LineParser(line, lineno)
+        s = parser.term()
+        p = parser.term()
+        o = parser.term()
+        parser.dot()
+        try:
+            yield Triple(s, p, o)
+        except TypeError as exc:
+            raise NTriplesError(str(exc), lineno) from exc
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize *triples* to canonical N-Triples (one statement per line)."""
+    lines: List[str] = [t.n3() for t in triples]
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,180 @@
+"""RDF term model.
+
+The ad-hoc data sharing system of the paper manipulates RDF triples whose
+components are *RDF terms*: IRIs, literals, and blank nodes (Sect. IV-A of
+the paper, following the RDF abstract syntax [Klyne & Carroll 2004]).
+SPARQL additionally introduces *variables*, which may occupy any position
+of a triple pattern.
+
+Terms are immutable, hashable value objects so they can be used freely as
+dictionary keys in graph indexes, solution mappings, and the distributed
+location tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = [
+    "Term",
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Variable",
+    "RDFTerm",
+    "XSD_INTEGER",
+    "XSD_DECIMAL",
+    "XSD_DOUBLE",
+    "XSD_STRING",
+    "XSD_BOOLEAN",
+]
+
+XSD = "http://www.w3.org/2001/XMLSchema#"
+XSD_INTEGER = XSD + "integer"
+XSD_DECIMAL = XSD + "decimal"
+XSD_DOUBLE = XSD + "double"
+XSD_STRING = XSD + "string"
+XSD_BOOLEAN = XSD + "boolean"
+
+_NUMERIC_DATATYPES = frozenset({XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE})
+
+
+@dataclass(frozen=True, slots=True)
+class IRI:
+    """An Internationalized Resource Identifier (RFC 3987 subset).
+
+    The paper treats IRIs as opaque strings that are hashed to place index
+    entries on the Chord ring; no resolution ever happens.
+    """
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("IRI value must be a non-empty string")
+        if any(c in self.value for c in " <>\"{}|^`\\"):
+            raise ValueError(f"IRI contains forbidden character: {self.value!r}")
+
+    def n3(self) -> str:
+        """Serialize in N-Triples / SPARQL surface syntax."""
+        return f"<{self.value}>"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.n3()
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An RDF literal: lexical form plus optional language tag or datatype.
+
+    A literal may carry *either* a language tag *or* a datatype IRI, never
+    both (RDF 1.0 abstract syntax, which the paper builds on).
+    """
+
+    lexical: str
+    language: Optional[str] = None
+    datatype: Optional[IRI] = None
+
+    def __post_init__(self) -> None:
+        if self.language is not None and self.datatype is not None:
+            raise ValueError("literal cannot have both language tag and datatype")
+        if self.language is not None and not self.language:
+            raise ValueError("language tag must be non-empty when present")
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.datatype is not None and self.datatype.value in _NUMERIC_DATATYPES
+
+    def to_python(self) -> Union[str, int, float, bool]:
+        """Map to the closest Python value (used by FILTER evaluation)."""
+        if self.datatype is None:
+            return self.lexical
+        dt = self.datatype.value
+        if dt == XSD_INTEGER:
+            return int(self.lexical)
+        if dt in (XSD_DECIMAL, XSD_DOUBLE):
+            return float(self.lexical)
+        if dt == XSD_BOOLEAN:
+            return self.lexical in ("true", "1")
+        return self.lexical
+
+    def n3(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        # Remaining C0/C1 controls (incl. form feed and line separators that
+        # str.splitlines would break on) go out as \uXXXX escapes.
+        escaped = "".join(
+            c if c.isprintable() or c == " "
+            else (f"\\u{ord(c):04X}" if ord(c) <= 0xFFFF else f"\\U{ord(c):08X}")
+            for c in escaped
+        )
+        if self.language:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype:
+            return f'"{escaped}"^^{self.datatype.n3()}'
+        return f'"{escaped}"'
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.n3()
+
+
+@dataclass(frozen=True, slots=True)
+class BlankNode:
+    """A blank node: a unique node with no IRI and an unbound value.
+
+    Blank node labels are scoped to the document / storage node that minted
+    them; the workload generators take care to mint distinct labels per
+    provider so that the union dataset semantics of the paper stay sound.
+    """
+
+    label: str
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("blank node label must be non-empty")
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.n3()
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A SPARQL query variable (``?name``).
+
+    Variables are *not* RDF terms; they may appear in triple patterns but
+    never in data triples. ``Graph.add`` enforces that.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+        if self.name.startswith(("?", "$")):
+            raise ValueError("variable name must not include the ? / $ sigil")
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.n3()
+
+
+#: A concrete RDF term (anything that may appear in a data triple).
+RDFTerm = Union[IRI, Literal, BlankNode]
+#: Anything that may appear in a triple *pattern*.
+Term = Union[IRI, Literal, BlankNode, Variable]
+
+
+def is_concrete(term: Term) -> bool:
+    """True when *term* may legally appear in a data triple."""
+    return not isinstance(term, Variable)

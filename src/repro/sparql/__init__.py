@@ -1,0 +1,85 @@
+"""SPARQL: tokenizer, parser, algebra, optimizer, and local evaluation.
+
+Substrates S2-S6 of DESIGN.md. The public surface mirrors the stages of
+the paper's query-processing workflow (Fig. 3):
+
+* :func:`parse_query` — Query Parsing,
+* :func:`translate_pattern` — Query Transformation,
+* :func:`optimize` — Global Query Optimization (algebraic part),
+* :func:`evaluate_query` / :func:`evaluate_algebra` — Local Query
+  Execution,
+* :func:`apply_modifiers` — Post-Processing.
+"""
+
+from .errors import SparqlError, SparqlEvalError, SparqlSyntaxError
+from .tokenizer import tokenize
+from .parser import parse_query
+from .algebra import (
+    BGP,
+    Algebra,
+    Filter,
+    GraphNode,
+    Join,
+    LeftJoin,
+    Union,
+    format_algebra,
+    translate_pattern,
+)
+from .solutions import (
+    EMPTY_MAPPING,
+    SolutionMapping,
+    compatible,
+    join,
+    left_outer_join,
+    match_pattern,
+    merge,
+    minus,
+    union,
+)
+from .expr import effective_boolean_value, evaluate_expression, filter_passes
+from .eval import (
+    QueryResult,
+    apply_modifiers,
+    evaluate_algebra,
+    evaluate_bgp,
+    evaluate_query,
+)
+from .optimizer import decompose_filters, optimize, push_filters, reorder_bgp
+
+__all__ = [
+    "SparqlError",
+    "SparqlSyntaxError",
+    "SparqlEvalError",
+    "tokenize",
+    "parse_query",
+    "Algebra",
+    "BGP",
+    "Join",
+    "LeftJoin",
+    "Union",
+    "Filter",
+    "GraphNode",
+    "translate_pattern",
+    "format_algebra",
+    "SolutionMapping",
+    "EMPTY_MAPPING",
+    "compatible",
+    "merge",
+    "join",
+    "union",
+    "minus",
+    "left_outer_join",
+    "match_pattern",
+    "evaluate_expression",
+    "effective_boolean_value",
+    "filter_passes",
+    "evaluate_bgp",
+    "evaluate_algebra",
+    "evaluate_query",
+    "apply_modifiers",
+    "QueryResult",
+    "optimize",
+    "decompose_filters",
+    "push_filters",
+    "reorder_bgp",
+]

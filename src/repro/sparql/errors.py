@@ -1,0 +1,27 @@
+"""Error types for the SPARQL subsystem."""
+
+from __future__ import annotations
+
+__all__ = ["SparqlError", "SparqlSyntaxError", "SparqlEvalError"]
+
+
+class SparqlError(Exception):
+    """Base class for all SPARQL-related errors."""
+
+
+class SparqlSyntaxError(SparqlError):
+    """Raised by the tokenizer/parser on malformed query text."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class SparqlEvalError(SparqlError):
+    """A type error raised during FILTER expression evaluation.
+
+    Per the SPARQL semantics a type error makes the enclosing FILTER
+    condition *fail* for that solution rather than aborting the query; the
+    evaluator catches this exception accordingly.
+    """

@@ -1,0 +1,263 @@
+"""Local (single-node) evaluation of SPARQL algebra over a graph.
+
+Implements the evaluation function ⟦P⟧_D of Sect. IV-B over an in-memory
+:class:`~repro.rdf.graph.Graph`. Each storage node runs exactly this code
+in the Local Query Execution stage of the paper's workflow (Fig. 3); the
+distributed engine composes these local evaluations across nodes. The same
+code doubles as the oracle in tests: distributed answers must equal the
+local answer over the union graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, BlankNode, Literal, RDFTerm, Variable
+from ..rdf.triple import Triple, TriplePattern
+from . import ast
+from .algebra import BGP, Algebra, Filter, GraphNode, Join, LeftJoin, Union, translate_pattern
+from .errors import SparqlError
+from .expr import filter_passes, order_key
+from .solutions import (
+    EMPTY_MAPPING,
+    SolutionMapping,
+    SolutionSet,
+    join,
+    left_outer_join,
+    match_pattern,
+    merge,
+    union,
+)
+
+__all__ = [
+    "evaluate_bgp",
+    "evaluate_algebra",
+    "apply_modifiers",
+    "evaluate_query",
+    "QueryResult",
+]
+
+
+def evaluate_bgp(bgp: BGP, graph: Graph) -> SolutionSet:
+    """⟦BGP⟧_D with index-backed candidate generation.
+
+    Patterns are evaluated left to right; each accumulated mapping µ is
+    pushed into the next pattern (µ(t)) so the graph indexes prune the
+    search — the standard index nested-loop join.
+    """
+    solutions: List[SolutionMapping] = [EMPTY_MAPPING]
+    for pattern in bgp.patterns:
+        next_solutions: List[SolutionMapping] = []
+        for mu in solutions:
+            bound = pattern.substitute(mu.as_dict())
+            for triple in graph.triples(bound):
+                nu = match_pattern(bound, triple)
+                if nu is not None:
+                    next_solutions.append(merge(mu, nu))
+        if not next_solutions:
+            return set()
+        solutions = next_solutions
+    return set(solutions)
+
+
+def evaluate_algebra(
+    node: Algebra,
+    graph: Graph,
+    named_graphs: Optional[Dict[IRI, Graph]] = None,
+) -> SolutionSet:
+    """⟦P⟧_D for a full algebra tree (Sect. IV-B semantics)."""
+    if isinstance(node, BGP):
+        return evaluate_bgp(node, graph)
+    if isinstance(node, Join):
+        return join(
+            evaluate_algebra(node.left, graph, named_graphs),
+            evaluate_algebra(node.right, graph, named_graphs),
+        )
+    if isinstance(node, Union):
+        return union(
+            evaluate_algebra(node.left, graph, named_graphs),
+            evaluate_algebra(node.right, graph, named_graphs),
+        )
+    if isinstance(node, LeftJoin):
+        left = evaluate_algebra(node.left, graph, named_graphs)
+        right = evaluate_algebra(node.right, graph, named_graphs)
+        if node.condition is None:
+            return left_outer_join(left, right)
+        # LeftJoin with an embedded condition: joined solutions must pass
+        # the condition; left solutions with no passing partner survive.
+        out: SolutionSet = set()
+        for mu in left:
+            extended = False
+            for nu in join([mu], right):
+                if filter_passes(node.condition, nu):
+                    out.add(nu)
+                    extended = True
+            if not extended:
+                out.add(mu)
+        return out
+    if isinstance(node, Filter):
+        return {
+            mu
+            for mu in evaluate_algebra(node.pattern, graph, named_graphs)
+            if filter_passes(node.condition, mu)
+        }
+    if isinstance(node, GraphNode):
+        return _evaluate_graph_node(node, graph, named_graphs or {})
+    raise SparqlError(f"cannot evaluate algebra node {type(node).__name__}")
+
+
+def _evaluate_graph_node(
+    node: GraphNode, graph: Graph, named_graphs: Dict[IRI, Graph]
+) -> SolutionSet:
+    if isinstance(node.graph, IRI):
+        target = named_graphs.get(node.graph)
+        if target is None:
+            return set()
+        return evaluate_algebra(node.pattern, target, named_graphs)
+    # Variable: union over all named graphs, binding the variable.
+    out: SolutionSet = set()
+    var = node.graph
+    for name, g in named_graphs.items():
+        binding = SolutionMapping({var: name})
+        for mu in evaluate_algebra(node.pattern, g, named_graphs):
+            out.update(join([binding], [mu]))
+    return out
+
+
+# ----------------------------------------------------------- query results
+
+
+class QueryResult:
+    """Result of a full query evaluation.
+
+    ``rows`` is the ordered solution sequence (after modifiers) for SELECT
+    and DESCRIBE-by-variable; ``boolean`` is set for ASK; ``graph`` is set
+    for CONSTRUCT / DESCRIBE.
+    """
+
+    __slots__ = ("rows", "variables", "boolean", "graph")
+
+    def __init__(
+        self,
+        rows: Optional[List[SolutionMapping]] = None,
+        variables: Sequence[Variable] = (),
+        boolean: Optional[bool] = None,
+        graph: Optional[Graph] = None,
+    ) -> None:
+        self.rows = rows if rows is not None else []
+        self.variables = tuple(variables)
+        self.boolean = boolean
+        self.graph = graph
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def bindings(self) -> List[Dict[str, RDFTerm]]:
+        """Rows as plain dicts keyed by variable name (for examples/tests)."""
+        return [
+            {var.name: term for var, term in mu.items()} for mu in self.rows
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.boolean is not None:
+            return f"QueryResult(ASK={self.boolean})"
+        if self.graph is not None:
+            return f"QueryResult(graph with {len(self.graph)} triples)"
+        return f"QueryResult({len(self.rows)} rows)"
+
+
+def apply_modifiers(
+    solutions: Iterable[SolutionMapping],
+    modifiers: ast.SolutionModifiers,
+    projection: Sequence[Variable] = (),
+) -> List[SolutionMapping]:
+    """The paper's Post-Processing stage: Order, Projection, Distinct /
+    Reduced, Offset, Limit — applied in the spec's order at the query
+    initiator."""
+    rows = list(solutions)
+
+    for condition in reversed(modifiers.order):
+        rows.sort(
+            key=lambda mu: order_key(condition.expression, mu),
+            reverse=condition.descending,
+        )
+    if not modifiers.order:
+        # Deterministic output for unordered queries: canonical term order.
+        rows.sort(key=_canonical_row_key)
+
+    if projection:
+        rows = [mu.project(projection) for mu in rows]
+
+    if modifiers.distinct or modifiers.reduced:
+        seen: Set[SolutionMapping] = set()
+        deduped: List[SolutionMapping] = []
+        for mu in rows:
+            if mu not in seen:
+                seen.add(mu)
+                deduped.append(mu)
+        rows = deduped
+
+    if modifiers.offset:
+        rows = rows[modifiers.offset:]
+    if modifiers.limit is not None:
+        rows = rows[: modifiers.limit]
+    return rows
+
+
+def _canonical_row_key(mu: SolutionMapping):
+    return tuple((v.name, t.n3()) for v, t in mu.items())
+
+
+def evaluate_query(
+    query: ast.Query,
+    graph: Graph,
+    named_graphs: Optional[Dict[IRI, Graph]] = None,
+) -> QueryResult:
+    """Evaluate a parsed query completely against a single graph.
+
+    This is the reference ("oracle") evaluation path; the distributed
+    executor must agree with it on the union of all storage-node graphs.
+    """
+    algebra = translate_pattern(query.where)
+    solutions = evaluate_algebra(algebra, graph, named_graphs)
+
+    if isinstance(query, ast.AskQuery):
+        return QueryResult(boolean=bool(solutions))
+
+    if isinstance(query, ast.SelectQuery):
+        projection = list(query.projection)
+        if not projection:
+            projection = sorted(algebra.in_scope_vars(), key=lambda v: v.name)
+        rows = apply_modifiers(solutions, query.modifiers, projection)
+        return QueryResult(rows=rows, variables=projection)
+
+    if isinstance(query, ast.ConstructQuery):
+        out = Graph()
+        for mu in solutions:
+            for template in query.template:
+                bound = template.substitute(mu.as_dict())
+                if bound.is_concrete():
+                    try:
+                        out.add(bound.as_triple())
+                    except TypeError:
+                        continue  # e.g. literal subject after substitution
+        return QueryResult(graph=out)
+
+    if isinstance(query, ast.DescribeQuery):
+        out = Graph()
+        targets: Set[RDFTerm] = set()
+        for subject in query.subjects:
+            if isinstance(subject, IRI):
+                targets.add(subject)
+            else:
+                for mu in solutions:
+                    term = mu.get(subject)
+                    if term is not None:
+                        targets.add(term)
+        for target in targets:
+            for triple in graph.triples(TriplePattern(target, Variable("p"), Variable("o"))):
+                out.add(triple)
+        return QueryResult(graph=out)
+
+    raise SparqlError(f"unknown query form {type(query).__name__}")

@@ -1,0 +1,204 @@
+"""Algebraic query optimization (the Global Query Optimization stage).
+
+Implements the rewrite rules the paper imports from Schmidt, Meier &
+Lausen ("Foundations of SPARQL query optimization", ICDT 2010) and Pérez
+et al.:
+
+* **Filter decomposition** — ``Filter(R1 && R2, P)`` ≡
+  ``Filter(R1, Filter(R2, P))``.
+* **Filter pushing** — a filter travels into the branch(es) of Join /
+  Union / LeftJoin whose *certain* variables cover the filter's variables;
+  into a BGP it may split off the covered prefix, which is exactly the
+  paper's Fig. 9 rewrite ``Filter(C1, LeftJoin(BGP(P1. P2), BGP(P3), true))
+  → LeftJoin(BGP(Filter(C1, P1). P2), BGP(P3), true)`` (modulo our Join
+  spelling of the in-BGP push).
+* **Join reordering** — AND is associative and commutative (Sect. IV-D),
+  so BGP triple patterns may be permuted; we order by estimated
+  cardinality (smallest first) using the frequency statistics kept in the
+  distributed location tables, or any user-supplied estimator.
+
+Every rule is exposed individually so the benchmark harness can ablate
+them (experiment E6/E10 of DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..rdf.triple import TriplePattern
+from . import ast
+from .algebra import BGP, Algebra, Filter, GraphNode, Join, LeftJoin, Union
+
+__all__ = [
+    "decompose_filters",
+    "push_filters",
+    "reorder_bgp",
+    "optimize",
+    "CardinalityEstimator",
+]
+
+#: Estimates the number of matches of a triple pattern (lower = evaluate
+#: earlier). The distributed planner supplies one backed by location-table
+#: frequencies; tests may pass exact counters.
+CardinalityEstimator = Callable[[TriplePattern], float]
+
+
+# ------------------------------------------------------------ decomposition
+
+
+def decompose_filters(node: Algebra) -> Algebra:
+    """Split conjunctive filter conditions into nested Filters."""
+    node = _rewrite_children(node, decompose_filters)
+    if isinstance(node, Filter) and isinstance(node.condition, ast.AndExpr):
+        inner = Filter(node.condition.right, node.pattern)
+        return decompose_filters(Filter(node.condition.left, inner))
+    return node
+
+
+# ----------------------------------------------------------------- pushing
+
+
+def push_filters(node: Algebra) -> Algebra:
+    """Push each Filter as deep as is safe.
+
+    Safety condition (Schmidt et al.): the filter's variables must be
+    *certainly bound* in the target subexpression; pushing past a LeftJoin
+    into the optional side or below a Union branch that does not bind the
+    variables would change semantics and is not done.
+    """
+    node = _rewrite_children(node, push_filters)
+    if not isinstance(node, Filter):
+        return node
+    pushed = _push_one(node.condition, node.pattern)
+    return pushed if pushed is not None else node
+
+
+def _push_one(condition: ast.Expression, target: Algebra) -> Optional[Algebra]:
+    vars_needed = condition.variables()
+
+    if isinstance(target, Join):
+        left_ok = vars_needed <= target.left.certain_vars()
+        right_ok = vars_needed <= target.right.certain_vars()
+        if left_ok and right_ok:
+            return Join(
+                push_filters(Filter(condition, target.left)),
+                push_filters(Filter(condition, target.right)),
+            )
+        if left_ok:
+            return Join(push_filters(Filter(condition, target.left)), target.right)
+        if right_ok:
+            return Join(target.left, push_filters(Filter(condition, target.right)))
+        return None
+
+    if isinstance(target, Union):
+        # Over a Union a filter may always distribute (it applies to each
+        # branch's solutions independently).
+        return Union(
+            push_filters(Filter(condition, target.left)),
+            push_filters(Filter(condition, target.right)),
+        )
+
+    if isinstance(target, LeftJoin):
+        if vars_needed <= target.left.certain_vars():
+            return LeftJoin(
+                push_filters(Filter(condition, target.left)),
+                target.right,
+                target.condition,
+            )
+        return None
+
+    if isinstance(target, BGP) and len(target.patterns) > 1:
+        # Split off the minimal prefix of patterns covering the filter
+        # variables; the filter then runs where that sub-BGP runs — at the
+        # storage nodes — instead of at the assembly site (paper §IV-G).
+        covered: list[TriplePattern] = []
+        rest: list[TriplePattern] = []
+        seen: set = set()
+        for pattern in target.patterns:
+            if not vars_needed <= seen:
+                covered.append(pattern)
+                seen |= pattern.variables()
+            else:
+                rest.append(pattern)
+        if rest and vars_needed <= seen:
+            return Join(Filter(condition, BGP(tuple(covered))), BGP(tuple(rest)))
+        return None
+
+    if isinstance(target, Filter):
+        # Reorder stacked filters so deeper pushes may apply underneath.
+        inner = _push_one(condition, target.pattern)
+        if inner is not None:
+            return Filter(target.condition, inner)
+        return None
+
+    return None
+
+
+# -------------------------------------------------------------- reordering
+
+
+def reorder_bgp(node: Algebra, estimate: CardinalityEstimator) -> Algebra:
+    """Reorder BGP triple patterns greedily.
+
+    Start from the pattern with the smallest estimated cardinality and
+    repeatedly append the cheapest pattern that shares a variable with the
+    patterns chosen so far (to avoid Cartesian products); fall back to the
+    globally cheapest remaining pattern when none connects.
+    """
+    node = _rewrite_children(node, lambda n: reorder_bgp(n, estimate))
+    if not isinstance(node, BGP) or len(node.patterns) < 2:
+        return node
+
+    remaining = list(node.patterns)
+    remaining.sort(key=estimate)
+    ordered = [remaining.pop(0)]
+    bound = set(ordered[0].variables())
+    while remaining:
+        connected = [p for p in remaining if p.variables() & bound]
+        chosen = connected[0] if connected else remaining[0]
+        remaining.remove(chosen)
+        ordered.append(chosen)
+        bound |= chosen.variables()
+    return BGP(tuple(ordered))
+
+
+# ------------------------------------------------------------------ driver
+
+
+def optimize(
+    node: Algebra,
+    estimate: Optional[CardinalityEstimator] = None,
+    *,
+    decompose: bool = True,
+    push: bool = True,
+    reorder: bool = True,
+) -> Algebra:
+    """Run the standard rewrite pipeline.
+
+    Order matters: decomposition first (smaller filters push further),
+    then pushing, then join reordering inside the (possibly split) BGPs.
+    """
+    if decompose:
+        node = decompose_filters(node)
+    if push:
+        node = push_filters(node)
+    if reorder and estimate is not None:
+        node = reorder_bgp(node, estimate)
+    return node
+
+
+# ---------------------------------------------------------------- plumbing
+
+
+def _rewrite_children(node: Algebra, rec: Callable[[Algebra], Algebra]) -> Algebra:
+    if isinstance(node, Join):
+        return Join(rec(node.left), rec(node.right))
+    if isinstance(node, Union):
+        return Union(rec(node.left), rec(node.right))
+    if isinstance(node, LeftJoin):
+        return LeftJoin(rec(node.left), rec(node.right), node.condition)
+    if isinstance(node, Filter):
+        return Filter(node.condition, rec(node.pattern))
+    if isinstance(node, GraphNode):
+        return GraphNode(node.graph, rec(node.pattern))
+    return node

@@ -1,0 +1,562 @@
+"""Recursive-descent parser: SPARQL text → :mod:`repro.sparql.ast`.
+
+Implements the Query Parsing stage of the paper's workflow (Fig. 3). The
+grammar coverage is the SPARQL 1.0 subset exercised by the paper: the four
+query forms, prologue (BASE/PREFIX), dataset clauses, group graph patterns
+with ``.`` / ``;`` / ``,`` triple shorthand and the ``a`` verb, UNION,
+OPTIONAL, GRAPH, FILTER constraints with the full operator/built-in
+expression grammar, and the solution sequence modifiers (ORDER BY,
+DISTINCT/REDUCED, LIMIT, OFFSET).
+
+The paper's figures typeset prefixed names inside angle brackets (e.g.
+``⟨foaf:knows⟩``); this parser follows the official grammar where
+``foaf:knows`` is written bare — the test suite encodes the paper queries
+in standard syntax.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..rdf.namespaces import RDF
+from ..rdf.terms import (
+    IRI,
+    BlankNode,
+    Literal,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+from ..rdf.triple import TriplePattern
+from . import ast
+from .errors import SparqlSyntaxError
+from .tokenizer import Token, TokenType, tokenize
+
+__all__ = ["parse_query", "Parser"]
+
+_BUILTIN_ARITY = {
+    "REGEX": (2, 3),
+    "BOUND": (1, 1),
+    "ISIRI": (1, 1),
+    "ISURI": (1, 1),
+    "ISBLANK": (1, 1),
+    "ISLITERAL": (1, 1),
+    "STR": (1, 1),
+    "LANG": (1, 1),
+    "DATATYPE": (1, 1),
+    "LANGMATCHES": (2, 2),
+    "SAMETERM": (2, 2),
+}
+
+
+def parse_query(
+    text: str, base_prefixes: Optional[Dict[str, str]] = None
+) -> ast.Query:
+    """Parse a SPARQL query string into an AST.
+
+    *base_prefixes* optionally pre-populates the prefix table (the query's
+    own PREFIX declarations override it).
+    """
+    return Parser(text, base_prefixes).parse()
+
+
+class Parser:
+    def __init__(self, text: str, base_prefixes: Optional[Dict[str, str]] = None) -> None:
+        self.tokens = tokenize(text)
+        self.pos = 0
+        self.prefixes: Dict[str, str] = dict(base_prefixes or {})
+        self.base: Optional[str] = None
+        self._declared: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.type != TokenType.EOF:
+            self.pos += 1
+        return tok
+
+    def error(self, message: str) -> SparqlSyntaxError:
+        tok = self.current
+        return SparqlSyntaxError(f"{message}, found {tok.value!r}", tok.line, tok.column)
+
+    def expect_op(self, op: str) -> Token:
+        tok = self.current
+        if tok.type != TokenType.OP or tok.value != op:
+            raise self.error(f"expected {op!r}")
+        return self.advance()
+
+    def expect_keyword(self, *names: str) -> Token:
+        tok = self.current
+        if not tok.is_keyword(*names):
+            raise self.error(f"expected {' or '.join(names)}")
+        return self.advance()
+
+    def at_op(self, *ops: str) -> bool:
+        tok = self.current
+        return tok.type == TokenType.OP and tok.value in ops
+
+    def eat_op(self, op: str) -> bool:
+        if self.at_op(op):
+            self.advance()
+            return True
+        return False
+
+    # -------------------------------------------------------------- entry
+
+    def parse(self) -> ast.Query:
+        self._prologue()
+        tok = self.current
+        if tok.is_keyword("SELECT"):
+            query = self._select_query()
+        elif tok.is_keyword("ASK"):
+            query = self._ask_query()
+        elif tok.is_keyword("CONSTRUCT"):
+            query = self._construct_query()
+        elif tok.is_keyword("DESCRIBE"):
+            query = self._describe_query()
+        else:
+            raise self.error("expected SELECT, ASK, CONSTRUCT, or DESCRIBE")
+        if self.current.type != TokenType.EOF:
+            raise self.error("unexpected trailing content")
+        return query
+
+    def _prologue(self) -> None:
+        while True:
+            tok = self.current
+            if tok.is_keyword("BASE"):
+                self.advance()
+                iri = self.advance()
+                if iri.type != TokenType.IRIREF:
+                    raise self.error("expected IRI after BASE")
+                self.base = iri.value
+            elif tok.is_keyword("PREFIX"):
+                self.advance()
+                pname = self.advance()
+                if pname.type != TokenType.PNAME or not pname.value.endswith(":"):
+                    raise self.error("expected prefix declaration (e.g. foaf:)")
+                prefix = pname.value[:-1]
+                iri = self.advance()
+                if iri.type != TokenType.IRIREF:
+                    raise self.error("expected IRI in PREFIX declaration")
+                self.prefixes[prefix] = iri.value
+                self._declared.append((prefix, iri.value))
+            else:
+                return
+
+    # --------------------------------------------------------- query forms
+
+    def _select_query(self) -> ast.SelectQuery:
+        self.expect_keyword("SELECT")
+        modifiers_flags = {"distinct": False, "reduced": False}
+        if self.current.is_keyword("DISTINCT"):
+            self.advance()
+            modifiers_flags["distinct"] = True
+        elif self.current.is_keyword("REDUCED"):
+            self.advance()
+            modifiers_flags["reduced"] = True
+        projection: List[Variable] = []
+        if self.at_op("*"):
+            self.advance()
+        else:
+            while self.current.type == TokenType.VAR:
+                projection.append(Variable(self.advance().value))
+            if not projection:
+                raise self.error("expected projection variables or *")
+        dataset = self._dataset_clauses()
+        where = self._where_clause()
+        mods = self._solution_modifiers(**modifiers_flags)
+        return ast.SelectQuery(
+            dataset=dataset,
+            where=where,
+            modifiers=mods,
+            prefixes=tuple(self._declared),
+            projection=tuple(projection),
+        )
+
+    def _ask_query(self) -> ast.AskQuery:
+        self.expect_keyword("ASK")
+        dataset = self._dataset_clauses()
+        where = self._where_clause()
+        return ast.AskQuery(
+            dataset=dataset,
+            where=where,
+            modifiers=ast.SolutionModifiers(),
+            prefixes=tuple(self._declared),
+        )
+
+    def _construct_query(self) -> ast.ConstructQuery:
+        self.expect_keyword("CONSTRUCT")
+        self.expect_op("{")
+        template = self._triples_block_patterns(stop="}")
+        self.expect_op("}")
+        dataset = self._dataset_clauses()
+        where = self._where_clause()
+        mods = self._solution_modifiers()
+        return ast.ConstructQuery(
+            dataset=dataset,
+            where=where,
+            modifiers=mods,
+            prefixes=tuple(self._declared),
+            template=tuple(template),
+        )
+
+    def _describe_query(self) -> ast.DescribeQuery:
+        self.expect_keyword("DESCRIBE")
+        subjects: List[Union[Variable, IRI]] = []
+        if self.at_op("*"):
+            self.advance()
+        else:
+            while True:
+                tok = self.current
+                if tok.type == TokenType.VAR:
+                    subjects.append(Variable(self.advance().value))
+                elif tok.type in (TokenType.IRIREF, TokenType.PNAME):
+                    subjects.append(self._iri())
+                else:
+                    break
+            if not subjects:
+                raise self.error("expected DESCRIBE targets or *")
+        dataset = self._dataset_clauses()
+        if self.current.is_keyword("WHERE") or self.at_op("{"):
+            where: ast.GraphPattern = self._where_clause()
+        else:
+            where = ast.GroupPattern(elements=(), filters=())
+        mods = self._solution_modifiers()
+        return ast.DescribeQuery(
+            dataset=dataset,
+            where=where,
+            modifiers=mods,
+            prefixes=tuple(self._declared),
+            subjects=tuple(subjects),
+        )
+
+    def _dataset_clauses(self) -> ast.Dataset:
+        default: List[IRI] = []
+        named: List[IRI] = []
+        while self.current.is_keyword("FROM"):
+            self.advance()
+            if self.current.is_keyword("NAMED"):
+                self.advance()
+                named.append(self._iri())
+            else:
+                default.append(self._iri())
+        return ast.Dataset(default=tuple(default), named=tuple(named))
+
+    def _where_clause(self) -> ast.GraphPattern:
+        if self.current.is_keyword("WHERE"):
+            self.advance()
+        return self._group_graph_pattern()
+
+    # ------------------------------------------------------ solution mods
+
+    def _solution_modifiers(self, distinct: bool = False, reduced: bool = False) -> ast.SolutionModifiers:
+        order: List[ast.OrderCondition] = []
+        limit: Optional[int] = None
+        offset = 0
+        if self.current.is_keyword("ORDER"):
+            self.advance()
+            self.expect_keyword("BY")
+            while True:
+                tok = self.current
+                if tok.is_keyword("ASC", "DESC"):
+                    descending = tok.value == "DESC"
+                    self.advance()
+                    self.expect_op("(")
+                    expr = self._expression()
+                    self.expect_op(")")
+                    order.append(ast.OrderCondition(expr, descending))
+                elif tok.type == TokenType.VAR:
+                    order.append(
+                        ast.OrderCondition(ast.TermExpr(Variable(self.advance().value)))
+                    )
+                elif self.at_op("("):
+                    self.advance()
+                    expr = self._expression()
+                    self.expect_op(")")
+                    order.append(ast.OrderCondition(expr))
+                else:
+                    break
+            if not order:
+                raise self.error("expected ORDER BY conditions")
+        # LIMIT and OFFSET may appear in either order.
+        for _ in range(2):
+            if self.current.is_keyword("LIMIT"):
+                self.advance()
+                limit = self._integer("LIMIT")
+            elif self.current.is_keyword("OFFSET"):
+                self.advance()
+                offset = self._integer("OFFSET")
+        return ast.SolutionModifiers(
+            order=tuple(order), distinct=distinct, reduced=reduced,
+            offset=offset, limit=limit,
+        )
+
+    def _integer(self, clause: str) -> int:
+        tok = self.current
+        if tok.type != TokenType.NUMBER or not tok.value.isdigit():
+            raise self.error(f"expected non-negative integer after {clause}")
+        self.advance()
+        return int(tok.value)
+
+    # ------------------------------------------------------ graph patterns
+
+    def _group_graph_pattern(self) -> ast.GroupPattern:
+        self.expect_op("{")
+        elements: List[ast.GraphPattern] = []
+        filters: List[ast.FilterClause] = []
+        while not self.at_op("}"):
+            tok = self.current
+            if tok.is_keyword("FILTER"):
+                self.advance()
+                filters.append(ast.FilterClause(self._constraint()))
+                self.eat_op(".")
+            elif tok.is_keyword("OPTIONAL"):
+                self.advance()
+                elements.append(ast.OptionalPattern(self._group_graph_pattern()))
+                self.eat_op(".")
+            elif tok.is_keyword("GRAPH"):
+                self.advance()
+                graph: Union[IRI, Variable]
+                if self.current.type == TokenType.VAR:
+                    graph = Variable(self.advance().value)
+                else:
+                    graph = self._iri()
+                elements.append(
+                    ast.NamedGraphPattern(graph, self._group_graph_pattern())
+                )
+                self.eat_op(".")
+            elif self.at_op("{"):
+                elements.append(self._group_or_union())
+                self.eat_op(".")
+            elif tok.type == TokenType.EOF:
+                raise self.error("unterminated group graph pattern")
+            else:
+                block = self._triples_block_patterns(stop="}")
+                if not block:
+                    raise self.error("expected graph pattern element")
+                elements.append(ast.TriplesBlock(tuple(block)))
+        self.expect_op("}")
+        return ast.GroupPattern(elements=tuple(elements), filters=tuple(filters))
+
+    def _group_or_union(self) -> ast.GraphPattern:
+        left: ast.GraphPattern = self._group_graph_pattern()
+        while self.current.is_keyword("UNION"):
+            self.advance()
+            right = self._group_graph_pattern()
+            left = ast.UnionPattern(left, right)
+        return left
+
+    def _triples_block_patterns(self, stop: str) -> List[TriplePattern]:
+        """Parse a run of TriplesSameSubject productions separated by '.'.
+
+        Handles the ``;`` (same subject) and ``,`` (same subject+predicate)
+        shorthand used by the paper's Fig. 9 query.
+        """
+        patterns: List[TriplePattern] = []
+        while True:
+            tok = self.current
+            if (
+                self.at_op(stop)
+                or tok.type == TokenType.EOF
+                or tok.is_keyword("FILTER", "OPTIONAL", "GRAPH", "UNION")
+                or self.at_op("{")
+            ):
+                return patterns
+            subject = self._var_or_term()
+            self._property_list(subject, patterns)
+            if not self.eat_op("."):
+                return patterns
+
+    def _property_list(self, subject, patterns: List[TriplePattern]) -> None:
+        while True:
+            verb = self._verb()
+            while True:
+                obj = self._var_or_term()
+                patterns.append(TriplePattern(subject, verb, obj))
+                if not self.eat_op(","):
+                    break
+            if not self.eat_op(";"):
+                return
+            # A trailing ';' before '.' or '}' is legal.
+            if self.at_op(".") or self.at_op("}"):
+                return
+
+    def _verb(self):
+        tok = self.current
+        if tok.is_keyword("A"):
+            self.advance()
+            return RDF.type
+        if tok.type == TokenType.VAR:
+            self.advance()
+            return Variable(tok.value)
+        return self._iri()
+
+    def _var_or_term(self):
+        tok = self.current
+        if tok.type == TokenType.VAR:
+            self.advance()
+            return Variable(tok.value)
+        if tok.type == TokenType.BLANK:
+            self.advance()
+            return BlankNode(tok.value)
+        if tok.type in (TokenType.IRIREF, TokenType.PNAME):
+            return self._iri()
+        if tok.type == TokenType.STRING:
+            return self._literal()
+        if tok.type == TokenType.NUMBER:
+            self.advance()
+            return _numeric_literal(tok.value)
+        if tok.type == TokenType.BOOLEAN:
+            self.advance()
+            return Literal(tok.value, datatype=IRI(XSD_BOOLEAN))
+        raise self.error("expected RDF term or variable")
+
+    def _iri(self) -> IRI:
+        tok = self.current
+        if tok.type == TokenType.IRIREF:
+            self.advance()
+            value = tok.value
+            if self.base and "://" not in value:
+                value = self.base + value
+            return IRI(value)
+        if tok.type == TokenType.PNAME:
+            self.advance()
+            prefix, _, local = tok.value.partition(":")
+            if prefix not in self.prefixes:
+                raise SparqlSyntaxError(
+                    f"undeclared prefix {prefix!r}", tok.line, tok.column
+                )
+            return IRI(self.prefixes[prefix] + local)
+        raise self.error("expected IRI")
+
+    def _literal(self) -> Literal:
+        tok = self.advance()
+        lexical = tok.value
+        nxt = self.current
+        if nxt.type == TokenType.LANGTAG:
+            self.advance()
+            return Literal(lexical, language=nxt.value)
+        if self.at_op("^^"):
+            self.advance()
+            return Literal(lexical, datatype=self._iri())
+        return Literal(lexical)
+
+    # --------------------------------------------------------- expressions
+
+    def _constraint(self) -> ast.Expression:
+        if self.at_op("("):
+            self.advance()
+            expr = self._expression()
+            self.expect_op(")")
+            return expr
+        return self._builtin_call()
+
+    def _expression(self) -> ast.Expression:
+        return self._or_expression()
+
+    def _or_expression(self) -> ast.Expression:
+        left = self._and_expression()
+        while self.at_op("||"):
+            self.advance()
+            left = ast.OrExpr(left, self._and_expression())
+        return left
+
+    def _and_expression(self) -> ast.Expression:
+        left = self._relational_expression()
+        while self.at_op("&&"):
+            self.advance()
+            left = ast.AndExpr(left, self._relational_expression())
+        return left
+
+    def _relational_expression(self) -> ast.Expression:
+        left = self._additive_expression()
+        if self.at_op("=", "!=", "<", "<=", ">", ">="):
+            op = self.advance().value
+            right = self._additive_expression()
+            return ast.CompareExpr(op, left, right)
+        return left
+
+    def _additive_expression(self) -> ast.Expression:
+        left = self._multiplicative_expression()
+        while self.at_op("+", "-"):
+            op = self.advance().value
+            left = ast.ArithExpr(op, left, self._multiplicative_expression())
+        return left
+
+    def _multiplicative_expression(self) -> ast.Expression:
+        left = self._unary_expression()
+        while self.at_op("*", "/"):
+            op = self.advance().value
+            left = ast.ArithExpr(op, left, self._unary_expression())
+        return left
+
+    def _unary_expression(self) -> ast.Expression:
+        if self.eat_op("!"):
+            return ast.NotExpr(self._unary_expression())
+        if self.eat_op("-"):
+            return ast.NegExpr(self._unary_expression())
+        if self.eat_op("+"):
+            return self._unary_expression()
+        return self._primary_expression()
+
+    def _primary_expression(self) -> ast.Expression:
+        tok = self.current
+        if self.at_op("("):
+            self.advance()
+            expr = self._expression()
+            self.expect_op(")")
+            return expr
+        if tok.type == TokenType.KEYWORD and tok.value in _BUILTIN_ARITY:
+            return self._builtin_call()
+        if tok.type == TokenType.VAR:
+            self.advance()
+            return ast.TermExpr(Variable(tok.value))
+        if tok.type in (TokenType.IRIREF, TokenType.PNAME):
+            return ast.TermExpr(self._iri())
+        if tok.type == TokenType.STRING:
+            return ast.TermExpr(self._literal())
+        if tok.type == TokenType.NUMBER:
+            self.advance()
+            return ast.TermExpr(_numeric_literal(tok.value))
+        if tok.type == TokenType.BOOLEAN:
+            self.advance()
+            return ast.TermExpr(Literal(tok.value, datatype=IRI(XSD_BOOLEAN)))
+        raise self.error("expected expression")
+
+    def _builtin_call(self) -> ast.Expression:
+        tok = self.current
+        if tok.type != TokenType.KEYWORD or tok.value not in _BUILTIN_ARITY:
+            raise self.error("expected built-in call")
+        name = self.advance().value
+        lo, hi = _BUILTIN_ARITY[name]
+        self.expect_op("(")
+        args: List[ast.Expression] = []
+        if not self.at_op(")"):
+            args.append(self._expression())
+            while self.eat_op(","):
+                args.append(self._expression())
+        self.expect_op(")")
+        if not (lo <= len(args) <= hi):
+            raise SparqlSyntaxError(
+                f"{name} expects {lo}"
+                + (f"..{hi}" if hi != lo else "")
+                + f" arguments, got {len(args)}",
+                tok.line,
+                tok.column,
+            )
+        return ast.FunctionCall(name, tuple(args))
+
+
+def _numeric_literal(lexeme: str) -> Literal:
+    if lexeme.isdigit():
+        return Literal(lexeme, datatype=IRI(XSD_INTEGER))
+    if "e" in lexeme or "E" in lexeme:
+        return Literal(lexeme, datatype=IRI(XSD_DOUBLE))
+    return Literal(lexeme, datatype=IRI(XSD_DECIMAL))

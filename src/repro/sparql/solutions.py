@@ -1,0 +1,219 @@
+"""Solution mappings and the operations on sets of mappings.
+
+Sect. IV-A of the paper adopts the semantics of Pérez, Arenas & Gutierrez
+("Semantics and complexity of SPARQL", TODS 2009): a *solution mapping* µ
+is a partial function from variables V to RDF terms U; two mappings are
+*compatible* when every shared variable has the same value; and for sets
+of mappings Ω1, Ω2:
+
+* join:        Ω1 ⋈ Ω2 = { µ1 ∪ µ2 | µ1 ∈ Ω1, µ2 ∈ Ω2, µ1 ~ µ2 }
+* union:       Ω1 ∪ Ω2 = { µ | µ ∈ Ω1 or µ ∈ Ω2 }
+* difference:  Ω1 − Ω2 = { µ ∈ Ω1 | ∀ µ' ∈ Ω2: µ and µ' not compatible }
+* left join:   Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 − Ω2)
+
+This module implements those operations with set semantics, exactly as the
+paper states them, and they are exercised by property-based tests for the
+algebraic laws (associativity/commutativity of ⋈ and ∪) that the paper's
+distributed optimizations rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from ..rdf.terms import RDFTerm, Variable
+from ..rdf.triple import Triple, TriplePattern
+
+__all__ = [
+    "SolutionMapping",
+    "SolutionSet",
+    "EMPTY_MAPPING",
+    "compatible",
+    "merge",
+    "join",
+    "union",
+    "minus",
+    "left_outer_join",
+    "match_pattern",
+]
+
+
+class SolutionMapping:
+    """An immutable partial function µ : V → U.
+
+    Hashable so that solution *sets* deduplicate naturally, as required by
+    the set semantics of the paper.
+    """
+
+    __slots__ = ("_bindings", "_hash")
+
+    def __init__(self, bindings: Optional[Mapping[Variable, RDFTerm]] = None) -> None:
+        items: Dict[Variable, RDFTerm] = dict(bindings) if bindings else {}
+        for var in items:
+            if not isinstance(var, Variable):
+                raise TypeError(f"mapping keys must be Variables, got {var!r}")
+        self._bindings: Tuple[Tuple[Variable, RDFTerm], ...] = tuple(
+            sorted(items.items(), key=lambda kv: kv[0].name)
+        )
+        self._hash = hash(self._bindings)
+
+    # ------------------------------------------------------------- access
+
+    def domain(self) -> FrozenSet[Variable]:
+        """dom(µ): the variables on which µ is defined."""
+        return frozenset(v for v, _ in self._bindings)
+
+    def get(self, var: Variable) -> Optional[RDFTerm]:
+        for v, t in self._bindings:
+            if v == var:
+                return t
+        return None
+
+    def __getitem__(self, var: Variable) -> RDFTerm:
+        value = self.get(var)
+        if value is None:
+            raise KeyError(var)
+        return value
+
+    def __contains__(self, var: Variable) -> bool:
+        return self.get(var) is not None
+
+    def items(self) -> Iterator[Tuple[Variable, RDFTerm]]:
+        return iter(self._bindings)
+
+    def as_dict(self) -> Dict[Variable, RDFTerm]:
+        return dict(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SolutionMapping):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def project(self, variables: Iterable[Variable]) -> "SolutionMapping":
+        keep = set(variables)
+        return SolutionMapping({v: t for v, t in self._bindings if v in keep})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"?{v.name}={t.n3()}" for v, t in self._bindings)
+        return f"µ{{{inner}}}"
+
+
+EMPTY_MAPPING = SolutionMapping()
+
+#: A set of solution mappings Ω.
+SolutionSet = Set[SolutionMapping]
+
+
+def compatible(mu1: SolutionMapping, mu2: SolutionMapping) -> bool:
+    """µ1 ~ µ2: every shared variable is bound to the same term."""
+    if len(mu1) > len(mu2):
+        mu1, mu2 = mu2, mu1
+    for var, term in mu1.items():
+        other = mu2.get(var)
+        if other is not None and other != term:
+            return False
+    return True
+
+
+def merge(mu1: SolutionMapping, mu2: SolutionMapping) -> SolutionMapping:
+    """µ1 ∪ µ2 for compatible mappings (caller must ensure compatibility)."""
+    combined = mu1.as_dict()
+    combined.update(mu2.as_dict())
+    return SolutionMapping(combined)
+
+
+def join(omega1: Iterable[SolutionMapping], omega2: Iterable[SolutionMapping]) -> SolutionSet:
+    """Ω1 ⋈ Ω2 with a hash-join on the shared variables.
+
+    Falls back to a nested-loop cross product when the inputs share no
+    variables (every pair is then compatible by definition).
+    """
+    left = list(omega1)
+    right = list(omega2)
+    if not left or not right:
+        return set()
+
+    shared = _common_domain(left, right)
+    if not shared:
+        return {merge(m1, m2) for m1 in left for m2 in right}
+
+    # Hash the smaller side on its projection onto the shared variables.
+    if len(right) < len(left):
+        left, right = right, left
+    buckets: Dict[SolutionMapping, list[SolutionMapping]] = {}
+    for mu in left:
+        buckets.setdefault(mu.project(shared), []).append(mu)
+
+    out: SolutionSet = set()
+    for mu2 in right:
+        key = mu2.project(shared)
+        # A mapping may leave some shared variable unbound (partial µ), so
+        # probe every bucket whose key is compatible with this one.
+        if len(key) == len(shared):
+            for mu1 in buckets.get(key, ()):
+                out.add(merge(mu1, mu2))
+            # Also any bucket with a *smaller* domain that is compatible.
+            if any(len(k) < len(shared) for k in buckets):
+                for k, mus in buckets.items():
+                    if len(k) < len(shared) and compatible(k, key):
+                        out.update(merge(m1, mu2) for m1 in mus)
+        else:
+            for k, mus in buckets.items():
+                if compatible(k, key):
+                    out.update(merge(m1, mu2) for m1 in mus)
+    return out
+
+
+def _common_domain(left: Iterable[SolutionMapping], right: Iterable[SolutionMapping]) -> FrozenSet[Variable]:
+    dom1: Set[Variable] = set()
+    for mu in left:
+        dom1.update(mu.domain())
+    dom2: Set[Variable] = set()
+    for mu in right:
+        dom2.update(mu.domain())
+    return frozenset(dom1 & dom2)
+
+
+def union(omega1: Iterable[SolutionMapping], omega2: Iterable[SolutionMapping]) -> SolutionSet:
+    """Ω1 ∪ Ω2."""
+    return set(omega1) | set(omega2)
+
+
+def minus(omega1: Iterable[SolutionMapping], omega2: Iterable[SolutionMapping]) -> SolutionSet:
+    """Ω1 − Ω2: mappings of Ω1 compatible with *no* mapping of Ω2."""
+    right = list(omega2)
+    return {mu for mu in omega1 if not any(compatible(mu, nu) for nu in right)}
+
+
+def left_outer_join(
+    omega1: Iterable[SolutionMapping], omega2: Iterable[SolutionMapping]
+) -> SolutionSet:
+    """Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 − Ω2) (paper, Sect. IV-E)."""
+    left = list(omega1)
+    right = list(omega2)
+    return join(left, right) | minus(left, right)
+
+
+def match_pattern(pattern: TriplePattern, triple: Triple) -> Optional[SolutionMapping]:
+    """The µ with dom(µ) = var(t) and µ(t) = triple, or None.
+
+    This is the paper's (clarified) base case of graph pattern evaluation:
+    consistent bindings are required when a variable repeats.
+    """
+    bindings: Dict[Variable, RDFTerm] = {}
+    for pat, val in zip(pattern, triple):
+        if isinstance(pat, Variable):
+            bound = bindings.get(pat)
+            if bound is None:
+                bindings[pat] = val
+            elif bound != val:
+                return None
+        elif pat != val:
+            return None
+    return SolutionMapping(bindings)

@@ -1,0 +1,148 @@
+"""Tokenizer for the SPARQL surface syntax.
+
+Produces a flat token stream for the recursive-descent parser. The token
+set covers the subset of SPARQL 1.0 the paper uses (Sect. IV-A): the four
+query forms, PREFIX/BASE, FROM / FROM NAMED, group graph patterns with
+``.``/``;``/``,`` shorthand, UNION, OPTIONAL, FILTER with built-in calls
+and operator expressions, and the solution sequence modifiers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import SparqlSyntaxError
+
+__all__ = ["Token", "TokenType", "tokenize"]
+
+
+class TokenType:
+    """Token categories (plain strings; cheap and easy to match on)."""
+
+    KEYWORD = "KEYWORD"
+    IRIREF = "IRIREF"
+    PNAME = "PNAME"          # prefixed name  foaf:knows  or bare prefix  foaf:
+    VAR = "VAR"              # ?x or $x
+    STRING = "STRING"
+    LANGTAG = "LANGTAG"
+    NUMBER = "NUMBER"
+    BOOLEAN = "BOOLEAN"
+    BLANK = "BLANK"          # _:label
+    OP = "OP"                # punctuation / operators
+    EOF = "EOF"
+
+
+#: Keywords recognized case-insensitively (SPARQL keywords are
+#: case-insensitive; variables and IRIs are not).
+KEYWORDS = {
+    "SELECT", "CONSTRUCT", "ASK", "DESCRIBE", "WHERE", "PREFIX", "BASE",
+    "FROM", "NAMED", "FILTER", "OPTIONAL", "UNION", "GRAPH", "ORDER", "BY",
+    "ASC", "DESC", "LIMIT", "OFFSET", "DISTINCT", "REDUCED", "REGEX",
+    "BOUND", "ISIRI", "ISURI", "ISBLANK", "ISLITERAL", "STR", "LANG",
+    "DATATYPE", "LANGMATCHES", "SAMETERM", "A", "TRUE", "FALSE",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>\#[^\n]*)
+  | (?P<IRIREF><[^<>"{}|^`\\\s]*>)
+  | (?P<VAR>[?$][A-Za-z_][A-Za-z_0-9]*)
+  | (?P<STRING>"(?:[^"\\\n]|\\.)*"|'(?:[^'\\\n]|\\.)*')
+  | (?P<LANGTAG>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+  | (?P<NUMBER>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<BLANK>_:[A-Za-z][A-Za-z0-9_.-]*)
+  | (?P<PNAME>[A-Za-z_][A-Za-z_0-9.-]*?:[A-Za-z_0-9.-]*|:[A-Za-z_0-9.-]*)
+  | (?P<NAME>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<OP>\^\^|&&|\|\||!=|<=|>=|[=<>!*/+\-{}().;,\[\]])
+    """,
+    re.VERBOSE,
+)
+
+_STRING_UNESCAPES = {
+    "\\n": "\n", "\\r": "\r", "\\t": "\t", '\\"': '"', "\\'": "'", "\\\\": "\\",
+}
+_STRING_ESCAPE_RE = re.compile(r"\\(?:[ntr\"'\\]|u[0-9A-Fa-f]{4}|U[0-9A-Fa-f]{8})")
+
+
+def _unescape_string(body: str) -> str:
+    def sub(m: re.Match[str]) -> str:
+        tok = m.group(0)
+        if tok in _STRING_UNESCAPES:
+            return _STRING_UNESCAPES[tok]
+        return chr(int(tok[2:], 16))
+
+    return _STRING_ESCAPE_RE.sub(sub, body)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type == TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize *text*; always ends with an EOF token.
+
+    Raises :class:`SparqlSyntaxError` on any character that starts no
+    token.
+    """
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while pos < n:
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise SparqlSyntaxError(
+                f"unexpected character {text[pos]!r}", line, pos - line_start + 1
+            )
+        kind = m.lastgroup
+        value = m.group(0)
+        column = pos - line_start + 1
+        if kind in ("WS", "COMMENT"):
+            pass  # skipped; line accounting below
+        elif kind == "IRIREF":
+            tokens.append(Token(TokenType.IRIREF, value[1:-1], line, column))
+        elif kind == "VAR":
+            tokens.append(Token(TokenType.VAR, value[1:], line, column))
+        elif kind == "STRING":
+            tokens.append(Token(TokenType.STRING, _unescape_string(value[1:-1]), line, column))
+        elif kind == "LANGTAG":
+            tokens.append(Token(TokenType.LANGTAG, value[1:], line, column))
+        elif kind == "NUMBER":
+            tokens.append(Token(TokenType.NUMBER, value, line, column))
+        elif kind == "BLANK":
+            tokens.append(Token(TokenType.BLANK, value[2:], line, column))
+        elif kind == "PNAME":
+            tokens.append(Token(TokenType.PNAME, value, line, column))
+        elif kind == "NAME":
+            upper = value.upper()
+            if upper in ("TRUE", "FALSE"):
+                tokens.append(Token(TokenType.BOOLEAN, upper.lower(), line, column))
+            elif upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, line, column))
+            else:
+                raise SparqlSyntaxError(f"unknown identifier {value!r}", line, column)
+        else:  # OP
+            tokens.append(Token(TokenType.OP, value, line, column))
+        # Line accounting for the consumed span (matters only for WS/comments
+        # containing newlines, but do it uniformly).
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + value.rfind("\n") + 1
+        pos = m.end()
+    tokens.append(Token(TokenType.EOF, "", line, n - line_start + 1))
+    return tokens

@@ -1,0 +1,18 @@
+"""Workload generators (S11): synthetic FOAF data, Zipf skew, query mixes,
+and the canned paper-example datasets."""
+
+from .zipf import ZipfSampler
+from .foaf import FoafConfig, generate_foaf_triples, partition_triples, person_iri
+from .datasets import paper_example_dataset, paper_example_partition
+from .queries import QueryWorkload
+
+__all__ = [
+    "ZipfSampler",
+    "FoafConfig",
+    "generate_foaf_triples",
+    "partition_triples",
+    "person_iri",
+    "paper_example_dataset",
+    "paper_example_partition",
+    "QueryWorkload",
+]

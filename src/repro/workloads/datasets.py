@@ -1,0 +1,103 @@
+"""Canned micro-datasets for tests, examples, and the paper artifacts.
+
+:func:`paper_example_dataset` builds a small social graph on which every
+example query of the paper (Figs. 4-9) has a non-trivial, hand-checkable
+answer, using exactly the vocabulary those figures use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..rdf.namespaces import FOAF, NS
+from ..rdf.terms import IRI, Literal
+from ..rdf.triple import Triple
+
+__all__ = ["paper_example_dataset", "paper_example_partition"]
+
+_P = "http://example.org/people/"
+
+
+def _person(name: str) -> IRI:
+    return IRI(_P + name)
+
+
+def paper_example_dataset() -> List[Triple]:
+    """A 9-person graph exercising every Fig. 4-9 query.
+
+    Hand-crafted facts (see tests/test_artifacts.py for the expected
+    answers):
+
+    * anna ("Anna Smith") knows carl and knows nothing about bella;
+      bella also knows carl — so Fig. 4 / Fig. 6 style patterns match
+      (anna, bella, carl).
+    * dave ("Dave Smith") knows erik; erik has nick "Shrek" — Fig. 7's
+      optional pattern extends dave's solution with erik.
+    * fred ("Fred Jones") has the mbox of Fig. 8's UNION branch.
+    """
+    anna, bella, carl = _person("anna"), _person("bella"), _person("carl")
+    dave, erik, fred = _person("dave"), _person("erik"), _person("fred")
+    gina, hugo, me = _person("gina"), _person("hugo"), IRI(NS.base + "me")
+    smith = _person("smith")
+
+    triples = [
+        # Fig. 7 / Fig. 8 literal match: a person whose name *is* "Smith",
+        # knowing one person nicked "Shrek" (optional matches) and one
+        # without a nick (optional leaves the solution untouched).
+        Triple(smith, FOAF.name, Literal("Smith")),
+        Triple(smith, FOAF.knows, erik),
+        Triple(smith, FOAF.knows, hugo),
+        Triple(anna, FOAF.name, Literal("Anna Smith")),
+        Triple(bella, FOAF.name, Literal("Bella Jones")),
+        Triple(carl, FOAF.name, Literal("Carl Brown")),
+        Triple(dave, FOAF.name, Literal("Dave Smith")),
+        Triple(erik, FOAF.name, Literal("Erik Wilson")),
+        Triple(fred, FOAF.name, Literal("Fred Jones")),
+        Triple(gina, FOAF.name, Literal("Gina Smith")),
+        Triple(hugo, FOAF.name, Literal("Hugo Evans")),
+        # Fig. 4 / Fig. 6: ?x knows ?z, ?x knowsNothingAbout ?y, ?y knows ?z
+        Triple(anna, FOAF.knows, carl),
+        Triple(anna, NS.knowsNothingAbout, bella),
+        Triple(bella, FOAF.knows, carl),
+        # Fig. 5: ?x foaf:knows ns:me
+        Triple(carl, FOAF.knows, me),
+        Triple(gina, FOAF.knows, me),
+        # Fig. 7: Smith knows someone nicked "Shrek" (optionally)
+        Triple(dave, FOAF.knows, erik),
+        Triple(erik, FOAF.nick, Literal("Shrek")),
+        Triple(gina, FOAF.knows, hugo),       # gina: optional part won't match
+        # Fig. 8: mbox branch
+        Triple(fred, FOAF.mbox, IRI("mailto:abc@example.org")),
+        Triple(fred, FOAF.knows, anna),
+        # Fig. 9: ?x knowsNothingAbout ?y OPTIONAL ?y knows ?z
+        Triple(dave, NS.knowsNothingAbout, gina),
+        Triple(hugo, FOAF.knows, bella),
+        Triple(gina, NS.knowsNothingAbout, hugo),
+    ]
+    return triples
+
+
+def paper_example_partition() -> Dict[str, List[Triple]]:
+    """The same dataset split across the four storage nodes of Fig. 1.
+
+    The split is chosen so that multi-pattern queries genuinely span
+    providers (e.g. a person's name and their knows-edges live on
+    different nodes), with one deliberately duplicated triple so dedup
+    along chains is observable.
+    """
+    triples = paper_example_dataset()
+    by_predicate: Dict[str, List[Triple]] = {"D1": [], "D2": [], "D3": [], "D4": []}
+    for t in triples:
+        local = t.p.value.rsplit("/", 1)[-1].rsplit("#", 1)[-1]
+        if local == "name":
+            by_predicate["D1"].append(t)
+        elif local == "knows":
+            by_predicate["D2"].append(t)
+        elif local == "knowsNothingAbout":
+            by_predicate["D3"].append(t)
+        else:  # mbox, nick
+            by_predicate["D4"].append(t)
+    # One duplicated triple: both D2 and D4 offer erik's nick.
+    nick = next(t for t in triples if t.p == FOAF.nick)
+    by_predicate["D2"].append(nick)
+    return by_predicate

@@ -1,0 +1,104 @@
+"""Query workload generators.
+
+Produces SPARQL query texts of the families the paper analyses:
+primitive queries of all eight shapes (Sect. IV-C), conjunctions
+(IV-D), optionals (IV-E), unions (IV-F), and filters (IV-G) — grounded in
+an actual dataset so that result sizes are non-trivial.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..rdf.terms import IRI, BlankNode, Literal, RDFTerm
+from ..rdf.triple import PatternShape, Triple
+
+__all__ = ["QueryWorkload"]
+
+
+def _term_sparql(term: RDFTerm) -> str:
+    if isinstance(term, BlankNode):
+        # Blank nodes cannot be addressed from a query; use a variable.
+        raise ValueError("cannot ground a query position in a blank node")
+    return term.n3()
+
+
+class QueryWorkload:
+    """Draws ground terms from a dataset to build queries that match."""
+
+    def __init__(self, triples: Sequence[Triple], seed: int = 0) -> None:
+        if not triples:
+            raise ValueError("query workload needs a non-empty dataset")
+        self.triples = list(triples)
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------ primitives
+
+    def primitive(self, shape: PatternShape, select: str = "*") -> str:
+        """A single-triple-pattern query of the given shape, grounded in a
+        random dataset triple (so it has at least one answer)."""
+        while True:
+            triple = self.rng.choice(self.triples)
+            try:
+                s = _term_sparql(triple.s) if "s" in shape.bound_positions else "?s"
+                p = _term_sparql(triple.p) if "p" in shape.bound_positions else "?p"
+                o = _term_sparql(triple.o) if "o" in shape.bound_positions else "?o"
+            except ValueError:
+                continue
+            return f"SELECT {select} WHERE {{ {s} {p} {o} . }}"
+
+    def primitives(self, count: int, shape: Optional[PatternShape] = None) -> List[str]:
+        shapes = list(PatternShape) if shape is None else [shape]
+        out = []
+        for _ in range(count):
+            out.append(self.primitive(self.rng.choice(shapes)))
+        return out
+
+    # ----------------------------------------------------------- compounds
+
+    def conjunction(self, num_patterns: int = 2) -> str:
+        """A star-join around a random subject's predicates (IV-D style)."""
+        anchor = self.rng.choice(self.triples)
+        same_subject = [t for t in self.triples if t.s == anchor.s]
+        chosen = same_subject[:num_patterns]
+        lines = []
+        for i, t in enumerate(chosen):
+            lines.append(f"?x {_term_sparql(t.p)} ?v{i} .")
+        while len(lines) < num_patterns:
+            t = self.rng.choice(self.triples)
+            lines.append(f"?x {_term_sparql(t.p)} ?v{len(lines)} .")
+        body = "\n  ".join(lines)
+        return f"SELECT * WHERE {{\n  {body}\n}}"
+
+    def optional(self) -> str:
+        t1 = self.rng.choice(self.triples)
+        t2 = self.rng.choice(self.triples)
+        return (
+            "SELECT * WHERE {\n"
+            f"  ?x {_term_sparql(t1.p)} ?a .\n"
+            f"  OPTIONAL {{ ?a {_term_sparql(t2.p)} ?b . }}\n"
+            "}"
+        )
+
+    def union(self) -> str:
+        t1 = self.rng.choice(self.triples)
+        t2 = self.rng.choice(self.triples)
+        return (
+            "SELECT * WHERE {\n"
+            f"  {{ ?x {_term_sparql(t1.p)} ?a . }}\n"
+            "  UNION\n"
+            f"  {{ ?x {_term_sparql(t2.p)} ?a . }}\n"
+            "}"
+        )
+
+    def filtered(self, pattern_predicate: Optional[IRI] = None, regex: str = "Smith") -> str:
+        if pattern_predicate is None:
+            literal_triples = [t for t in self.triples if isinstance(t.o, Literal)]
+            pattern_predicate = self.rng.choice(literal_triples).p if literal_triples else self.rng.choice(self.triples).p
+        return (
+            "SELECT * WHERE {\n"
+            f"  ?x {pattern_predicate.n3()} ?v .\n"
+            f'  FILTER regex(?v, "{regex}")\n'
+            "}"
+        )

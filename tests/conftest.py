@@ -1,0 +1,34 @@
+"""Shared fixtures: ready-built systems and datasets."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+import pytest
+
+from repro.query import DistributedExecutor
+from repro.workloads import FoafConfig, generate_foaf_triples, partition_triples
+
+from helpers import build_system
+
+
+@pytest.fixture
+def paper_system():
+    """The paper-example dataset spread over D1..D4 under 8 index nodes."""
+    return build_system()
+
+
+@pytest.fixture
+def foaf_system():
+    """A mid-size FOAF system: 60 people over 6 providers, 20% overlap."""
+    triples = generate_foaf_triples(FoafConfig(num_people=60, seed=7))
+    parts = partition_triples(triples, 6, overlap=0.2, seed=8)
+    return build_system(num_index=10, parts=parts)
+
+
+@pytest.fixture
+def executor(paper_system):
+    return DistributedExecutor(paper_system)

@@ -1,0 +1,31 @@
+"""Shared test helpers (importable from test modules)."""
+
+from __future__ import annotations
+
+from repro.chord import IdentifierSpace
+from repro.overlay import HybridSystem
+from repro.workloads import paper_example_partition
+
+
+def build_system(
+    num_index: int = 8,
+    parts=None,
+    replication_factor: int = 1,
+    space_bits: int = 32,
+) -> HybridSystem:
+    """A converged hybrid system with the given storage partitions."""
+    system = HybridSystem(
+        space=IdentifierSpace(space_bits), replication_factor=replication_factor
+    )
+    for i in range(num_index):
+        system.add_index_node(f"N{i}")
+    system.build_ring()
+    if parts is None:
+        parts = paper_example_partition()
+    if isinstance(parts, dict):
+        for storage_id, triples in parts.items():
+            system.add_storage_node(storage_id, triples)
+    else:
+        for i, triples in enumerate(parts):
+            system.add_storage_node(f"D{i}", triples)
+    return system

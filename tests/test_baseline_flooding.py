@@ -1,0 +1,84 @@
+"""Flooding baseline tests: reachability, recall vs TTL, dedup, cost."""
+
+import pytest
+
+from repro.baselines import FloodingSystem
+from repro.rdf import FOAF, Graph, TriplePattern, Variable
+from repro.sparql.algebra import BGP
+from repro.sparql.solutions import match_pattern
+from repro.workloads import FoafConfig, generate_foaf_triples, partition_triples
+
+X, Y = Variable("x"), Variable("y")
+ALG = BGP((TriplePattern(X, FOAF.knows, Y),))
+
+
+def build_flooding(num_nodes=12, degree=3, seed=81):
+    triples = generate_foaf_triples(FoafConfig(num_people=40, seed=seed))
+    parts = partition_triples(triples, num_nodes, seed=seed + 1)
+    system = FloodingSystem()
+    for i, part in enumerate(parts):
+        system.add_node(f"F{i}", part)
+    system.wire_random(degree, seed=seed + 2)
+    return system, triples
+
+
+def oracle(triples):
+    g = Graph(triples)
+    return {match_pattern(ALG.patterns[0], t) for t in g.triples(ALG.patterns[0])}
+
+
+class TestWiring:
+    def test_backbone_guarantees_connectivity(self):
+        system, _ = build_flooding(degree=2)
+        # BFS over neighbors from F0 reaches everyone.
+        seen = {"F0"}
+        frontier = ["F0"]
+        while frontier:
+            node = system.nodes[frontier.pop()]
+            for nb in node.neighbors:
+                if nb not in seen:
+                    seen.add(nb)
+                    frontier.append(nb)
+        assert seen == set(system.nodes)
+
+    def test_degree_at_least_requested(self):
+        system, _ = build_flooding(degree=4)
+        for node in system.nodes.values():
+            assert len(node.neighbors) >= 4
+
+
+class TestFloodQuery:
+    def test_high_ttl_reaches_full_recall(self):
+        system, triples = build_flooding()
+        result = system.query("F0", ALG, ttl=12)
+        assert set(result) == oracle(triples)
+        assert system.nodes_reached() == len(system.nodes)
+
+    def test_low_ttl_trades_recall(self):
+        system, triples = build_flooding(degree=2)
+        result = system.query("F0", ALG, ttl=2)
+        full = oracle(triples)
+        assert set(result) <= full
+        assert system.nodes_reached() < len(system.nodes)
+
+    def test_duplicate_floods_suppressed(self):
+        system, _ = build_flooding(degree=4)
+        system.query("F0", ALG, ttl=12)
+        # every node processed the query exactly once despite many paths
+        qid = "flood-1"
+        assert all(qid in n._seen_queries for n in system.nodes.values())
+
+    def test_messages_scale_with_edges_not_providers(self):
+        """Flooding pays per edge, even when only a few nodes hold data."""
+        system, triples = build_flooding(degree=4)
+        system.stats.reset()
+        system.query("F0", ALG, ttl=12)
+        flood_msgs = system.stats.per_kind_messages["flood"]
+        total_edges = sum(len(n.neighbors) for n in system.nodes.values()) // 2
+        assert flood_msgs >= total_edges  # at least one traversal per edge
+
+    def test_second_query_gets_fresh_qid(self):
+        system, triples = build_flooding()
+        first = system.query("F0", ALG, ttl=12)
+        second = system.query("F1", ALG, ttl=12)
+        assert set(first) == set(second) == oracle(triples)

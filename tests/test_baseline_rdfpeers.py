@@ -1,0 +1,124 @@
+"""RDFPeers baseline tests: storage placement, queries, the architectural
+contrast with the paper's two-level index (data stays at providers)."""
+
+import pytest
+
+from repro.baselines import RDFPeersSystem
+from repro.rdf import FOAF, NS, Graph, TriplePattern, Variable
+from repro.sparql.solutions import match_pattern
+from repro.workloads import FoafConfig, generate_foaf_triples, paper_example_dataset
+
+from helpers import build_system
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def make_rdfpeers(num_nodes=8):
+    system = RDFPeersSystem()
+    for i in range(num_nodes):
+        system.add_node(f"P{i}")
+    system.build_ring()
+    return system
+
+
+@pytest.fixture
+def loaded():
+    system = make_rdfpeers()
+    system.publish("P0", paper_example_dataset())
+    return system
+
+
+class TestStorage:
+    def test_each_triple_stored_three_times(self, loaded):
+        dataset = paper_example_dataset()
+        assert loaded.total_stored() >= len(dataset)  # dedup within buckets
+        # every triple reachable via each of its three attribute keys
+        t = dataset[0]
+        for pattern in (
+            TriplePattern(t.s, Y, Z),
+            TriplePattern(X, t.p, Z),
+            TriplePattern(X, Y, t.o),
+        ):
+            assert loaded.query_pattern("P1", pattern)
+
+    def test_publication_migrates_data(self):
+        system = make_rdfpeers()
+        before = system.stats.bytes_total
+        system.publish("P0", paper_example_dataset())
+        migrated = system.stats.bytes_total - before
+        # the triples themselves crossed the network (three placements)
+        assert migrated > 0
+        assert system.total_stored() > 0
+
+
+class TestQueries:
+    def test_single_pattern_matches_local_oracle(self, loaded):
+        g = Graph(paper_example_dataset())
+        pattern = TriplePattern(X, FOAF.knows, Y)
+        expected = {match_pattern(pattern, t) for t in g.triples(pattern)}
+        got = set(loaded.query_pattern("P2", pattern))
+        assert got == expected
+
+    def test_conjunctive_subject_anchored(self, loaded):
+        g = Graph(paper_example_dataset())
+        patterns = [
+            TriplePattern(X, FOAF.name, Variable("n")),
+            TriplePattern(X, NS.knowsNothingAbout, Y),
+        ]
+        from repro.sparql.solutions import join
+
+        expected = None
+        for pattern in patterns:
+            matches = {match_pattern(pattern, t) for t in g.triples(pattern)}
+            expected = matches if expected is None else join(expected, matches)
+        got = set(loaded.query_conjunction("P3", patterns))
+        assert got == expected
+
+    def test_conjunction_short_circuits_on_empty(self, loaded):
+        patterns = [
+            TriplePattern(X, FOAF.knows, IRI_NOBODY),
+            TriplePattern(X, FOAF.name, Variable("n")),
+        ]
+        assert loaded.query_conjunction("P0", patterns) == []
+
+    def test_fully_unbound_rejected(self, loaded):
+        with pytest.raises(ValueError):
+            loaded.query_pattern("P0", TriplePattern(X, Y, Z))
+
+
+from repro.rdf import IRI as _IRI
+
+IRI_NOBODY = _IRI("http://example.org/people/nobody")
+
+
+class TestArchitecturalContrast:
+    def test_hybrid_ships_index_entries_not_triples(self):
+        """E7's core qualitative claim: publication in the paper's system
+        moves only location-table entries; RDFPeers moves the data."""
+        triples = generate_foaf_triples(FoafConfig(num_people=30, seed=5))
+
+        rdfpeers = make_rdfpeers()
+        rdfpeers.publish("P0", triples)
+        # Data-plane traffic: the triples themselves, shipped to 3 owners.
+        rdfpeers_data_bytes = rdfpeers.stats.bytes_for(
+            "store_triples", "store_triples.reply"
+        )
+
+        from repro.overlay import HybridSystem
+
+        hybrid = HybridSystem()
+        for i in range(8):
+            hybrid.add_index_node(f"N{i}")
+        hybrid.build_ring()
+        hybrid.add_storage_node("D0", triples, publish=True, protocol=True)
+        hybrid_data_bytes = hybrid.stats.bytes_for(
+            "publish", "publish.reply", "index_put", "index_put.reply", "replica_put"
+        )
+
+        # data remains at the provider in the hybrid system (nothing moved
+        # into the ring nodes)...
+        assert len(hybrid.storage_nodes["D0"].graph) == len(set(triples))
+        assert rdfpeers.total_stored() > 0
+        # ... and the hybrid data plane ships only (key, provider, freq)
+        # entries, cheaper than RDFPeers' three full copies of every triple.
+        assert hybrid_data_bytes < rdfpeers_data_bytes

@@ -1,0 +1,78 @@
+"""Identifier-space interval arithmetic — the foundation Chord stands on."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chord import IdentifierSpace
+
+SPACE = IdentifierSpace(4)  # the paper's Fig. 1 universe
+
+
+class TestIntervals:
+    def test_between_open_simple(self):
+        assert SPACE.between_open(5, 4, 7)
+        assert not SPACE.between_open(4, 4, 7)
+        assert not SPACE.between_open(7, 4, 7)
+
+    def test_between_open_wraparound(self):
+        assert SPACE.between_open(15, 12, 1)
+        assert SPACE.between_open(0, 12, 1)
+        assert not SPACE.between_open(1, 12, 1)
+        assert not SPACE.between_open(5, 12, 1)
+
+    def test_between_open_degenerate_full_ring(self):
+        # (a, a) is everything except a (single-node ring convention)
+        assert SPACE.between_open(3, 7, 7)
+        assert not SPACE.between_open(7, 7, 7)
+
+    def test_between_right_closed(self):
+        assert SPACE.between_right_closed(7, 4, 7)
+        assert not SPACE.between_right_closed(4, 4, 7)
+        assert SPACE.between_right_closed(1, 12, 1)
+        assert not SPACE.between_right_closed(12, 12, 1)
+
+    def test_right_closed_degenerate_is_everything(self):
+        assert SPACE.between_right_closed(7, 7, 7)
+        assert SPACE.between_right_closed(0, 7, 7)
+
+    def test_normalize(self):
+        assert SPACE.normalize(16) == 0
+        assert SPACE.normalize(-1) == 15
+
+    def test_distance_clockwise(self):
+        assert SPACE.distance(14, 2) == 4
+        assert SPACE.distance(2, 14) == 12
+        assert SPACE.distance(5, 5) == 0
+
+    def test_finger_start(self):
+        assert SPACE.finger_start(1, 0) == 2
+        assert SPACE.finger_start(1, 3) == 9
+        assert SPACE.finger_start(12, 3) == 4  # wraps
+
+    def test_finger_index_bounds(self):
+        with pytest.raises(ValueError):
+            SPACE.finger_start(0, 4)
+
+    def test_bits_bounds(self):
+        with pytest.raises(ValueError):
+            IdentifierSpace(1)
+        with pytest.raises(ValueError):
+            IdentifierSpace(200)
+
+
+@settings(max_examples=200, deadline=None)
+@given(x=st.integers(0, 15), a=st.integers(0, 15), b=st.integers(0, 15))
+def test_property_interval_partition(x, a, b):
+    """For a != b: (a,b] and (b,a] partition the ring minus nothing — every
+    x lies in exactly one of them."""
+    if a == b:
+        return
+    in_ab = SPACE.between_right_closed(x, a, b)
+    in_ba = SPACE.between_right_closed(x, b, a)
+    assert in_ab != in_ba
+
+
+@settings(max_examples=200, deadline=None)
+@given(x=st.integers(-50, 50), a=st.integers(0, 15), b=st.integers(0, 15))
+def test_property_normalization_invariance(x, a, b):
+    assert SPACE.between_open(x, a, b) == SPACE.between_open(x + 16, a, b)

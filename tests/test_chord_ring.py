@@ -1,0 +1,168 @@
+"""Chord protocol tests: static build, lookup correctness and O(log N)
+hops, dynamic join, stabilization, failure recovery, key transfer."""
+
+import random
+
+import pytest
+
+from repro.chord import (
+    ChordNode,
+    ChordRing,
+    IdentifierSpace,
+    lookup,
+    measure_lookups,
+)
+from repro.net import Network
+
+
+def build_ring(idents, bits=16, successor_list_size=3):
+    space = IdentifierSpace(bits)
+    net = Network()
+    ring = ChordRing(net, space)
+    for i, ident in enumerate(idents):
+        ring.add_node(ChordNode(f"N{i}", ident, space,
+                                successor_list_size=successor_list_size))
+    ring.build_static()
+    return ring
+
+
+class TestStaticBuild:
+    def test_consistency(self):
+        ring = build_ring([1, 4, 7, 12, 15], bits=4)
+        assert ring.is_consistent()
+
+    def test_paper_fig1_successors(self):
+        ring = build_ring([1, 4, 7, 12, 15], bits=4)
+        n = {node.ident: node for node in ring.nodes.values()}
+        assert n[1].successor.ident == 4
+        assert n[15].successor.ident == 1  # wraps
+        assert n[4].predecessor.ident == 1
+
+    def test_finger_tables_exact(self):
+        ring = build_ring([1, 4, 7, 12, 15], bits=4)
+        n7 = next(node for node in ring.nodes.values() if node.ident == 7)
+        # finger starts: 8, 9, 11, 15 -> successors 12, 12, 12, 15
+        assert [f.ident for f in n7.fingers] == [12, 12, 12, 15]
+
+    def test_single_node_ring(self):
+        ring = build_ring([5], bits=4)
+        node = next(iter(ring.nodes.values()))
+        assert node.successor == node.ref
+        assert node.owns(0) and node.owns(15)
+
+    def test_identifier_collision_rejected(self):
+        space = IdentifierSpace(4)
+        net = Network()
+        ring = ChordRing(net, space)
+        ring.add_node(ChordNode("A", 3, space))
+        with pytest.raises(ValueError, match="collision"):
+            ring.add_node(ChordNode("B", 3, space))
+
+
+class TestLookup:
+    def test_every_key_resolves_to_true_owner(self):
+        ring = build_ring([1, 4, 7, 12, 15], bits=4)
+        entry = ring.sorted_refs()[0]
+        for key in range(16):
+            result = lookup(ring.network, entry, key)
+            assert result.ref.node_id == ring.owner_of(key).node_id
+
+    def test_ownership_rule(self):
+        ring = build_ring([1, 4, 7, 12, 15], bits=4)
+        # successor(5) = 7, successor(8) = 12, successor(0) = 1
+        assert ring.owner_of(5).ident == 7
+        assert ring.owner_of(8).ident == 12
+        assert ring.owner_of(0).ident == 1
+        assert ring.owner_of(7).ident == 7  # exact hit owned by itself
+
+    def test_hops_scale_logarithmically(self):
+        rng = random.Random(1)
+        space_bits = 16
+        means = {}
+        for n in (8, 64):
+            idents = rng.sample(range(1 << space_bits), n)
+            ring = build_ring(idents, bits=space_bits)
+            sample = measure_lookups(ring, 150, random.Random(2))
+            means[n] = sample.mean_hops
+        # 8x more nodes must cost ~3 extra hops, not 8x
+        assert means[64] < means[8] + 4
+        assert means[64] <= 8  # well under log2(65536)
+
+    def test_lookup_from_any_entry_agrees(self):
+        ring = build_ring([1, 4, 7, 12, 15], bits=4)
+        owners = set()
+        for entry in ring.sorted_refs():
+            owners.add(lookup(ring.network, entry, 9).ref.node_id)
+        assert len(owners) == 1
+
+
+class TestDynamicMembership:
+    def test_join_converges(self):
+        ring = build_ring([10, 200, 3000, 40000], bits=16)
+        space = ring.space
+        newcomer = ChordNode("Nnew", 12345, space)
+        ring.add_node(newcomer)
+        ring.join_via(newcomer)
+        ring.stabilize(rounds=2)
+        assert ring.is_consistent()
+        assert ring.owner_of(12000).node_id == "Nnew"
+
+    def test_join_transfers_key_range(self):
+        ring = build_ring([100, 60000], bits=16)
+
+        class KVNode(ChordNode):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.kv = {}
+
+            def export_keys(self):
+                return list(self.kv.items())
+
+            def import_keys(self, items):
+                self.kv.update(items)
+
+            def drop_keys(self, keys):
+                for k in list(keys):
+                    self.kv.pop(k, None)
+
+        space = ring.space
+        net = ring.network
+        # Rebuild with KV nodes for the transfer check.
+        net2 = Network()
+        ring2 = ChordRing(net2, space)
+        a = KVNode("A", 100, space)
+        b = KVNode("B", 60000, space)
+        ring2.add_node(a)
+        ring2.add_node(b)
+        ring2.build_static()
+        # keys 200 and 30000 belong to B (successor of both)
+        b.kv = {200: "x", 30000: "y", 61000: "z"}
+        newcomer = KVNode("C", 40000, space)
+        ring2.add_node(newcomer)
+        ring2.join_via(newcomer)
+        ring2.stabilize(2)
+        # C took over (100, 40000]: keys 200 and 30000 move, 61000 stays.
+        assert newcomer.kv == {200: "x", 30000: "y"}
+        assert b.kv == {61000: "z"}
+
+    def test_failure_recovery_via_successor_list(self):
+        rng = random.Random(5)
+        ring = build_ring(rng.sample(range(1 << 16), 16), bits=16)
+        victim = sorted(ring.nodes)[3]
+        ring.network.fail_node(victim)
+        ring.stabilize(rounds=3)
+        assert ring.is_consistent()
+        # lookups still resolve (to live owners)
+        entry = ring.sorted_refs()[0]
+        for key in rng.sample(range(1 << 16), 10):
+            result = lookup(ring.network, entry, key)
+            assert ring.nodes[result.ref.node_id].alive
+
+    def test_two_simultaneous_failures(self):
+        rng = random.Random(9)
+        ring = build_ring(rng.sample(range(1 << 16), 20), bits=16)
+        victims = sorted(ring.nodes)[4:6]
+        for v in victims:
+            ring.network.fail_node(v)
+        ring.stabilize(rounds=4)
+        assert ring.is_consistent()

@@ -1,0 +1,94 @@
+"""CLI tests: N-Triples-file providers, query forms, options, errors."""
+
+import pytest
+
+from repro.cli import main
+from repro.rdf import serialize_ntriples
+from repro.workloads import paper_example_partition
+
+
+@pytest.fixture
+def data_files(tmp_path):
+    paths = []
+    for storage_id, triples in paper_example_partition().items():
+        path = tmp_path / f"{storage_id}.nt"
+        path.write_text(serialize_ntriples(triples), encoding="utf-8")
+        paths.append(str(path))
+    return paths
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+PREFIXED = (
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+    "PREFIX ns: <http://example.org/ns#> "
+)
+
+
+class TestCli:
+    def test_select_query(self, data_files, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            *[arg for f in data_files for arg in ("--data", f)],
+            "--query", PREFIXED + "SELECT ?x WHERE { ?x foaf:knows ns:me . }",
+        )
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert lines[0] == "?x"
+        assert len(lines) == 3  # header + carl + gina
+        assert any("carl" in line for line in lines)
+
+    def test_ask_query(self, data_files, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "--data", data_files[0], "--data", data_files[1],
+            "--query", PREFIXED + "ASK { ?x foaf:knows ?y . }",
+        )
+        assert code == 0 and out.strip() == "yes"
+
+    def test_construct_query_prints_ntriples(self, data_files, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            *[arg for f in data_files for arg in ("--data", f)],
+            "--query", PREFIXED +
+            "CONSTRUCT { ?x ns:knownBy ns:me . } WHERE { ?x foaf:knows ns:me . }",
+        )
+        assert code == 0
+        assert out.count("knownBy") == 2
+
+    def test_report_flag(self, data_files, capsys):
+        code, out, err = run_cli(
+            capsys,
+            *[arg for f in data_files for arg in ("--data", f)],
+            "--query", PREFIXED + "SELECT ?x WHERE { ?x foaf:knows ns:me . }",
+            "--report", "--strategy", "adaptive",
+        )
+        assert code == 0
+        assert "messages" in err and "bytes" in err
+
+    def test_query_file(self, data_files, tmp_path, capsys):
+        qfile = tmp_path / "q.rq"
+        qfile.write_text(PREFIXED + "SELECT ?x WHERE { ?x foaf:nick ?n . }")
+        code, out, _ = run_cli(
+            capsys,
+            *[arg for f in data_files for arg in ("--data", f)],
+            "--query-file", str(qfile),
+        )
+        assert code == 0 and "erik" in out
+
+    def test_missing_data_file_errors(self, capsys):
+        with pytest.raises(SystemExit, match="no such data file"):
+            main(["--data", "/nonexistent.nt", "--query", "ASK { ?s ?p ?o . }"])
+
+    def test_no_data_errors(self):
+        with pytest.raises(SystemExit, match="at least one"):
+            main(["--query", "ASK { ?s ?p ?o . }"])
+
+    def test_strategy_choices_enforced(self, data_files):
+        with pytest.raises(SystemExit):
+            main(["--data", data_files[0], "--query", "ASK { ?s ?p ?o . }",
+                  "--strategy", "bogus"])

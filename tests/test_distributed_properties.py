@@ -1,0 +1,133 @@
+"""System-level property tests.
+
+* **Oracle equivalence** — for randomized datasets, partitions, queries,
+  and strategy settings, distributed execution returns exactly the local
+  evaluation over the union of all provider graphs (the paper's dataset
+  semantics, Sect. IV-A).
+* **Determinism** — identical seeds produce identical traffic traces and
+  results, the property every number in EXPERIMENTS.md rests on.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.query import (
+    ConjunctionMode,
+    DistributedExecutor,
+    ExecutionOptions,
+    JoinSitePolicy,
+    PrimitiveStrategy,
+)
+from repro.rdf import COMMON_PREFIXES, PatternShape
+from repro.sparql import evaluate_query, parse_query
+from repro.workloads import (
+    FoafConfig,
+    QueryWorkload,
+    generate_foaf_triples,
+    partition_triples,
+)
+
+from helpers import build_system
+
+
+def make_system(data_seed, num_providers, overlap, num_index=8):
+    triples = generate_foaf_triples(
+        FoafConfig(num_people=30, seed=data_seed)
+    )
+    parts = partition_triples(triples, num_providers, overlap=overlap,
+                              seed=data_seed + 1)
+    return build_system(num_index=num_index, parts=parts), triples
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    data_seed=st.integers(0, 10_000),
+    num_providers=st.integers(1, 6),
+    overlap=st.sampled_from([0.0, 0.3, 0.8]),
+    shape=st.sampled_from(list(PatternShape)),
+    strategy=st.sampled_from(list(PrimitiveStrategy)),
+    query_seed=st.integers(0, 1_000),
+)
+def test_property_primitive_queries_match_oracle(
+    data_seed, num_providers, overlap, shape, strategy, query_seed
+):
+    system, triples = make_system(data_seed, num_providers, overlap)
+    text = QueryWorkload(triples, seed=query_seed).primitive(shape)
+    query = parse_query(text, COMMON_PREFIXES)
+    oracle = evaluate_query(query, system.union_graph())
+    executor = DistributedExecutor(
+        system, ExecutionOptions(primitive_strategy=strategy)
+    )
+    result, report = executor.execute(text, initiator="D0")
+    assert result.rows == oracle.rows
+    assert report.retries == 0  # healthy system: no fallbacks
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    data_seed=st.integers(0, 10_000),
+    mode=st.sampled_from(list(ConjunctionMode)),
+    policy=st.sampled_from(list(JoinSitePolicy)),
+    family=st.sampled_from(["conjunction", "optional", "union", "filtered"]),
+    query_seed=st.integers(0, 1_000),
+)
+def test_property_compound_queries_match_oracle(
+    data_seed, mode, policy, family, query_seed
+):
+    system, triples = make_system(data_seed, num_providers=4, overlap=0.3)
+    workload = QueryWorkload(triples, seed=query_seed)
+    text = {
+        "conjunction": lambda: workload.conjunction(2),
+        "optional": workload.optional,
+        "union": workload.union,
+        "filtered": workload.filtered,
+    }[family]()
+    query = parse_query(text, COMMON_PREFIXES)
+    oracle = evaluate_query(query, system.union_graph())
+    executor = DistributedExecutor(system, ExecutionOptions(
+        conjunction_mode=mode, join_site_policy=policy,
+    ))
+    result, _ = executor.execute(text, initiator="D0")
+    assert result.rows == oracle.rows
+
+
+class TestDeterminism:
+    QUERY = """SELECT ?x ?y ?z WHERE {
+        ?x foaf:name ?name ; ns:knowsNothingAbout ?y .
+        FILTER regex(?name, "Smith")
+        OPTIONAL { ?y foaf:knows ?z . } }"""
+
+    def run_once(self):
+        system, _ = make_system(7, num_providers=4, overlap=0.3)
+        executor = DistributedExecutor(system)
+        result, report = executor.execute(self.QUERY, initiator="D0")
+        trace = [(r.src, r.dst, r.kind, r.bytes) for r in system.stats.records]
+        return result.rows, report.bytes_total, report.response_time, trace
+
+    def test_identical_runs_produce_identical_traces(self):
+        first = self.run_once()
+        second = self.run_once()
+        assert first[0] == second[0]          # rows
+        assert first[1] == second[1]          # bytes
+        assert first[2] == second[2]          # simulated time
+        assert first[3] == second[3]          # full message trace
+
+    def test_adaptive_runs_are_deterministic_too(self):
+        def run():
+            system, _ = make_system(9, num_providers=5, overlap=0.2)
+            executor = DistributedExecutor(system, ExecutionOptions(
+                primitive_strategy=PrimitiveStrategy.ADAPTIVE, time_weight=0.4,
+            ))
+            _, report = executor.execute(
+                "SELECT ?a ?b WHERE { ?a foaf:knows ?b . }", initiator="D0")
+            return report.bytes_total, tuple(report.notes)
+
+        assert run() == run()

@@ -1,0 +1,80 @@
+"""Wire-size model tests: determinism and structural additivity."""
+
+import pytest
+
+from repro.net import size_of
+from repro.overlay import KeyKind, LocationEntry
+from repro.rdf import IRI, BlankNode, Literal, Triple, TriplePattern, Variable
+from repro.sparql import BGP, parse_query, translate_pattern
+from repro.sparql.solutions import SolutionMapping
+
+
+class TestScalars:
+    def test_primitives(self):
+        assert size_of(None) == 1
+        assert size_of(True) == 1
+        assert size_of(7) == 8
+        assert size_of(2.5) == 8
+        assert size_of("abc") == 3
+        assert size_of("é") == 2  # UTF-8 bytes, not characters
+        assert size_of(b"1234") == 4
+
+    def test_terms(self):
+        assert size_of(IRI("http://x/a")) == len("http://x/a") + 2
+        assert size_of(Literal("hi")) == 4
+        assert size_of(Literal("hi", language="en")) == 7
+        assert size_of(BlankNode("b")) == 3
+        assert size_of(Variable("x")) == 2
+
+    def test_triple_additive(self):
+        t = Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("o"))
+        assert size_of(t) == size_of(t.s) + size_of(t.p) + size_of(t.o) + 3
+
+
+class TestContainers:
+    def test_list_additive(self):
+        assert size_of([1, 2]) == 8 + (8 + 2) * 2
+
+    def test_dict(self):
+        assert size_of({"a": 1}) == 8 + (1 + 8 + 2)
+
+    def test_solution_mapping(self):
+        mu = SolutionMapping({Variable("x"): IRI("http://x/a")})
+        assert size_of(mu) == 8 + size_of(Variable("x")) + size_of(IRI("http://x/a")) + 2
+
+    def test_bigger_payload_costs_more(self):
+        small = [SolutionMapping({Variable("x"): IRI("http://x/a")})]
+        big = small * 10
+        assert size_of(big) > size_of(small)
+
+
+class TestStructuredPayloads:
+    def test_algebra_node_sized_via_dataclass_rule(self):
+        alg = translate_pattern(
+            parse_query("SELECT ?x WHERE { ?x <http://x/p> ?y . }").where
+        )
+        assert isinstance(alg, BGP)
+        assert size_of(alg) > 0
+
+    def test_filter_condition_sized(self):
+        alg = translate_pattern(
+            parse_query('SELECT * WHERE { ?x <http://x/p> ?n . FILTER regex(?n, "S") }').where
+        )
+        assert size_of(alg) > 0
+
+    def test_enum_sized(self):
+        assert size_of(KeyKind.SP) == 3
+
+    def test_wire_size_protocol(self):
+        assert size_of(LocationEntry("D1", 5)) == 6
+
+    def test_unknown_type_rejected(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(TypeError):
+            size_of(Mystery())
+
+    def test_deterministic(self):
+        mu = SolutionMapping({Variable("x"): Literal("val")})
+        assert size_of([mu, mu]) == size_of([mu, mu])

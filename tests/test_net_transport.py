@@ -1,0 +1,189 @@
+"""Transport tests: RPC, one-way sends, failures, traffic accounting."""
+
+import pytest
+
+from repro.net import (
+    HEADER_BYTES,
+    LinkModel,
+    Network,
+    Node,
+    NodeUnknown,
+    RemoteError,
+    RpcTimeout,
+    size_of,
+)
+
+
+class EchoNode(Node):
+    def rpc_echo(self, payload, src):
+        return payload
+
+    def rpc_boom(self, payload, src):
+        raise ValueError("remote failure")
+
+    def rpc_relay(self, payload, src):
+        result = yield self.call(payload["via"], "echo", payload["data"])
+        return result + "!"
+
+    def rpc_note(self, payload, src):
+        self.last_note = (payload, src)
+
+
+@pytest.fixture
+def net():
+    network = Network(default_timeout=2.0)
+    for name in ("a", "b", "c"):
+        network.register(EchoNode(name))
+    return network
+
+
+def run(net, gen):
+    return net.sim.run_process(gen)
+
+
+class TestRpc:
+    def test_round_trip(self, net):
+        def proc():
+            return (yield net.call("client", "a", "echo", "hello"))
+
+        assert run(net, proc()) == "hello"
+
+    def test_generator_handler_chains(self, net):
+        def proc():
+            return (yield net.call("client", "a", "relay", {"via": "b", "data": "x"}))
+
+        assert run(net, proc()) == "x!"
+
+    def test_remote_exception_becomes_remote_error(self, net):
+        def proc():
+            with pytest.raises(RemoteError, match="remote failure"):
+                yield net.call("client", "a", "boom")
+            return True
+
+        assert run(net, proc())
+
+    def test_missing_handler_is_remote_error(self, net):
+        def proc():
+            with pytest.raises(RemoteError, match="no handler"):
+                yield net.call("client", "a", "nonexistent")
+            return True
+
+        assert run(net, proc())
+
+    def test_unknown_destination_fails_fast(self, net):
+        def proc():
+            with pytest.raises(NodeUnknown):
+                yield net.call("client", "ghost", "echo", "x")
+            return net.sim.now
+
+        assert run(net, proc()) < 0.5  # immediate, not a timeout
+
+    def test_dead_node_times_out(self, net):
+        net.fail_node("b")
+
+        def proc():
+            with pytest.raises(RpcTimeout):
+                yield net.call("client", "b", "echo", "x")
+            return net.sim.now
+
+        assert run(net, proc()) == pytest.approx(2.0)
+
+    def test_node_dying_mid_call_times_out(self, net):
+        class Dier(Node):
+            def rpc_die(self, payload, src):
+                self.alive = False
+                return "never delivered"
+
+        net.register(Dier("d"))
+
+        def proc():
+            with pytest.raises(RpcTimeout):
+                yield net.call("client", "d", "die")
+            return True
+
+        assert run(net, proc())
+
+    def test_recover_node(self, net):
+        net.fail_node("a")
+        net.recover_node("a")
+
+        def proc():
+            return (yield net.call("client", "a", "echo", "back"))
+
+        assert run(net, proc()) == "back"
+
+
+class TestOneWay:
+    def test_send_dispatches_handler(self, net):
+        net.send("client", "a", "note", {"k": 1})
+        net.sim.run()
+        assert net.nodes["a"].last_note == ({"k": 1}, "client")
+
+    def test_send_to_dead_node_dropped(self, net):
+        net.fail_node("a")
+        net.send("client", "a", "note", "x")
+        net.sim.run()
+        assert not hasattr(net.nodes["a"], "last_note")
+
+    def test_send_to_unknown_dropped_silently(self, net):
+        net.send("client", "ghost", "note", "x")
+        net.sim.run()  # no exception
+
+
+class TestAccounting:
+    def test_bytes_and_messages_counted(self, net):
+        def proc():
+            yield net.call("client", "a", "echo", "12345")
+
+        run(net, proc())
+        assert net.stats.messages == 2  # request + reply
+        request = net.stats.records[0]
+        assert request.bytes == HEADER_BYTES + size_of("echo") + size_of("12345")
+
+    def test_latency_model(self):
+        link = LinkModel(latency=0.5, bandwidth=100.0)
+        net = Network(link=link, default_timeout=1e6)
+        net.register(EchoNode("a"))
+
+        def proc():
+            yield net.call("client", "a", "echo", None)
+            return net.sim.now
+
+        elapsed = run(net, proc())
+        req = HEADER_BYTES + size_of("echo") + size_of(None)
+        rep = HEADER_BYTES + size_of(None)
+        assert elapsed == pytest.approx(1.0 + (req + rep) / 100.0)
+
+    def test_per_link_breakdown(self, net):
+        def proc():
+            yield net.call("client", "a", "echo", "x")
+
+        run(net, proc())
+        assert ("client", "a") in net.stats.per_link_bytes
+        assert ("a", "client") in net.stats.per_link_bytes
+
+    def test_checkpoint_delta(self, net):
+        def proc():
+            yield net.call("client", "a", "echo", "x")
+
+        run(net, proc())
+        cp = net.stats.checkpoint()
+        run(net, proc())
+        delta = net.stats.delta(cp)
+        assert delta.messages == 2
+
+    def test_duplicate_registration_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.register(EchoNode("a"))
+
+    def test_compute_delay_added(self):
+        net = Network()
+        node = EchoNode("slow")
+        node.compute_delay = 1.0
+        net.register(node)
+
+        def proc():
+            yield net.call("client", "slow", "echo", None)
+            return net.sim.now
+
+        assert run(net, proc()) > 1.0

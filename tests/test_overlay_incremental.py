@@ -1,0 +1,99 @@
+"""Incremental publication: live data additions/removals stay queryable
+and keep the distributed index (frequencies included) exact."""
+
+import pytest
+
+from repro.overlay import key_for_pattern
+from repro.rdf import FOAF, IRI, Literal, Triple, TriplePattern, Variable
+from repro.workloads import FoafConfig, generate_foaf_triples
+
+from helpers import build_system
+
+X, Y = Variable("x"), Variable("y")
+QUERY = "SELECT ?x ?y WHERE { ?x foaf:knows ?y . }"
+
+
+def new_triples(n=5, offset=1000):
+    return [
+        Triple(IRI(f"http://example.org/people/new{offset + i}"),
+               FOAF.knows,
+               IRI(f"http://example.org/people/new{offset + i + 1}"))
+        for i in range(n)
+    ]
+
+
+def knows_row(system):
+    _, key = key_for_pattern(TriplePattern(X, FOAF.knows, Y), system.space)
+    return system.ring.owner_of(key).locate(key)
+
+
+class TestPublishDelta:
+    @pytest.mark.parametrize("protocol", [False, True])
+    def test_added_triples_become_queryable(self, protocol):
+        system = build_system()
+        before, _ = system.execute(QUERY, initiator="D1")
+        storage = system.storage_nodes["D4"]  # previously held no knows-triples
+        added = new_triples()
+        storage.add_triples(added)
+        system.publish_delta(storage, added, protocol=protocol)
+        after, _ = system.execute(QUERY, initiator="D1")
+        assert len(after.rows) == len(before.rows) + len(added)
+
+    def test_frequency_updated_exactly(self):
+        system = build_system()
+        storage = system.storage_nodes["D2"]
+        base = next(e for e in knows_row(system) if e.storage_id == "D2").frequency
+        added = new_triples(3)
+        storage.add_triples(added)
+        system.publish_delta(storage, added)
+        updated = next(e for e in knows_row(system) if e.storage_id == "D2").frequency
+        assert updated == base + 3
+
+    def test_unpublished_additions_stay_invisible(self):
+        """Local adds without publication are not discoverable — the
+        index, not the data, drives routing."""
+        system = build_system()
+        before, _ = system.execute(QUERY, initiator="D1")
+        storage = system.storage_nodes["D4"]
+        storage.add_triples(new_triples())
+        after, _ = system.execute(QUERY, initiator="D1")
+        assert len(after.rows) == len(before.rows)
+
+    def test_duplicate_add_publishes_nothing_new(self):
+        system = build_system()
+        storage = system.storage_nodes["D2"]
+        existing = next(iter(storage.graph))
+        inserted = storage.add_triples([existing])
+        assert inserted == 0
+        assert system.publish_delta(storage, []) == 0
+
+
+class TestUnpublishDelta:
+    def test_removed_triples_disappear_from_answers(self):
+        system = build_system()
+        storage = system.storage_nodes["D2"]
+        victim = next(iter(storage.graph.triples(TriplePattern(X, FOAF.knows, Y))))
+        before, _ = system.execute(QUERY, initiator="D1")
+        storage.remove_triples([victim])
+        system.unpublish_delta(storage, [victim])
+        after, _ = system.execute(QUERY, initiator="D1")
+        assert len(after.rows) == len(before.rows) - 1
+
+    def test_frequencies_reach_zero_and_cell_vanishes(self):
+        system = build_system()
+        storage = system.storage_nodes["D2"]
+        knows = list(storage.graph.triples(TriplePattern(X, FOAF.knows, Y)))
+        storage.remove_triples(knows)
+        system.unpublish_delta(storage, knows)
+        assert all(e.storage_id != "D2" for e in knows_row(system))
+
+    def test_add_then_remove_roundtrip_restores_index(self):
+        system = build_system()
+        storage = system.storage_nodes["D2"]
+        snapshot = {e.storage_id: e.frequency for e in knows_row(system)}
+        added = new_triples(4)
+        storage.add_triples(added)
+        system.publish_delta(storage, added)
+        storage.remove_triples(added)
+        system.unpublish_delta(storage, added)
+        assert {e.storage_id: e.frequency for e in knows_row(system)} == snapshot

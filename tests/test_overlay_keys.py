@@ -1,0 +1,76 @@
+"""Six-key index scheme tests (Sect. III-B) and pattern→key mapping
+(Sect. IV-C)."""
+
+import pytest
+
+from repro.chord import IdentifierSpace
+from repro.overlay import KeyKind, SHAPE_TO_KEY, index_keys, key_for_pattern, ring_key
+from repro.rdf import IRI, Literal, PatternShape, Triple, TriplePattern, Variable
+
+SPACE = IdentifierSpace(32)
+S, P, O = IRI("http://x/s"), IRI("http://x/p"), Literal("o")
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+TRIPLE = Triple(S, P, O)
+
+
+class TestIndexKeys:
+    def test_exactly_six_keys(self):
+        keys = list(index_keys(TRIPLE, SPACE))
+        assert len(keys) == 6
+        assert {kind for kind, _ in keys} == set(KeyKind)
+
+    def test_keys_deterministic(self):
+        assert list(index_keys(TRIPLE, SPACE)) == list(index_keys(TRIPLE, SPACE))
+
+    def test_different_kinds_different_keys(self):
+        """⟨s⟩ of a term and ⟨o⟩ of the same term use distinct hash
+        functions (kind participates in the hash)."""
+        same = IRI("http://x/same")
+        t = Triple(same, P, same)
+        keys = dict(index_keys(t, SPACE))
+        assert keys[KeyKind.S] != keys[KeyKind.O]
+
+    def test_triples_sharing_attribute_share_key(self):
+        t2 = Triple(S, P, Literal("other"))
+        k1 = dict(index_keys(TRIPLE, SPACE))
+        k2 = dict(index_keys(t2, SPACE))
+        assert k1[KeyKind.SP] == k2[KeyKind.SP]
+        assert k1[KeyKind.S] == k2[KeyKind.S]
+        assert k1[KeyKind.SO] != k2[KeyKind.SO]
+
+
+class TestPatternToKey:
+    CASES = {
+        TriplePattern(S, P, O): KeyKind.SP,   # fully bound
+        TriplePattern(S, P, Z): KeyKind.SP,
+        TriplePattern(S, Y, O): KeyKind.SO,
+        TriplePattern(X, P, O): KeyKind.PO,
+        TriplePattern(S, Y, Z): KeyKind.S,
+        TriplePattern(X, P, Z): KeyKind.P,
+        TriplePattern(X, Y, O): KeyKind.O,
+    }
+
+    def test_seven_indexed_shapes(self):
+        for pattern, expected_kind in self.CASES.items():
+            kind, key = key_for_pattern(pattern, SPACE)
+            assert kind is expected_kind
+            assert 0 <= key < SPACE.size
+
+    def test_fully_unbound_has_no_key(self):
+        assert key_for_pattern(TriplePattern(X, Y, Z), SPACE) is None
+
+    def test_all_shapes_covered_by_mapping(self):
+        assert set(SHAPE_TO_KEY) == set(PatternShape)
+
+    def test_pattern_key_matches_publication_key(self):
+        """The key a query hashes to equals the key the triple was
+        published under — the index actually routes queries to data."""
+        pattern = TriplePattern(S, P, Z)
+        kind, query_key = key_for_pattern(pattern, SPACE)
+        published = dict(index_keys(TRIPLE, SPACE))
+        assert published[kind] == query_key
+
+    def test_every_bound_shape_routes_to_publication(self):
+        for pattern in self.CASES:
+            kind, query_key = key_for_pattern(pattern, SPACE)
+            assert dict(index_keys(TRIPLE, SPACE))[kind] == query_key

@@ -1,0 +1,97 @@
+"""Location table tests — Table I semantics."""
+
+import pytest
+
+from repro.overlay import LocationEntry, LocationTable
+
+
+@pytest.fixture
+def table():
+    t = LocationTable()
+    # The paper's Table I for N7.
+    t.add(1, "D1", 15)
+    t.add(1, "D3", 10)
+    t.add(2, "D1", 10)
+    t.add(2, "D3", 20)
+    t.add(2, "D4", 15)
+    t.add(3, "D1", 30)
+    return t
+
+
+class TestRows:
+    def test_lookup_sorted_and_typed(self, table):
+        row = table.lookup(2)
+        assert row == [
+            LocationEntry("D1", 10),
+            LocationEntry("D3", 20),
+            LocationEntry("D4", 15),
+        ]
+
+    def test_lookup_missing_key_empty(self, table):
+        assert table.lookup(99) == []
+
+    def test_add_accumulates_frequency(self, table):
+        table.add(1, "D1", 5)
+        assert table.lookup(1)[0] == LocationEntry("D1", 20)
+
+    def test_add_rejects_nonpositive(self, table):
+        with pytest.raises(ValueError):
+            table.add(1, "D1", 0)
+
+    def test_total_frequency(self, table):
+        assert table.total_frequency(2) == 45
+        assert table.total_frequency(99) == 0
+
+    def test_cell_count(self, table):
+        assert table.cell_count() == 6
+        assert len(table) == 3
+
+
+class TestRemoval:
+    def test_remove_partial_count(self, table):
+        table.remove(2, "D3", 5)
+        assert table.lookup(2)[1] == LocationEntry("D3", 15)
+
+    def test_remove_full_drops_cell(self, table):
+        table.remove(2, "D3")
+        assert [e.storage_id for e in table.lookup(2)] == ["D1", "D4"]
+
+    def test_remove_more_than_count_drops_cell(self, table):
+        table.remove(1, "D3", 100)
+        assert [e.storage_id for e in table.lookup(1)] == ["D1"]
+
+    def test_remove_last_cell_drops_row(self, table):
+        table.remove(3, "D1")
+        assert 3 not in table
+
+    def test_remove_unknown_is_noop(self, table):
+        table.remove(99, "D9")
+        table.remove(1, "D9")
+        assert table.cell_count() == 6
+
+    def test_remove_storage_node_everywhere(self, table):
+        touched = table.remove_storage_node("D1")
+        assert touched == 3
+        assert 3 not in table  # row had only D1
+        assert all("D1" != e.storage_id for key in (1, 2) for e in table.lookup(key))
+
+
+class TestTransfer:
+    def test_export_import_roundtrip(self, table):
+        clone = LocationTable()
+        for key, cells in table.export_range():
+            clone.import_row(key, cells)
+        assert clone.lookup(2) == table.lookup(2)
+        assert clone.cell_count() == table.cell_count()
+
+    def test_import_is_idempotent_max_merge(self, table):
+        table.import_row(1, {"D1": 15})
+        assert table.lookup(1)[0].frequency == 15  # not 30
+
+    def test_drop_row(self, table):
+        table.drop_row(1)
+        assert 1 not in table
+
+    def test_format_table_paper_style(self, table):
+        text = table.format_table({1: "K1", 2: "K2", 3: "K3"})
+        assert "K2 | D1 (10), D3 (20), D4 (15)" in text

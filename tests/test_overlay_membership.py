@@ -1,0 +1,123 @@
+"""Membership tests: Sect. III-C (index join) and III-D (departure,
+failure, replication-backed recovery)."""
+
+import pytest
+
+from repro.overlay import (
+    depart_index_node,
+    depart_storage_node,
+    fail_index_node,
+    fail_storage_node,
+    join_index_node,
+    key_for_pattern,
+)
+from repro.query import DistributedExecutor
+from repro.rdf import FOAF, TriplePattern, Variable
+from repro.workloads import paper_example_partition
+
+from helpers import build_system
+
+X, Y = Variable("x"), Variable("y")
+KNOWS = TriplePattern(X, FOAF.knows, Y)
+QUERY = "SELECT ?x ?y WHERE { ?x foaf:knows ?y . }"
+
+
+def total_cells(system):
+    return sum(n.table.cell_count() for n in system.index_nodes.values())
+
+
+def oracle_rows(system):
+    from repro.sparql import evaluate_query, parse_query
+    from repro.rdf import COMMON_PREFIXES
+
+    return evaluate_query(parse_query(QUERY, COMMON_PREFIXES), system.union_graph()).rows
+
+
+class TestIndexNodeJoin:
+    def test_join_preserves_index_and_queries(self):
+        system = build_system()
+        cells_before = total_cells(system)
+        join_index_node(system, "Nnew")
+        assert system.ring.is_consistent()
+        assert total_cells(system) == cells_before  # rows moved, not lost
+        result, _ = system.execute(QUERY, initiator="D1")
+        assert [r for r in result.rows] == [r for r in oracle_rows(system)]
+
+    def test_join_transfers_owned_range(self):
+        system = build_system(num_index=4)
+        kind, key = key_for_pattern(KNOWS, system.space)
+        old_owner = system.ring.owner_of(key)
+        # Join a node whose id sits just at the key: it becomes the owner.
+        join_index_node(system, "Nsteal", ident=key)
+        new_owner = system.ring.owner_of(key)
+        assert new_owner.node_id == "Nsteal"
+        assert new_owner.locate(key) != []
+
+
+class TestIndexNodeDeparture:
+    def test_graceful_departure_hands_over_table(self):
+        system = build_system()
+        kind, key = key_for_pattern(KNOWS, system.space)
+        owner = system.ring.owner_of(key)
+        cells_before = total_cells(system)
+        depart_index_node(system, owner.node_id)
+        assert system.ring.is_consistent()
+        assert total_cells(system) == cells_before
+        result, _ = system.execute(QUERY, initiator="D1")
+        assert len(result.rows) == len(oracle_rows(system))
+
+    def test_departure_reattaches_storage_nodes(self):
+        system = build_system()
+        victim = system.storage_nodes["D1"].index_node_id
+        depart_index_node(system, victim)
+        new_parent = system.storage_nodes["D1"].index_node_id
+        assert new_parent in system.index_nodes
+        assert "D1" in system.index_nodes[new_parent].attached_storage
+
+
+class TestIndexNodeFailure:
+    def test_failure_with_replication_keeps_queries_working(self):
+        system = build_system(replication_factor=2)
+        kind, key = key_for_pattern(KNOWS, system.space)
+        owner = system.ring.owner_of(key)
+        fail_index_node(system, owner.node_id)
+        result, report = system.execute(QUERY, initiator="D1")
+        assert len(result.rows) == len(oracle_rows(system))
+
+    def test_failure_without_replication_loses_rows(self):
+        system = build_system(replication_factor=1)
+        kind, key = key_for_pattern(KNOWS, system.space)
+        owner = system.ring.owner_of(key)
+        fail_index_node(system, owner.node_id)
+        new_owner = system.ring.owner_of(key)
+        assert new_owner.locate(key) == []  # the paper's motivation for replicas
+
+
+class TestStorageNodeChurn:
+    def test_graceful_departure_unpublishes(self):
+        system = build_system()
+        depart_storage_node(system, "D2")  # D2 holds the knows-triples
+        kind, key = key_for_pattern(KNOWS, system.space)
+        owner = system.ring.owner_of(key)
+        assert all(e.storage_id != "D2" for e in owner.locate(key))
+        result, _ = system.execute(QUERY, initiator="D1")
+        assert len(result.rows) == len(oracle_rows(system))
+
+    def test_failure_leaves_stale_entry_until_query_cleans_it(self):
+        system = build_system()
+        fail_storage_node(system, "D2")
+        kind, key = key_for_pattern(KNOWS, system.space)
+        owner = system.ring.owner_of(key)
+        assert any(e.storage_id == "D2" for e in owner.locate(key))  # stale
+        # A query against it times out, cleans, and returns what is left.
+        executor = DistributedExecutor(system)
+        result, report = executor.execute(QUERY, initiator="D1")
+        assert all(e.storage_id != "D2" for e in owner.locate(key))
+
+    def test_failed_storage_node_impact_is_local(self):
+        """Sect. III-D: 'the impact on the rest of the whole system is not
+        significant' — other queries are unaffected."""
+        system = build_system()
+        fail_storage_node(system, "D4")  # nick/mbox provider
+        result, _ = system.execute(QUERY, initiator="D1")  # knows-query: D2
+        assert len(result.rows) == len(oracle_rows(system))

@@ -1,0 +1,126 @@
+"""HybridSystem assembly tests: construction, publication modes, Fig. 1."""
+
+import pytest
+
+from repro.chord import IdentifierSpace
+from repro.overlay import (
+    FIG1_INDEX_IDS,
+    HybridSystem,
+    fig1_network,
+    key_for_pattern,
+)
+from repro.rdf import FOAF, TriplePattern, Variable
+from repro.workloads import (
+    FoafConfig,
+    generate_foaf_triples,
+    paper_example_partition,
+    partition_triples,
+)
+
+from helpers import build_system
+
+X, Y = Variable("x"), Variable("y")
+
+
+class TestConstruction:
+    def test_storage_requires_ring(self):
+        system = HybridSystem()
+        with pytest.raises(RuntimeError):
+            system.add_storage_node("D1")
+
+    def test_default_attachment_is_deterministic(self):
+        s1 = build_system()
+        s2 = build_system()
+        assert {k: v.index_node_id for k, v in s1.storage_nodes.items()} == \
+               {k: v.index_node_id for k, v in s2.storage_nodes.items()}
+
+    def test_attachment_registered_at_index_node(self, paper_system):
+        for storage_id, node in paper_system.storage_nodes.items():
+            parent = paper_system.index_nodes[node.index_node_id]
+            assert storage_id in parent.attached_storage
+
+    def test_union_graph_is_dataset_union(self, paper_system):
+        union = paper_system.union_graph()
+        # every local triple appears; duplicates collapse
+        total_with_dupes = paper_system.total_triples()
+        assert len(union) <= total_with_dupes
+        for node in paper_system.storage_nodes.values():
+            for t in node.graph:
+                assert t in union
+
+
+class TestPublication:
+    def test_fast_and_protocol_publication_agree(self):
+        triples = generate_foaf_triples(FoafConfig(num_people=25, seed=3))
+        parts = partition_triples(triples, 3, seed=4)
+
+        fast = build_system(num_index=5, parts=parts)
+
+        protocol = HybridSystem(space=IdentifierSpace(32))
+        for i in range(5):
+            protocol.add_index_node(f"N{i}")
+        protocol.build_ring()
+        for i, part in enumerate(parts):
+            protocol.add_storage_node(f"D{i}", part, publish=True, protocol=True)
+
+        def rows(system):
+            out = {}
+            for node in system.index_nodes.values():
+                for key, cells in node.table.export_range():
+                    out[key] = cells
+            return out
+
+        assert rows(fast) == rows(protocol)
+
+    def test_protocol_publication_costs_messages(self):
+        triples = generate_foaf_triples(FoafConfig(num_people=10, seed=3))
+        system = HybridSystem()
+        for i in range(4):
+            system.add_index_node(f"N{i}")
+        system.build_ring()
+        before = system.stats.messages
+        system.add_storage_node("D0", triples, publish=True, protocol=True)
+        assert system.stats.messages > before
+
+    def test_fast_publication_is_free(self):
+        triples = generate_foaf_triples(FoafConfig(num_people=10, seed=3))
+        system = HybridSystem()
+        for i in range(4):
+            system.add_index_node(f"N{i}")
+        system.build_ring()
+        before = system.stats.messages
+        system.add_storage_node("D0", triples, publish=True)
+        assert system.stats.messages == before
+
+    def test_replication_places_rows_at_successors(self):
+        system = build_system(replication_factor=2)
+        pattern = TriplePattern(X, FOAF.knows, Y)
+        kind, key = key_for_pattern(pattern, system.space)
+        owner = system.ring.owner_of(key)
+        successor = system.index_nodes[owner.successor.node_id]
+        assert successor.replicas.row_dict(key) != {}
+
+
+class TestFig1:
+    def test_topology(self):
+        system = fig1_network()
+        refs = system.ring.sorted_refs()
+        assert [(r.node_id, r.ident) for r in refs] == list(FIG1_INDEX_IDS)
+        assert system.ring.is_consistent()
+
+    def test_attachments_match_figure(self):
+        system = fig1_network()
+        n7 = system.index_nodes["N7"]
+        assert n7.attached_storage == ["D1", "D3", "D4"]
+        assert system.index_nodes["N15"].attached_storage == ["D2"]
+
+    def test_four_bit_space(self):
+        system = fig1_network()
+        assert system.space.bits == 4
+
+    def test_with_data_queries_work(self):
+        system = fig1_network(paper_example_partition())
+        result, report = system.execute(
+            "SELECT ?x WHERE { ?x foaf:knows ns:me . }", initiator="D1"
+        )
+        assert len(result.rows) == 2

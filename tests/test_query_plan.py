@@ -1,0 +1,109 @@
+"""Planner tests: PatternInfo, index consultation, shared-site choice."""
+
+import pytest
+
+from repro.overlay import KeyKind, LocationEntry
+from repro.query import DistributedExecutor, choose_shared_site, subquery_algebra
+from repro.query.executor import ExecutionContext, ExecutionReport
+from repro.query.plan import PatternInfo
+from repro.rdf import COMMON_PREFIXES, FOAF, NS, TriplePattern, Variable
+from repro.sparql import BGP, Filter, parse_query
+from collections import Counter
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def make_ctx(system, initiator="D1", **options):
+    executor = DistributedExecutor(system, **options)
+    return ExecutionContext(
+        system, initiator, executor.options, ExecutionReport(), executor.load
+    )
+
+
+def info(pattern, entries, condition=None):
+    return PatternInfo(
+        pattern=pattern, key_kind=KeyKind.P, key=1, owner="N0",
+        entries=tuple(LocationEntry(s, f) for s, f in entries),
+        condition=condition,
+    )
+
+
+class TestLocate:
+    def test_locate_returns_row_and_owner(self, paper_system):
+        ctx = make_ctx(paper_system)
+        pattern = TriplePattern(X, FOAF.knows, Y)
+
+        result = paper_system.sim.run_process(ctx.locate(pattern))
+        assert result.owner in paper_system.index_nodes
+        assert [e.storage_id for e in result.entries] == ["D2"]
+        assert result.key_kind is KeyKind.P
+
+    def test_locate_unbound_pattern_is_broadcast(self, paper_system):
+        ctx = make_ctx(paper_system)
+        pattern = TriplePattern(X, Y, Z)
+        result = paper_system.sim.run_process(ctx.locate(pattern))
+        assert result.owner is None and result.entries == ()
+
+    def test_locate_from_index_node_owning_key_is_free(self, paper_system):
+        pattern = TriplePattern(X, FOAF.knows, Y)
+        from repro.overlay import key_for_pattern
+
+        kind, key = key_for_pattern(pattern, paper_system.space)
+        owner = paper_system.ring.owner_of(key)
+        ctx = make_ctx(paper_system, initiator=owner.node_id)
+        before = paper_system.stats.messages
+        result = paper_system.sim.run_process(ctx.locate(pattern))
+        assert paper_system.stats.messages == before  # zero messages
+        assert result.owner == owner.node_id
+
+    def test_total_frequency_is_sum(self):
+        pi = info(TriplePattern(X, FOAF.knows, Y), [("D1", 10), ("D3", 20)])
+        assert pi.total_frequency == 30
+        assert pi.frequency_of("D3") == 20
+        assert pi.frequency_of("D9") == 0
+
+
+class TestSubqueryAlgebra:
+    def test_plain_pattern(self):
+        pi = info(TriplePattern(X, FOAF.knows, Y), [("D1", 1)])
+        alg = subquery_algebra(pi)
+        assert alg == BGP((pi.pattern,))
+
+    def test_with_condition_wraps_filter(self):
+        q = parse_query(
+            'SELECT * WHERE { ?x foaf:name ?n . FILTER regex(?n, "S") }',
+            COMMON_PREFIXES,
+        )
+        condition = q.where.filters[0].expression
+        pi = info(TriplePattern(X, FOAF.name, Variable("n")), [("D1", 1)],
+                  condition=condition)
+        alg = subquery_algebra(pi)
+        assert isinstance(alg, Filter) and alg.condition is condition
+
+
+class TestSharedSite:
+    def test_paper_example_overlap(self):
+        """S1 = {D1, D3, D4}, S2 = {D1, D2} -> join at D1 (Sect. IV-D)."""
+        p1 = info(TriplePattern(X, FOAF.knows, Z), [("D1", 5), ("D3", 8), ("D4", 2)])
+        p2 = info(TriplePattern(X, NS.knowsNothingAbout, Y), [("D1", 3), ("D2", 4)])
+        assert choose_shared_site([p1, p2]) == "D1"
+
+    def test_multiple_shared_prefers_heavier(self):
+        """S1 = {D1, D2, D4}, S2 = {D1, D2}: both D1 and D2 qualify; the
+        one holding more matching triples wins (its data never ships)."""
+        p1 = info(TriplePattern(X, FOAF.knows, Z), [("D1", 5), ("D2", 50), ("D4", 2)])
+        p2 = info(TriplePattern(X, NS.knowsNothingAbout, Y), [("D1", 3), ("D2", 4)])
+        assert choose_shared_site([p1, p2]) == "D2"
+
+    def test_no_overlap_returns_none(self):
+        p1 = info(TriplePattern(X, FOAF.knows, Z), [("D1", 5)])
+        p2 = info(TriplePattern(X, NS.knowsNothingAbout, Y), [("D2", 3)])
+        assert choose_shared_site([p1, p2]) is None
+
+    def test_single_pattern_returns_its_provider(self):
+        p1 = info(TriplePattern(X, FOAF.knows, Z), [("D1", 5), ("D2", 9)])
+        assert choose_shared_site([p1]) == "D2"
+
+    def test_empty(self):
+        assert choose_shared_site([]) is None
+        assert choose_shared_site([info(TriplePattern(X, FOAF.knows, Z), [])]) is None

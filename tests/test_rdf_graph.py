@@ -1,0 +1,144 @@
+"""Unit and property tests for the indexed graph store."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import Graph, IRI, Literal, Triple, TriplePattern, Variable
+
+S = [IRI(f"http://x/s{i}") for i in range(5)]
+P = [IRI(f"http://x/p{i}") for i in range(3)]
+O = [IRI(f"http://x/o{i}") for i in range(5)] + [Literal(f"v{i}") for i in range(3)]
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def make_graph():
+    g = Graph()
+    g.add(Triple(S[0], P[0], O[0]))
+    g.add(Triple(S[0], P[0], O[1]))
+    g.add(Triple(S[0], P[1], O[0]))
+    g.add(Triple(S[1], P[0], O[0]))
+    g.add(Triple(S[1], P[2], Literal("v0")))
+    return g
+
+
+class TestSetSemantics:
+    def test_add_is_idempotent(self):
+        g = Graph()
+        t = Triple(S[0], P[0], O[0])
+        assert g.add(t) is True
+        assert g.add(t) is False
+        assert len(g) == 1
+
+    def test_contains(self):
+        g = make_graph()
+        assert Triple(S[0], P[0], O[0]) in g
+        assert Triple(S[2], P[0], O[0]) not in g
+
+    def test_discard(self):
+        g = make_graph()
+        assert g.discard(Triple(S[0], P[0], O[0])) is True
+        assert Triple(S[0], P[0], O[0]) not in g
+        assert g.discard(Triple(S[0], P[0], O[0])) is False
+        assert len(g) == 4
+
+    def test_discard_prunes_empty_index_rows(self):
+        g = Graph()
+        t = Triple(S[0], P[0], O[0])
+        g.add(t)
+        g.discard(t)
+        assert S[0] not in g.subjects()
+        assert P[0] not in g.predicates()
+        assert O[0] not in g.objects()
+
+    def test_update_counts_new_only(self):
+        g = make_graph()
+        added = g.update([Triple(S[0], P[0], O[0]), Triple(S[3], P[0], O[0])])
+        assert added == 1
+
+    def test_iteration_yields_all(self):
+        g = make_graph()
+        assert len(list(g)) == len(g) == 5
+
+    def test_union_operator(self):
+        g1 = Graph([Triple(S[0], P[0], O[0])])
+        g2 = Graph([Triple(S[1], P[0], O[0])])
+        merged = g1 | g2
+        assert len(merged) == 2
+        assert len(g1) == 1  # unchanged
+
+    def test_eq(self):
+        assert make_graph() == make_graph()
+        g = make_graph()
+        g.discard(Triple(S[0], P[0], O[0]))
+        assert g != make_graph()
+
+    def test_rejects_non_triple(self):
+        with pytest.raises(TypeError):
+            Graph().add("not a triple")
+
+
+class TestPatternAccess:
+    @pytest.mark.parametrize(
+        "pattern,count",
+        [
+            (TriplePattern(X, Y, Z), 5),
+            (TriplePattern(S[0], Y, Z), 3),
+            (TriplePattern(X, P[0], Z), 3),
+            (TriplePattern(X, Y, O[0]), 3),
+            (TriplePattern(S[0], P[0], Z), 2),
+            (TriplePattern(X, P[0], O[0]), 2),
+            (TriplePattern(S[0], Y, O[0]), 2),
+            (TriplePattern(S[0], P[0], O[0]), 1),
+            (TriplePattern(S[4], Y, Z), 0),
+        ],
+    )
+    def test_all_shapes(self, pattern, count):
+        g = make_graph()
+        assert g.count(pattern) == count
+
+    def test_repeated_variable_requires_equal_terms(self):
+        shared = IRI("http://x/same")
+        g = Graph([
+            Triple(shared, P[0], shared),
+            Triple(S[0], P[0], shared),
+        ])
+        matches = list(g.triples(TriplePattern(X, P[0], X)))
+        assert matches == [Triple(shared, P[0], shared)]
+
+    def test_views(self):
+        g = make_graph()
+        assert S[0] in g.subjects()
+        assert P[2] in g.predicates()
+        assert Literal("v0") in g.objects()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 2), st.integers(0, 3)),
+        max_size=40,
+    )
+)
+def test_property_graph_matches_naive_set(data):
+    """The indexed store behaves exactly like a set of triples with a
+    linear-scan matcher, for every pattern shape."""
+    triples = [Triple(S[a], P[b], O[c]) for a, b, c in data]
+    g = Graph(triples)
+    reference = set(triples)
+    assert len(g) == len(reference)
+
+    patterns = [
+        TriplePattern(X, Y, Z),
+        TriplePattern(S[0], Y, Z),
+        TriplePattern(X, P[1], Z),
+        TriplePattern(X, Y, O[2]),
+        TriplePattern(S[1], P[0], Z),
+        TriplePattern(X, P[0], O[0]),
+        TriplePattern(S[2], Y, O[1]),
+        TriplePattern(S[0], P[0], O[0]),
+    ]
+    for pattern in patterns:
+        expected = {t for t in reference if pattern.matches(t)}
+        assert set(g.triples(pattern)) == expected

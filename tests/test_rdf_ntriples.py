@@ -1,0 +1,104 @@
+"""N-Triples parser/serializer tests, including round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import (
+    IRI,
+    BlankNode,
+    Literal,
+    NTriplesError,
+    Triple,
+    parse_ntriples,
+    serialize_ntriples,
+)
+
+
+class TestParsing:
+    def test_simple_triple(self):
+        [t] = parse_ntriples("<http://x/s> <http://x/p> <http://x/o> .")
+        assert t == Triple(IRI("http://x/s"), IRI("http://x/p"), IRI("http://x/o"))
+
+    def test_literal_object(self):
+        [t] = parse_ntriples('<http://x/s> <http://x/p> "hello" .')
+        assert t.o == Literal("hello")
+
+    def test_language_literal(self):
+        [t] = parse_ntriples('<http://x/s> <http://x/p> "salut"@fr-CA .')
+        assert t.o == Literal("salut", language="fr-CA")
+
+    def test_datatyped_literal(self):
+        text = '<http://x/s> <http://x/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        [t] = parse_ntriples(text)
+        assert t.o.datatype.value.endswith("integer")
+
+    def test_blank_nodes(self):
+        [t] = parse_ntriples("_:a <http://x/p> _:b .")
+        assert t.s == BlankNode("a") and t.o == BlankNode("b")
+
+    def test_escapes(self):
+        [t] = parse_ntriples(r'<http://x/s> <http://x/p> "line1\nline2\t\"q\" é" .')
+        assert t.o.lexical == 'line1\nline2\t"q" é'
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "\n# a comment\n\n<http://x/s> <http://x/p> <http://x/o> . # trailing\n"
+        assert len(list(parse_ntriples(text))) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<http://x/s> <http://x/p> <http://x/o>",   # no dot
+            "<http://x/s> <http://x/p> .",              # missing object
+            '"lit" <http://x/p> <http://x/o> .',        # literal subject
+            "<http://x/s> _:b <http://x/o> .",          # blank predicate
+            "<http://x/s> <http://x/p> <http://x/o> . junk",
+        ],
+    )
+    def test_malformed_lines_raise_with_lineno(self, bad):
+        with pytest.raises(NTriplesError) as err:
+            list(parse_ntriples(bad))
+        assert "line 1" in str(err.value)
+
+    def test_error_lineno_is_accurate(self):
+        text = "<http://x/s> <http://x/p> <http://x/o> .\nbroken\n"
+        with pytest.raises(NTriplesError) as err:
+            list(parse_ntriples(text))
+        assert err.value.lineno == 2
+
+
+class TestRoundTrip:
+    def test_serialize_parse_roundtrip(self):
+        triples = [
+            Triple(IRI("http://x/s"), IRI("http://x/p"), Literal('a "quoted"\nvalue')),
+            Triple(BlankNode("b0"), IRI("http://x/p"), Literal("fr", language="fr")),
+            Triple(IRI("http://x/s"), IRI("http://x/q"), IRI("http://x/o")),
+        ]
+        text = serialize_ntriples(triples)
+        assert list(parse_ntriples(text)) == triples
+
+    def test_empty(self):
+        assert serialize_ntriples([]) == ""
+        assert list(parse_ntriples("")) == []
+
+
+_simple_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"),
+    max_size=30,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    s=st.integers(0, 5),
+    p=st.integers(0, 3),
+    lex=_simple_text,
+    lang=st.one_of(st.none(), st.sampled_from(["en", "fr", "de-CH"])),
+)
+def test_property_literal_roundtrip(s, p, lex, lang):
+    triple = Triple(
+        IRI(f"http://x/s{s}"),
+        IRI(f"http://x/p{p}"),
+        Literal(lex, language=lang),
+    )
+    text = serialize_ntriples([triple])
+    assert list(parse_ntriples(text)) == [triple]

@@ -1,0 +1,107 @@
+"""Unit tests for the RDF term model."""
+
+import pytest
+
+from repro.rdf import (
+    IRI,
+    BlankNode,
+    Literal,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+from repro.rdf.terms import is_concrete
+
+
+class TestIRI:
+    def test_n3_roundtrip_form(self):
+        assert IRI("http://example.org/a").n3() == "<http://example.org/a>"
+
+    def test_equality_and_hash(self):
+        assert IRI("http://x/a") == IRI("http://x/a")
+        assert hash(IRI("http://x/a")) == hash(IRI("http://x/a"))
+        assert IRI("http://x/a") != IRI("http://x/b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IRI("")
+
+    @pytest.mark.parametrize("bad", ["http://x/a b", "http://x/<a>", 'http://x/"q"'])
+    def test_forbidden_characters_rejected(self, bad):
+        with pytest.raises(ValueError):
+            IRI(bad)
+
+
+class TestLiteral:
+    def test_plain(self):
+        lit = Literal("hello")
+        assert lit.n3() == '"hello"'
+        assert lit.language is None and lit.datatype is None
+
+    def test_language_tagged(self):
+        lit = Literal("bonjour", language="fr")
+        assert lit.n3() == '"bonjour"@fr'
+
+    def test_datatyped(self):
+        lit = Literal("5", datatype=IRI(XSD_INTEGER))
+        assert lit.n3() == f'"5"^^<{XSD_INTEGER}>'
+
+    def test_language_and_datatype_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("x", language="en", datatype=IRI(XSD_INTEGER))
+
+    def test_empty_language_rejected(self):
+        with pytest.raises(ValueError):
+            Literal("x", language="")
+
+    def test_to_python_integer(self):
+        assert Literal("42", datatype=IRI(XSD_INTEGER)).to_python() == 42
+
+    def test_to_python_double(self):
+        assert Literal("2.5", datatype=IRI(XSD_DOUBLE)).to_python() == 2.5
+
+    @pytest.mark.parametrize("lex,expected", [("true", True), ("1", True), ("false", False)])
+    def test_to_python_boolean(self, lex, expected):
+        assert Literal(lex, datatype=IRI(XSD_BOOLEAN)).to_python() is expected
+
+    def test_to_python_plain_is_string(self):
+        assert Literal("x").to_python() == "x"
+
+    def test_is_numeric(self):
+        assert Literal("1", datatype=IRI(XSD_INTEGER)).is_numeric
+        assert not Literal("1").is_numeric
+
+    def test_escaping_in_n3(self):
+        lit = Literal('say "hi"\n\t\\')
+        assert lit.n3() == '"say \\"hi\\"\\n\\t\\\\"'
+
+    def test_distinct_by_language(self):
+        assert Literal("a", language="en") != Literal("a", language="de")
+        assert Literal("a", language="en") != Literal("a")
+
+
+class TestBlankNodeVariable:
+    def test_blank_node_n3(self):
+        assert BlankNode("b0").n3() == "_:b0"
+
+    def test_blank_label_required(self):
+        with pytest.raises(ValueError):
+            BlankNode("")
+
+    def test_variable_n3(self):
+        assert Variable("x").n3() == "?x"
+
+    def test_variable_rejects_sigil(self):
+        with pytest.raises(ValueError):
+            Variable("?x")
+
+    def test_variable_name_required(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_is_concrete(self):
+        assert is_concrete(IRI("http://x/a"))
+        assert is_concrete(Literal("a"))
+        assert is_concrete(BlankNode("b"))
+        assert not is_concrete(Variable("v"))

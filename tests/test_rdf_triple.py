@@ -1,0 +1,92 @@
+"""Unit tests for triples and triple patterns (the eight shapes)."""
+
+import pytest
+
+from repro.rdf import IRI, BlankNode, Literal, PatternShape, Triple, TriplePattern, Variable
+
+S = IRI("http://x/s")
+P = IRI("http://x/p")
+O = IRI("http://x/o")
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestTriple:
+    def test_construction_and_iteration(self):
+        t = Triple(S, P, Literal("v"))
+        assert list(t) == [S, P, Literal("v")]
+
+    def test_subject_cannot_be_literal(self):
+        with pytest.raises(TypeError):
+            Triple(Literal("a"), P, O)
+
+    def test_predicate_must_be_iri(self):
+        with pytest.raises(TypeError):
+            Triple(S, BlankNode("b"), O)
+        with pytest.raises(TypeError):
+            Triple(S, Literal("p"), O)
+
+    def test_no_variables_in_triple(self):
+        with pytest.raises(TypeError):
+            Triple(X, P, O)
+        with pytest.raises(TypeError):
+            Triple(S, P, Z)
+
+    def test_blank_node_subject_and_object_allowed(self):
+        t = Triple(BlankNode("b"), P, BlankNode("c"))
+        assert isinstance(t.s, BlankNode)
+
+    def test_n3(self):
+        assert Triple(S, P, O).n3() == "<http://x/s> <http://x/p> <http://x/o> ."
+
+
+class TestPatternShapes:
+    ALL = {
+        (X, Y, Z): PatternShape.spo,
+        (X, Y, O): PatternShape.spO,
+        (X, P, Z): PatternShape.sPo,
+        (X, P, O): PatternShape.sPO,
+        (S, Y, Z): PatternShape.Spo,
+        (S, Y, O): PatternShape.SpO,
+        (S, P, Z): PatternShape.SPo,
+        (S, P, O): PatternShape.SPO,
+    }
+
+    def test_all_eight_shapes(self):
+        for (s, p, o), shape in self.ALL.items():
+            assert TriplePattern(s, p, o).shape is shape
+
+    def test_bound_positions(self):
+        assert PatternShape.SPo.bound_positions == ("s", "p")
+        assert PatternShape.spo.bound_positions == ()
+        assert PatternShape.SPO.bound_positions == ("s", "p", "o")
+
+
+class TestPatternOps:
+    def test_variables(self):
+        assert TriplePattern(X, P, Z).variables() == frozenset({X, Z})
+        assert TriplePattern(S, P, O).variables() == frozenset()
+
+    def test_repeated_variable_counted_once(self):
+        assert TriplePattern(X, P, X).variables() == frozenset({X})
+
+    def test_matches_structural(self):
+        pattern = TriplePattern(X, P, Z)
+        assert pattern.matches(Triple(S, P, O))
+        assert not pattern.matches(Triple(S, IRI("http://x/q"), O))
+
+    def test_substitute_partial(self):
+        pattern = TriplePattern(X, P, Z)
+        bound = pattern.substitute({X: S})
+        assert bound == TriplePattern(S, P, Z)
+
+    def test_substitute_full_and_as_triple(self):
+        pattern = TriplePattern(X, P, Z).substitute({X: S, Z: O})
+        assert pattern.as_triple() == Triple(S, P, O)
+
+    def test_as_triple_rejects_remaining_variables(self):
+        with pytest.raises(ValueError):
+            TriplePattern(X, P, O).as_triple()
+
+    def test_is_concrete(self):
+        assert TriplePattern(S, P, O).is_concrete()
+        assert not TriplePattern(S, P, Z).is_concrete()

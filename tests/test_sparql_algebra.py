@@ -1,0 +1,167 @@
+"""Query Transformation tests: the paper's exact algebra expressions.
+
+Sect. IV names the algebra expression for each example query; these tests
+pin our translation to those expressions, using format_algebra with the
+paper's P1/P2/... labels.
+"""
+
+import pytest
+
+from repro.rdf import COMMON_PREFIXES, IRI, Literal, TriplePattern, Variable
+from repro.rdf.namespaces import FOAF, NS
+from repro.sparql import (
+    BGP,
+    Filter,
+    Join,
+    LeftJoin,
+    Union,
+    format_algebra,
+    parse_query,
+    translate_pattern,
+)
+from repro.sparql import ast
+
+X, Y, Z, NAME = Variable("x"), Variable("y"), Variable("z"), Variable("name")
+
+
+def algebra_of(text):
+    return translate_pattern(parse_query(text, COMMON_PREFIXES).where)
+
+
+class TestPrimitiveAndConjunction:
+    def test_fig5_primitive_becomes_single_bgp(self):
+        """Fig. 5: BGP(P)."""
+        alg = algebra_of("SELECT ?x WHERE { ?x foaf:knows ns:me . }")
+        assert alg == BGP((TriplePattern(X, FOAF.knows, IRI(NS.base + "me")),))
+
+    def test_fig6_conjunction_merges_into_one_bgp(self):
+        """Fig. 6: BGP(P1. P2) — not Join(BGP(P1), BGP(P2))."""
+        alg = algebra_of(
+            """SELECT ?x ?y ?z WHERE {
+                 ?x foaf:knows ?z .
+                 ?x ns:knowsNothingAbout ?y .
+               }"""
+        )
+        assert isinstance(alg, BGP)
+        assert alg.patterns == (
+            TriplePattern(X, FOAF.knows, Z),
+            TriplePattern(X, NS.knowsNothingAbout, Y),
+        )
+
+    def test_adjacent_groups_merge(self):
+        alg = algebra_of(
+            "SELECT * WHERE { { ?x foaf:knows ?y . } { ?y foaf:knows ?z . } }"
+        )
+        assert isinstance(alg, BGP) and len(alg.patterns) == 2
+
+
+class TestOptional:
+    def test_fig7_leftjoin_with_true(self):
+        """Fig. 7: LeftJoin(BGP(P1), BGP(P2), true)."""
+        alg = algebra_of(
+            """SELECT ?x ?y WHERE {
+                 { ?x foaf:name "Smith" . ?x foaf:knows ?y . }
+                 OPTIONAL { ?y foaf:nick "Shrek" . }
+               }"""
+        )
+        assert isinstance(alg, LeftJoin)
+        assert alg.condition is None  # 'true'
+        assert isinstance(alg.left, BGP) and len(alg.left.patterns) == 2
+        assert isinstance(alg.right, BGP) and len(alg.right.patterns) == 1
+
+    def test_optional_with_inner_filter_becomes_condition(self):
+        """Footnote 16: an embedded filter is the LeftJoin's 3rd argument."""
+        alg = algebra_of(
+            """SELECT * WHERE {
+                 ?x foaf:name ?n .
+                 OPTIONAL { ?x ns:age ?a . FILTER (?a > 18) }
+               }"""
+        )
+        assert isinstance(alg, LeftJoin)
+        assert isinstance(alg.condition, ast.CompareExpr)
+        # The filter must NOT remain inside the right operand.
+        assert isinstance(alg.right, BGP)
+
+    def test_chained_optionals_left_associative(self):
+        alg = algebra_of(
+            """SELECT * WHERE {
+                 ?x foaf:name ?n .
+                 OPTIONAL { ?x foaf:nick ?k . }
+                 OPTIONAL { ?x foaf:mbox ?m . }
+               }"""
+        )
+        assert isinstance(alg, LeftJoin)
+        assert isinstance(alg.left, LeftJoin)
+
+
+class TestUnionAndFilter:
+    def test_fig8_union_of_bgps(self):
+        """Fig. 8: Union(BGP(P1), BGP(P2))."""
+        alg = algebra_of(
+            """SELECT ?x ?y ?z WHERE {
+                 { ?x foaf:name "Smith" . ?x foaf:knows ?y . }
+                 UNION
+                 { ?x foaf:mbox <mailto:abc@example.org> . ?x foaf:knows ?z . }
+               }"""
+        )
+        assert isinstance(alg, Union)
+        assert isinstance(alg.left, BGP) and isinstance(alg.right, BGP)
+
+    def test_fig9_filter_leftjoin_shape(self):
+        """Fig. 9: Filter(C1, LeftJoin(BGP(P1. P2), BGP(P3), true))."""
+        q = parse_query(
+            """SELECT ?x ?y ?z WHERE {
+                 ?x foaf:name ?name ;
+                    ns:knowsNothingAbout ?y .
+                 FILTER regex(?name, "Smith")
+                 OPTIONAL { ?y foaf:knows ?z . }
+               }""",
+            COMMON_PREFIXES,
+        )
+        alg = translate_pattern(q.where)
+        assert isinstance(alg, Filter)
+        inner = alg.pattern
+        assert isinstance(inner, LeftJoin) and inner.condition is None
+        assert isinstance(inner.left, BGP) and len(inner.left.patterns) == 2
+        assert isinstance(inner.right, BGP) and len(inner.right.patterns) == 1
+
+    def test_fig9_format_matches_paper_notation(self):
+        q = parse_query(
+            """SELECT ?x ?y ?z WHERE {
+                 ?x foaf:name ?name ;
+                    ns:knowsNothingAbout ?y .
+                 FILTER regex(?name, "Smith")
+                 OPTIONAL { ?y foaf:knows ?z . }
+               }""",
+            COMMON_PREFIXES,
+        )
+        alg = translate_pattern(q.where)
+        names = {
+            TriplePattern(X, FOAF.name, NAME): "P1",
+            TriplePattern(X, NS.knowsNothingAbout, Y): "P2",
+            TriplePattern(Y, FOAF.knows, Z): "P3",
+            alg.condition: "C1",
+        }
+        assert (
+            format_algebra(alg, names)
+            == "Filter(C1, LeftJoin(BGP(P1. P2), BGP(P3), true))"
+        )
+
+
+class TestScopeVars:
+    def test_certain_vs_in_scope(self):
+        alg = algebra_of(
+            """SELECT * WHERE {
+                 ?x foaf:name ?n .
+                 OPTIONAL { ?x foaf:nick ?k . }
+               }"""
+        )
+        assert alg.in_scope_vars() == frozenset({X, Variable("n"), Variable("k")})
+        assert alg.certain_vars() == frozenset({X, Variable("n")})
+
+    def test_union_certain_is_intersection(self):
+        alg = algebra_of(
+            "SELECT * WHERE { { ?x foaf:name ?n . } UNION { ?x foaf:nick ?k . } }"
+        )
+        assert alg.certain_vars() == frozenset({X})
+        assert alg.in_scope_vars() == frozenset({X, Variable("n"), Variable("k")})

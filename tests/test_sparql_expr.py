@@ -1,0 +1,170 @@
+"""FILTER expression evaluation tests (EBV, comparisons, built-ins,
+three-valued logic)."""
+
+import pytest
+
+from repro.rdf import IRI, BlankNode, Literal, Variable, XSD_BOOLEAN, XSD_INTEGER
+from repro.sparql import SparqlEvalError, parse_query
+from repro.sparql.expr import (
+    effective_boolean_value,
+    evaluate_expression,
+    filter_passes,
+    order_key,
+)
+from repro.sparql.solutions import SolutionMapping
+
+X, N = Variable("x"), Variable("n")
+
+
+def expr_of(filter_text):
+    q = parse_query(f"SELECT * WHERE {{ ?x ?p ?n . FILTER {filter_text} }}")
+    return q.where.filters[0].expression
+
+
+def sm(**kwargs):
+    return SolutionMapping({Variable(k): v for k, v in kwargs.items()})
+
+
+INT = lambda n: Literal(str(n), datatype=IRI(XSD_INTEGER))
+
+
+class TestEBV:
+    def test_booleans(self):
+        assert effective_boolean_value(True) is True
+        assert effective_boolean_value(Literal("true", datatype=IRI(XSD_BOOLEAN)))
+        assert not effective_boolean_value(Literal("false", datatype=IRI(XSD_BOOLEAN)))
+
+    def test_numbers(self):
+        assert effective_boolean_value(5)
+        assert not effective_boolean_value(0)
+        assert effective_boolean_value(INT(3))
+        assert not effective_boolean_value(INT(0))
+
+    def test_strings(self):
+        assert effective_boolean_value("x")
+        assert not effective_boolean_value("")
+        assert effective_boolean_value(Literal("x"))
+        assert not effective_boolean_value(Literal(""))
+
+    def test_iri_has_no_ebv(self):
+        with pytest.raises(SparqlEvalError):
+            effective_boolean_value(IRI("http://x/a"))
+
+
+class TestComparisonsAndArithmetic:
+    def test_numeric_comparison(self):
+        assert filter_passes(expr_of("(?n > 3)"), sm(n=INT(5)))
+        assert not filter_passes(expr_of("(?n > 3)"), sm(n=INT(2)))
+
+    def test_mixed_numeric_types(self):
+        dec = Literal("2.5", datatype=IRI("http://www.w3.org/2001/XMLSchema#decimal"))
+        assert filter_passes(expr_of("(?n < 3)"), sm(n=dec))
+
+    def test_string_comparison(self):
+        assert filter_passes(expr_of('(?n = "abc")'), sm(n=Literal("abc")))
+        assert filter_passes(expr_of('(?n < "b")'), sm(n=Literal("a")))
+
+    def test_iri_equality_only(self):
+        assert filter_passes(expr_of("(?n = <http://x/a>)"), sm(n=IRI("http://x/a")))
+        assert not filter_passes(expr_of("(?n != <http://x/a>)"), sm(n=IRI("http://x/a")))
+        # ordering IRIs is a type error -> filter fails
+        assert not filter_passes(expr_of("(?n < <http://x/a>)"), sm(n=IRI("http://x/a")))
+
+    def test_arithmetic(self):
+        assert evaluate_expression(expr_of("(?n + 2 * 3)"), sm(n=INT(1))) == 7
+        assert evaluate_expression(expr_of("(?n - 1)"), sm(n=INT(1))) == 0
+        assert evaluate_expression(expr_of("(6 / ?n)"), sm(n=INT(4))) == 1.5
+
+    def test_division_by_zero_is_type_error(self):
+        assert not filter_passes(expr_of("(1 / ?n > 0)"), sm(n=INT(0)))
+
+    def test_unary_negation(self):
+        assert evaluate_expression(expr_of("(-?n)"), sm(n=INT(3))) == -3
+
+
+class TestThreeValuedLogic:
+    def test_unbound_variable_is_error_not_crash(self):
+        assert not filter_passes(expr_of("(?missing = 1)"), sm(n=INT(1)))
+
+    def test_or_true_wins_over_error(self):
+        # right operand errors (unbound), left true -> true
+        assert filter_passes(expr_of("(?n = 1 || ?missing = 2)"), sm(n=INT(1)))
+        assert filter_passes(expr_of("(?missing = 2 || ?n = 1)"), sm(n=INT(1)))
+
+    def test_or_error_when_other_false(self):
+        assert not filter_passes(expr_of("(?n = 2 || ?missing = 2)"), sm(n=INT(1)))
+
+    def test_and_false_wins_over_error(self):
+        assert not filter_passes(expr_of("(?n = 2 && ?missing = 2)"), sm(n=INT(1)))
+        assert not filter_passes(expr_of("(?missing = 2 && ?n = 2)"), sm(n=INT(1)))
+
+    def test_not(self):
+        assert filter_passes(expr_of("(!(?n = 2))"), sm(n=INT(1)))
+
+
+class TestBuiltins:
+    def test_regex(self):
+        assert filter_passes(expr_of('regex(?n, "Smi")'), sm(n=Literal("Smith")))
+        assert not filter_passes(expr_of('regex(?n, "^mith")'), sm(n=Literal("Smith")))
+
+    def test_regex_flags(self):
+        assert filter_passes(expr_of('regex(?n, "smith", "i")'), sm(n=Literal("Smith")))
+
+    def test_regex_invalid_pattern_is_type_error(self):
+        assert not filter_passes(expr_of('regex(?n, "(")'), sm(n=Literal("x")))
+
+    def test_regex_on_iri_is_type_error(self):
+        assert not filter_passes(expr_of('regex(?n, "x")'), sm(n=IRI("http://x/a")))
+
+    def test_bound(self):
+        assert filter_passes(expr_of("BOUND(?n)"), sm(n=INT(1)))
+        assert not filter_passes(expr_of("BOUND(?missing)"), sm(n=INT(1)))
+
+    def test_type_predicates(self):
+        assert filter_passes(expr_of("isIRI(?n)"), sm(n=IRI("http://x/a")))
+        assert filter_passes(expr_of("isLITERAL(?n)"), sm(n=Literal("a")))
+        assert filter_passes(expr_of("isBLANK(?n)"), sm(n=BlankNode("b")))
+        assert not filter_passes(expr_of("isIRI(?n)"), sm(n=Literal("a")))
+
+    def test_str_lang_datatype(self):
+        assert evaluate_expression(expr_of("STR(?n)"), sm(n=IRI("http://x/a"))) == "http://x/a"
+        assert evaluate_expression(expr_of("LANG(?n)"), sm(n=Literal("a", language="en"))) == "en"
+        assert evaluate_expression(expr_of("LANG(?n)"), sm(n=Literal("a"))) == ""
+        dt = evaluate_expression(expr_of("DATATYPE(?n)"), sm(n=INT(1)))
+        assert dt == IRI(XSD_INTEGER)
+
+    def test_langmatches(self):
+        e = expr_of('LANGMATCHES(LANG(?n), "en")')
+        assert filter_passes(e, sm(n=Literal("a", language="en")))
+        assert filter_passes(e, sm(n=Literal("a", language="en-GB")))
+        assert not filter_passes(e, sm(n=Literal("a", language="fr")))
+
+    def test_langmatches_star(self):
+        e = expr_of('LANGMATCHES(LANG(?n), "*")')
+        assert filter_passes(e, sm(n=Literal("a", language="fr")))
+        assert not filter_passes(e, sm(n=Literal("a")))
+
+    def test_sameterm(self):
+        assert filter_passes(expr_of("sameTerm(?n, ?n)"), sm(n=Literal("a")))
+        assert not filter_passes(
+            expr_of('sameTerm(?n, "b")'), sm(n=Literal("a"))
+        )
+
+
+class TestOrderKey:
+    def test_total_order_groups(self):
+        e = expr_of("?n") if False else None
+        from repro.sparql import ast
+        term_expr = ast.TermExpr(N)
+        unbound = order_key(term_expr, sm(x=INT(1)))
+        blank = order_key(term_expr, sm(n=BlankNode("b")))
+        iri = order_key(term_expr, sm(n=IRI("http://x/a")))
+        lit = order_key(term_expr, sm(n=Literal("a")))
+        num = order_key(term_expr, sm(n=INT(2)))
+        assert unbound < blank < iri < num
+        assert unbound < blank < iri < lit
+
+    def test_numeric_order_by_value(self):
+        from repro.sparql import ast
+        term_expr = ast.TermExpr(N)
+        assert order_key(term_expr, sm(n=INT(2))) < order_key(term_expr, sm(n=INT(10)))

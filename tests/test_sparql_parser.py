@@ -1,0 +1,205 @@
+"""Parser tests: query forms, patterns, modifiers, expressions."""
+
+import pytest
+
+from repro.rdf import COMMON_PREFIXES, IRI, Literal, TriplePattern, Variable
+from repro.rdf.namespaces import FOAF, NS, RDF
+from repro.sparql import SparqlSyntaxError, parse_query
+from repro.sparql import ast
+
+X, Y = Variable("x"), Variable("y")
+
+
+def parse(text):
+    return parse_query(text, COMMON_PREFIXES)
+
+
+class TestQueryForms:
+    def test_select_projection(self):
+        q = parse("SELECT ?x ?y WHERE { ?x foaf:knows ?y . }")
+        assert isinstance(q, ast.SelectQuery)
+        assert q.projection == (X, Y)
+
+    def test_select_star(self):
+        q = parse("SELECT * WHERE { ?x foaf:knows ?y . }")
+        assert q.select_all
+
+    def test_select_distinct_reduced(self):
+        assert parse("SELECT DISTINCT ?x WHERE { ?x foaf:knows ?y . }").modifiers.distinct
+        assert parse("SELECT REDUCED ?x WHERE { ?x foaf:knows ?y . }").modifiers.reduced
+
+    def test_ask(self):
+        q = parse("ASK { ?x foaf:knows ?y . }")
+        assert isinstance(q, ast.AskQuery)
+
+    def test_construct(self):
+        q = parse(
+            "CONSTRUCT { ?x ns:met ?y . } WHERE { ?x foaf:knows ?y . }"
+        )
+        assert isinstance(q, ast.ConstructQuery)
+        assert q.template == (TriplePattern(X, NS.met, Y),)
+
+    def test_describe(self):
+        q = parse("DESCRIBE ?x WHERE { ?x foaf:knows ?y . }")
+        assert isinstance(q, ast.DescribeQuery)
+        assert q.subjects == (X,)
+
+    def test_describe_iri_without_where(self):
+        q = parse("DESCRIBE <http://x/a>")
+        assert q.subjects == (IRI("http://x/a"),)
+
+
+class TestPrologueAndDataset:
+    def test_prefix_declaration_overrides(self):
+        q = parse_query(
+            "PREFIX p: <http://mine/> SELECT ?x WHERE { ?x p:q ?y . }"
+        )
+        block = q.where.elements[0]
+        assert block.patterns[0].p == IRI("http://mine/q")
+
+    def test_undeclared_prefix_rejected(self):
+        with pytest.raises(SparqlSyntaxError) as err:
+            parse_query("SELECT ?x WHERE { ?x nope:q ?y . }")
+        assert "undeclared prefix" in str(err.value)
+
+    def test_from_clauses(self):
+        q = parse(
+            "SELECT ?x FROM <http://g/1> FROM NAMED <http://g/2> "
+            "WHERE { ?x foaf:knows ?y . }"
+        )
+        assert q.dataset.default == (IRI("http://g/1"),)
+        assert q.dataset.named == (IRI("http://g/2"),)
+        assert not q.dataset.is_union_of_all
+
+    def test_no_dataset_means_union_of_all(self):
+        q = parse("SELECT ?x WHERE { ?x foaf:knows ?y . }")
+        assert q.dataset.is_union_of_all
+
+
+class TestTripleBlocks:
+    def test_semicolon_shares_subject(self):
+        q = parse("SELECT * WHERE { ?x foaf:name ?n ; foaf:knows ?y . }")
+        block = q.where.elements[0]
+        assert block.patterns == (
+            TriplePattern(X, FOAF.name, Variable("n")),
+            TriplePattern(X, FOAF.knows, Y),
+        )
+
+    def test_comma_shares_subject_and_predicate(self):
+        q = parse("SELECT * WHERE { ?x foaf:knows ?y , ns:me . }")
+        block = q.where.elements[0]
+        assert block.patterns == (
+            TriplePattern(X, FOAF.knows, Y),
+            TriplePattern(X, FOAF.knows, IRI(NS.base + "me")),
+        )
+
+    def test_a_is_rdf_type(self):
+        q = parse("SELECT * WHERE { ?x a foaf:Person . }")
+        assert q.where.elements[0].patterns[0].p == RDF.type
+
+    def test_literal_objects(self):
+        q = parse('SELECT * WHERE { ?x foaf:name "Smith" . ?x ns:age 42 . }')
+        pats = q.where.elements[0].patterns
+        assert pats[0].o == Literal("Smith")
+        assert pats[1].o.lexical == "42"
+        assert pats[1].o.datatype.value.endswith("integer")
+
+    def test_typed_and_tagged_literals(self):
+        q = parse(
+            'SELECT * WHERE { ?x ns:l "a"@en . ?x ns:d "1"^^<http://t> . }'
+        )
+        pats = q.where.elements[0].patterns
+        assert pats[0].o == Literal("a", language="en")
+        assert pats[1].o == Literal("1", datatype=IRI("http://t"))
+
+
+class TestCompoundPatterns:
+    def test_optional(self):
+        q = parse(
+            "SELECT * WHERE { ?x foaf:name ?n . OPTIONAL { ?x foaf:nick ?k . } }"
+        )
+        assert isinstance(q.where.elements[1], ast.OptionalPattern)
+
+    def test_union(self):
+        q = parse(
+            "SELECT * WHERE { { ?x foaf:name ?n . } UNION { ?x foaf:nick ?n . } }"
+        )
+        assert isinstance(q.where.elements[0], ast.UnionPattern)
+
+    def test_nested_union_left_associative(self):
+        q = parse(
+            "SELECT * WHERE { { ?x ns:a ?v . } UNION { ?x ns:b ?v . } UNION { ?x ns:c ?v . } }"
+        )
+        union = q.where.elements[0]
+        assert isinstance(union.left, ast.UnionPattern)
+
+    def test_filter_collected_at_group_level(self):
+        q = parse(
+            'SELECT * WHERE { ?x foaf:name ?n . FILTER regex(?n, "S") ?x foaf:knows ?y . }'
+        )
+        assert len(q.where.filters) == 1
+        assert len(q.where.elements) == 2
+
+    def test_graph_pattern(self):
+        q = parse("SELECT * WHERE { GRAPH <http://g> { ?x foaf:knows ?y . } } ")
+        g = q.where.elements[0]
+        assert isinstance(g, ast.NamedGraphPattern)
+        assert g.graph == IRI("http://g")
+
+    def test_unterminated_group_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse("SELECT * WHERE { ?x foaf:knows ?y .")
+
+
+class TestExpressions:
+    def expr(self, filter_text):
+        q = parse(f"SELECT * WHERE {{ ?x foaf:name ?n . FILTER {filter_text} }}")
+        return q.where.filters[0].expression
+
+    def test_regex_call(self):
+        e = self.expr('regex(?n, "Smith", "i")')
+        assert isinstance(e, ast.FunctionCall)
+        assert e.name == "REGEX" and len(e.args) == 3
+
+    def test_precedence_or_and(self):
+        e = self.expr("(?a || ?b && ?c)")
+        assert isinstance(e, ast.OrExpr)
+        assert isinstance(e.right, ast.AndExpr)
+
+    def test_comparison_and_arith_precedence(self):
+        e = self.expr("(?a + 2 * 3 < 10)")
+        assert isinstance(e, ast.CompareExpr)
+        assert isinstance(e.left, ast.ArithExpr) and e.left.op == "+"
+        assert isinstance(e.left.right, ast.ArithExpr) and e.left.right.op == "*"
+
+    def test_unary(self):
+        e = self.expr("(!BOUND(?n) || -1 < ?a)")
+        assert isinstance(e.left, ast.NotExpr)
+
+    def test_builtin_arity_checked(self):
+        with pytest.raises(SparqlSyntaxError):
+            self.expr("regex(?n)")
+
+    def test_nested_parens(self):
+        e = self.expr("((?a = 1) && (?b = 2))")
+        assert isinstance(e, ast.AndExpr)
+
+
+class TestSolutionModifiers:
+    def test_order_limit_offset(self):
+        q = parse(
+            "SELECT ?x WHERE { ?x foaf:knows ?y . } "
+            "ORDER BY DESC(?x) ?y LIMIT 5 OFFSET 2"
+        )
+        assert q.modifiers.order[0].descending
+        assert not q.modifiers.order[1].descending
+        assert q.modifiers.limit == 5
+        assert q.modifiers.offset == 2
+
+    def test_offset_before_limit(self):
+        q = parse("SELECT ?x WHERE { ?x foaf:knows ?y . } OFFSET 1 LIMIT 3")
+        assert q.modifiers.offset == 1 and q.modifiers.limit == 3
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse("SELECT ?x WHERE { ?x foaf:knows ?y . } bogus")

@@ -1,0 +1,84 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.sparql import SparqlSyntaxError, tokenize
+from repro.sparql.tokenizer import TokenType
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select Select SELECT") == [
+            (TokenType.KEYWORD, "SELECT")] * 3
+
+    def test_variables_both_sigils(self):
+        assert kinds("?x $y") == [(TokenType.VAR, "x"), (TokenType.VAR, "y")]
+
+    def test_iriref(self):
+        assert kinds("<http://x/a>") == [(TokenType.IRIREF, "http://x/a")]
+
+    def test_pname(self):
+        assert kinds("foaf:knows") == [(TokenType.PNAME, "foaf:knows")]
+
+    def test_bare_prefix_pname(self):
+        assert kinds("foaf:") == [(TokenType.PNAME, "foaf:")]
+
+    def test_default_prefix(self):
+        assert kinds(":local") == [(TokenType.PNAME, ":local")]
+
+    def test_string_escapes(self):
+        [(_, value)] = kinds(r'"a\"b\nc"')
+        assert value == 'a"b\nc'
+
+    def test_single_quoted_string(self):
+        assert kinds("'hi'") == [(TokenType.STRING, "hi")]
+
+    def test_unicode_escape(self):
+        [(_, value)] = kinds(r'"A"')
+        assert value == "A"
+
+    def test_langtag(self):
+        assert kinds('"x"@en-GB')[1] == (TokenType.LANGTAG, "en-GB")
+
+    @pytest.mark.parametrize("num", ["42", "3.14", ".5", "1e6", "2.5E-3"])
+    def test_numbers(self, num):
+        assert kinds(num) == [(TokenType.NUMBER, num)]
+
+    def test_booleans(self):
+        assert kinds("true FALSE") == [
+            (TokenType.BOOLEAN, "true"),
+            (TokenType.BOOLEAN, "false"),
+        ]
+
+    def test_blank_node(self):
+        assert kinds("_:b1") == [(TokenType.BLANK, "b1")]
+
+    def test_operators(self):
+        ops = [v for _, v in kinds("{ } ( ) . ; , ^^ && || ! != <= >= = * / + -")]
+        assert ops == ["{", "}", "(", ")", ".", ";", ",", "^^",
+                       "&&", "||", "!", "!=", "<=", ">=", "=", "*", "/", "+", "-"]
+
+    def test_comments_skipped(self):
+        assert kinds("?x # a comment\n?y") == [
+            (TokenType.VAR, "x"), (TokenType.VAR, "y")]
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("?a\n  ?b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unknown_identifier_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize("SELEKT")
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(SparqlSyntaxError) as err:
+            tokenize("?x @@ ?y")
+        assert "unexpected" in str(err.value)
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].type == TokenType.EOF

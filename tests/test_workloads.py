@@ -1,0 +1,132 @@
+"""Workload generator tests: determinism, shape, partition semantics."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import FOAF, NS, Graph, Literal, PatternShape
+from repro.sparql import evaluate_query, parse_query
+from repro.rdf.namespaces import COMMON_PREFIXES
+from repro.workloads import (
+    FoafConfig,
+    QueryWorkload,
+    ZipfSampler,
+    generate_foaf_triples,
+    paper_example_dataset,
+    partition_triples,
+)
+
+
+class TestZipf:
+    def test_deterministic_under_seed(self):
+        a = ZipfSampler(10, 1.0, random.Random(1))
+        b = ZipfSampler(10, 1.0, random.Random(1))
+        assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
+
+    def test_zero_exponent_roughly_uniform(self):
+        sampler = ZipfSampler(4, 0.0, random.Random(2))
+        counts = Counter(sampler.sample() for _ in range(4000))
+        assert all(800 < counts[i] < 1200 for i in range(4))
+
+    def test_high_exponent_skews_to_head(self):
+        sampler = ZipfSampler(100, 1.5, random.Random(3))
+        counts = Counter(sampler.sample() for _ in range(5000))
+        assert counts[0] > counts.get(50, 0) * 5
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, random.Random(0))
+        with pytest.raises(ValueError):
+            ZipfSampler(5, -1.0, random.Random(0))
+
+    def test_choice_requires_matching_length(self):
+        sampler = ZipfSampler(3, 1.0, random.Random(0))
+        with pytest.raises(ValueError):
+            sampler.choice(["a", "b"])
+
+
+class TestFoafGenerator:
+    def test_deterministic(self):
+        cfg = FoafConfig(num_people=30, seed=9)
+        assert generate_foaf_triples(cfg) == generate_foaf_triples(cfg)
+
+    def test_vocabulary_is_papers(self):
+        triples = generate_foaf_triples(FoafConfig(num_people=50, seed=1))
+        predicates = {t.p for t in triples}
+        assert predicates <= {FOAF.name, FOAF.knows, FOAF.mbox, FOAF.nick,
+                              NS.knowsNothingAbout}
+        assert FOAF.knows in predicates
+
+    def test_every_person_has_a_name(self):
+        cfg = FoafConfig(num_people=40, seed=2)
+        triples = generate_foaf_triples(cfg)
+        named = {t.s for t in triples if t.p == FOAF.name}
+        assert len(named) == cfg.num_people
+
+    def test_smith_fraction_controls_filter_selectivity(self):
+        lo = generate_foaf_triples(FoafConfig(num_people=200, smith_fraction=0.1, seed=4))
+        hi = generate_foaf_triples(FoafConfig(num_people=200, smith_fraction=0.9, seed=4))
+
+        def smiths(triples):
+            return sum(
+                1 for t in triples
+                if t.p == FOAF.name and "Smith" in t.o.lexical
+            )
+
+        assert smiths(hi) > smiths(lo) * 3
+
+    def test_no_self_knows(self):
+        triples = generate_foaf_triples(FoafConfig(num_people=60, seed=5))
+        assert all(t.s != t.o for t in triples if t.p == FOAF.knows)
+
+
+class TestPartition:
+    def test_zero_overlap_is_clean_partition(self):
+        triples = paper_example_dataset()
+        parts = partition_triples(triples, 3, overlap=0.0, seed=1)
+        assert sum(len(p) for p in parts) == len(triples)
+
+    def test_overlap_duplicates_across_nodes(self):
+        triples = paper_example_dataset()
+        parts = partition_triples(triples, 3, overlap=1.0, seed=1)
+        assert sum(len(p) for p in parts) == 2 * len(triples)
+        # duplicates are on *different* nodes
+        for i, part in enumerate(parts):
+            assert len(part) == len(set(part))
+
+    def test_union_preserved(self):
+        triples = generate_foaf_triples(FoafConfig(num_people=20, seed=3))
+        parts = partition_triples(triples, 4, overlap=0.5, seed=2)
+        union = set()
+        for p in parts:
+            union.update(p)
+        assert union == set(triples)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            partition_triples([], 0)
+        with pytest.raises(ValueError):
+            partition_triples([], 2, overlap=1.5)
+
+
+class TestQueryWorkload:
+    @pytest.mark.parametrize("shape", PatternShape)
+    def test_primitive_queries_have_answers(self, shape):
+        triples = paper_example_dataset()
+        wl = QueryWorkload(triples, seed=6)
+        graph = Graph(triples)
+        text = wl.primitive(shape)
+        result = evaluate_query(parse_query(text, COMMON_PREFIXES), graph)
+        assert len(result.rows) > 0
+
+    def test_compound_generators_parse(self):
+        wl = QueryWorkload(paper_example_dataset(), seed=7)
+        for text in (wl.conjunction(2), wl.conjunction(3), wl.optional(),
+                     wl.union(), wl.filtered()):
+            parse_query(text, COMMON_PREFIXES)  # no syntax error
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            QueryWorkload([], seed=0)
