@@ -12,6 +12,8 @@ Run with::
 
 from __future__ import annotations
 
+import itertools
+import os
 import pathlib
 import sys
 
@@ -67,3 +69,37 @@ def emit(table_text: str) -> None:
     print("\n" + table_text + "\n")
     with RESULTS_PATH.open("a", encoding="utf-8") as fh:
         fh.write(table_text + "\n\n")
+
+
+# --------------------------------------------------------------- tracing
+
+#: Set REPRO_TRACE_DIR=<dir> to dump a sequence diagram + JSONL trace for
+#: every query run through :func:`execute_traced` — handy when an
+#: experiment's comparison fails and you need to see *where* the bytes
+#: went. Unset (the default), queries run with the no-op tracer and the
+#: measured totals are bit-identical to the untraced run.
+TRACE_DIR = os.environ.get("REPRO_TRACE_DIR")
+
+_trace_counter = itertools.count()
+
+
+def execute_traced(system, query_text: str, label: str = "query", **options):
+    """Execute a query, dumping its trace if REPRO_TRACE_DIR is set.
+
+    Returns ``(result, report)`` exactly like ``HybridSystem.execute``.
+    """
+    if not TRACE_DIR:
+        return system.execute(query_text, **options)
+    from repro.trace import Tracer, render_phases, render_sequence, write_jsonl
+
+    tracer = Tracer()
+    result, report = system.execute(query_text, tracer=tracer, **options)
+    stem = f"{next(_trace_counter):03d}-{label}"
+    out_dir = pathlib.Path(TRACE_DIR)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    write_jsonl(tracer, out_dir / f"{stem}.jsonl")
+    (out_dir / f"{stem}.txt").write_text(
+        render_sequence(tracer) + "\n" + render_phases(report.phases) + "\n",
+        encoding="utf-8",
+    )
+    return result, report

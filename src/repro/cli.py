@@ -12,6 +12,13 @@ Examples::
 
     python -m repro --data ./shared/*.nt --query-file q.rq \
         --strategy freq --join-site move-small --report
+
+    python -m repro trace 'SELECT ?x WHERE { ?x foaf:knows ?y . }' \
+        --data alice.nt --data bob.nt --jsonl trace.jsonl
+
+The ``trace`` subcommand executes the query with the tracer enabled and
+prints the Fig. 3-style message sequence diagram, the per-phase cost
+table, and (optionally) a JSONL event dump.
 """
 
 from __future__ import annotations
@@ -31,24 +38,15 @@ from .query.strategies import (
 )
 from .rdf.ntriples import parse_ntriples
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_trace_parser"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Distributed SPARQL over an ad-hoc semantic web data "
-                    "sharing system (IPPS 2013 reproduction).",
-    )
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the default query mode and ``trace``."""
     parser.add_argument(
         "--data", action="append", default=[], metavar="FILE.nt",
         help="N-Triples file; each file becomes one storage node "
              "(repeatable)",
-    )
-    query_group = parser.add_mutually_exclusive_group(required=True)
-    query_group.add_argument("--query", help="SPARQL query text")
-    query_group.add_argument(
-        "--query-file", metavar="FILE.rq", help="file containing the query"
     )
     parser.add_argument(
         "--index-nodes", type=int, default=8,
@@ -81,9 +79,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-optimize", action="store_true",
         help="disable algebraic optimization (filter pushing)",
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed SPARQL over an ad-hoc semantic web data "
+                    "sharing system (IPPS 2013 reproduction).",
+    )
+    _add_common_options(parser)
+    query_group = parser.add_mutually_exclusive_group(required=True)
+    query_group.add_argument("--query", help="SPARQL query text")
+    query_group.add_argument(
+        "--query-file", metavar="FILE.rq", help="file containing the query"
+    )
     parser.add_argument(
         "--report", action="store_true",
         help="print the transmission/time report after the results",
+    )
+    return parser
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Execute one query with tracing enabled and render "
+                    "its message flow (Fig. 3) and per-phase costs.",
+    )
+    parser.add_argument(
+        "query", nargs="?", default=None,
+        help="SPARQL query text (or use --query-file)",
+    )
+    parser.add_argument(
+        "--query-file", metavar="FILE.rq", help="file containing the query"
+    )
+    _add_common_options(parser)
+    parser.add_argument(
+        "--jsonl", metavar="FILE.jsonl", default=None,
+        help="also write the structured event trace to this JSONL file",
+    )
+    parser.add_argument(
+        "--max-events", type=int, default=None, metavar="N",
+        help="cap the sequence diagram at the first N messages",
+    )
+    parser.add_argument(
+        "--no-diagram", action="store_true",
+        help="skip the sequence diagram (phase table and spans only)",
     )
     return parser
 
@@ -107,23 +148,60 @@ def _load_system(args: argparse.Namespace) -> HybridSystem:
 def _query_text(args: argparse.Namespace) -> str:
     if args.query is not None:
         return args.query
+    if args.query_file is None:
+        raise SystemExit("error: a query (positional) or --query-file is required")
     path = pathlib.Path(args.query_file)
     if not path.exists():
         raise SystemExit(f"error: no such query file: {path}")
     return path.read_text(encoding="utf-8")
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    system = _load_system(args)
-    options = ExecutionOptions(
+def _build_options(args: argparse.Namespace) -> ExecutionOptions:
+    return ExecutionOptions(
         primitive_strategy=PrimitiveStrategy(args.strategy),
         conjunction_mode=ConjunctionMode(args.conjunction),
         join_site_policy=JoinSitePolicy(args.join_site),
         time_weight=args.time_weight,
         optimize=not args.no_optimize,
     )
-    executor = DistributedExecutor(system, options)
+
+
+def _trace_main(argv: Sequence[str]) -> int:
+    from .trace import Tracer, render_phases, render_sequence, write_jsonl
+
+    args = build_trace_parser().parse_args(argv)
+    if args.query is not None and args.query_file is not None:
+        raise SystemExit("error: give either a positional query or "
+                         "--query-file, not both")
+    system = _load_system(args)
+    tracer = Tracer()
+    executor = DistributedExecutor(system, _build_options(args), tracer=tracer)
+    _, report = executor.execute(_query_text(args), initiator=args.initiator)
+
+    if not args.no_diagram:
+        sys.stdout.write(render_sequence(tracer, max_events=args.max_events))
+        print()
+    print(render_phases(report.phases))
+    print(
+        f"# {report.result_count} results, {report.messages} messages, "
+        f"{report.bytes_total} bytes, "
+        f"{report.response_time * 1000:.1f} ms simulated"
+    )
+    if args.jsonl:
+        path = write_jsonl(tracer, args.jsonl)
+        print(f"# wrote {len(tracer.events)} events to {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
+    args = build_parser().parse_args(argv)
+    system = _load_system(args)
+    executor = DistributedExecutor(system, _build_options(args))
     result, report = executor.execute(_query_text(args), initiator=args.initiator)
 
     if result.boolean is not None:

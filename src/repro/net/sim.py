@@ -17,6 +17,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from ..trace.tracer import NULL_TRACER
+
 __all__ = ["Simulator", "Event", "Timeout", "Process", "AllOf", "AnyOf", "SimError"]
 
 
@@ -32,7 +34,7 @@ class Event:
     have the failure raised inside them).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_failure", "_done")
+    __slots__ = ("sim", "callbacks", "_value", "_failure", "_done", "_cancelled")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -40,10 +42,15 @@ class Event:
         self._value: Any = None
         self._failure: Optional[BaseException] = None
         self._done = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
         return self._done
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
 
     @property
     def value(self) -> Any:
@@ -71,21 +78,49 @@ class Event:
         self.sim._ready(self)
         return self
 
+    def cancel(self) -> bool:
+        """Withdraw a pending event: it will never trigger, its callbacks
+        are dropped, and waiters are never resumed. Returns False when the
+        event already triggered (cancellation lost the race)."""
+        if self._done:
+            return False
+        self._done = True
+        self._cancelled = True
+        self.callbacks.clear()
+        return True
+
 
 class Timeout(Event):
-    """An event that succeeds after a fixed delay."""
+    """An event that succeeds after a fixed delay.
 
-    __slots__ = ("delay",)
+    Cancelling a pending Timeout tombstones its heap entry, so the event
+    loop discards it without advancing the clock — stale timers (e.g. an
+    RPC deadline whose reply already won) neither churn the heap nor drag
+    ``sim.now`` forward after the useful work completed.
+    """
+
+    __slots__ = ("delay", "_entry")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimError(f"negative timeout delay {delay}")
         super().__init__(sim)
         self.delay = delay
-        sim._schedule_at(sim.now + delay, self._fire, value)
+        self._entry: Optional[list] = sim._schedule_at(sim.now + delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:
+        self._entry = None
         self.succeed(value)
+
+    def cancel(self) -> bool:
+        if not super().cancel():
+            return False
+        entry = self._entry
+        if entry is not None:
+            entry[2] = None  # tombstone: run() drops it without firing
+            entry[3] = ()
+            self._entry = None
+        return True
 
 
 class Process(Event):
@@ -96,12 +131,28 @@ class Process(Event):
     ``try/except`` simulated failures (e.g. RPC timeouts).
     """
 
-    __slots__ = ("_gen",)
+    __slots__ = ("_gen", "_pid")
 
     def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any]) -> None:
         super().__init__(sim)
         self._gen = gen
+        self._pid = next(sim._proc_ids)
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.record("process_spawn", name=self.name, detail={"pid": self._pid})
         sim._schedule_now(self._resume, None, None)
+
+    @property
+    def name(self) -> str:
+        """The generator function's name (stable across runs)."""
+        code = getattr(self._gen, "gi_code", None)
+        return code.co_name if code is not None else "process"
+
+    def _trace_finish(self, outcome: str) -> None:
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.record("process_finish", name=self.name,
+                          detail={"pid": self._pid, "outcome": outcome})
 
     def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
         try:
@@ -110,13 +161,16 @@ class Process(Event):
             else:
                 target = self._gen.send(value)
         except StopIteration as stop:
+            self._trace_finish("ok")
             self.succeed(stop.value)
             return
         except Exception as failure:  # noqa: BLE001 - propagate into waiters
+            self._trace_finish("failed")
             self.fail(failure)
             return
         if not isinstance(target, Event):
             self._gen.close()
+            self._trace_finish("failed")
             self.fail(SimError(f"process yielded non-Event {target!r}"))
             return
         if target.triggered:
@@ -196,13 +250,22 @@ class AnyOf(Event):
 
 
 class Simulator:
-    """The event loop: a heap of (time, seq, action) entries."""
+    """The event loop: a heap of [time, seq, action, args] entries.
+
+    Entries are mutable lists so a cancelled Timeout can tombstone its
+    slot in place (``entry[2] = None``); ``run()`` discards tombstones
+    without advancing the clock. ``tracer`` is the observability hook —
+    :data:`~repro.trace.tracer.NULL_TRACER` by default, so an untraced
+    simulation pays one attribute check per instrumented site.
+    """
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[tuple] = []
+        self._heap: List[list] = []
         self._seq = itertools.count()
+        self._proc_ids = itertools.count()
         self._ready_queue: List[Event] = []
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------ factories
 
@@ -225,11 +288,13 @@ class Simulator:
 
     # ------------------------------------------------------------ internals
 
-    def _schedule_at(self, time: float, fn: Callable, *args: Any) -> None:
-        heapq.heappush(self._heap, (time, next(self._seq), fn, args))
+    def _schedule_at(self, time: float, fn: Callable, *args: Any) -> list:
+        entry = [time, next(self._seq), fn, args]
+        heapq.heappush(self._heap, entry)
+        return entry
 
-    def _schedule_now(self, fn: Callable, *args: Any) -> None:
-        self._schedule_at(self.now, fn, *args)
+    def _schedule_now(self, fn: Callable, *args: Any) -> list:
+        return self._schedule_at(self.now, fn, *args)
 
     def _ready(self, event: Event) -> None:
         # Run callbacks via the queue so triggering is never re-entrant.
@@ -249,13 +314,19 @@ class Simulator:
         Returns the final simulation time.
         """
         while self._heap:
-            time, _, fn, args = self._heap[0]
+            entry = self._heap[0]
+            if entry[2] is None:
+                # Tombstone left by a cancelled timer: drop it without
+                # touching the clock.
+                heapq.heappop(self._heap)
+                continue
+            time = entry[0]
             if until is not None and time > until:
                 self.now = until
                 return self.now
             heapq.heappop(self._heap)
             self.now = time
-            fn(*args)
+            entry[2](*entry[3])
         return self.now
 
     def run_process(self, gen: Generator[Event, Any, Any]) -> Any:

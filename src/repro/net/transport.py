@@ -21,7 +21,8 @@ import inspect
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, Optional
 
-from .sim import Event, Simulator
+from ..trace.tracer import phase_for_method
+from .sim import Event, Simulator, Timeout
 from .sizes import HEADER_BYTES, size_of
 from .stats import NetworkStats
 
@@ -164,15 +165,23 @@ class Network:
         """
         result = self.sim.event()
         deadline = timeout if timeout is not None else self.default_timeout
-        state = {"done": False}
+        state: dict = {"done": False}
 
         def expire(_event: Event) -> None:
             if not state["done"]:
                 state["done"] = True
+                tracer = self.sim.tracer
+                if tracer.enabled:
+                    tracer.record("rpc_timeout", src=src, dst=dst, name=method,
+                                  phase=phase_for_method(method),
+                                  detail={"deadline": deadline})
                 result.fail(RpcTimeout(f"{src} -> {dst}.{method} timed out"))
 
         timer = self.sim.timeout(deadline)
         timer.callbacks.append(expire)
+        # The winner of the reply/deadline race cancels the loser, so no
+        # dead timer lingers in the heap after the call settles.
+        state["timer"] = timer
 
         request_bytes = HEADER_BYTES + size_of(method) + size_of(payload)
         target = self.nodes.get(dst)
@@ -181,8 +190,12 @@ class Network:
             self.sim._schedule_now(self._fail_fast, result, state, NodeUnknown(dst))
             return result
 
+        delay = self.link.delay(request_bytes)
         self.stats.record(self.sim.now, src, dst, method, request_bytes)
-        arrival = self.sim.timeout(self.link.delay(request_bytes))
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.message("rpc_request", src, dst, method, request_bytes, delay)
+        arrival = self.sim.timeout(delay)
         arrival.callbacks.append(
             lambda _e: self._deliver(src, dst, method, payload, result, state)
         )
@@ -196,8 +209,12 @@ class Network:
         nbytes = HEADER_BYTES + size_of(method) + size_of(payload)
         if dst not in self.nodes:
             return
+        delay = self.link.delay(nbytes)
         self.stats.record(self.sim.now, src, dst, method, nbytes)
-        arrival = self.sim.timeout(self.link.delay(nbytes))
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.message("oneway", src, dst, method, nbytes, delay)
+        arrival = self.sim.timeout(delay)
         arrival.callbacks.append(lambda _e: self._deliver_oneway(src, dst, method, payload))
 
     def _deliver_oneway(self, src: str, dst: str, method: str, payload: Any) -> None:
@@ -215,9 +232,20 @@ class Network:
             self.sim.process(outcome)
 
     @staticmethod
-    def _fail_fast(result: Event, state: dict, exc: Exception) -> None:
-        if not state["done"]:
-            state["done"] = True
+    def _settle(state: dict) -> bool:
+        """Mark the call settled and cancel its deadline timer. Returns
+        False when the timeout already won the race."""
+        if state["done"]:
+            return False
+        state["done"] = True
+        timer: Optional[Timeout] = state.get("timer")
+        if timer is not None:
+            timer.cancel()
+        return True
+
+    @classmethod
+    def _fail_fast(cls, result: Event, state: dict, exc: Exception) -> None:
+        if cls._settle(state):
             result.fail(exc)
 
     def _deliver(
@@ -262,11 +290,14 @@ class Network:
         response_bytes = HEADER_BYTES + size_of(value)
         self.stats.record(self.sim.now, dst, src, f"{method}.reply", response_bytes)
         total_delay = self.link.delay(response_bytes) + target.compute_delay
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.message("rpc_reply", dst, src, f"{method}.reply",
+                           response_bytes, total_delay)
         arrival = self.sim.timeout(total_delay)
 
         def finish(_event: Event) -> None:
-            if not state["done"]:
-                state["done"] = True
+            if self._settle(state):
                 result.succeed(value)
 
         arrival.callbacks.append(finish)
@@ -275,12 +306,16 @@ class Network:
         self, src: str, dst: str, method: str, result: Event, state: dict, exc: Exception
     ) -> None:
         response_bytes = HEADER_BYTES + size_of(str(exc))
+        delay = self.link.delay(response_bytes)
         self.stats.record(self.sim.now, dst, src, f"{method}.error", response_bytes)
-        arrival = self.sim.timeout(self.link.delay(response_bytes))
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.message("rpc_error", dst, src, f"{method}.error",
+                           response_bytes, delay, detail={"error": str(exc)})
+        arrival = self.sim.timeout(delay)
 
         def finish(_event: Event) -> None:
-            if not state["done"]:
-                state["done"] = True
+            if self._settle(state):
                 result.fail(exc)
 
         arrival.callbacks.append(finish)

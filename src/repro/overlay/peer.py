@@ -95,6 +95,56 @@ class QueryPeer:
             early = self.__dict__["_qp_delivered_early"] = {}
         return early
 
+    @property
+    def _dead_corrs(self) -> Set[str]:
+        """Correlation ids abandoned after a delivery timeout: a late
+        ``deliver``/``delivered`` for one of these is dropped on arrival
+        (consuming the tombstone) instead of parking in the mailbox with
+        no one ever fetching it."""
+        dead = self.__dict__.get("_qp_dead_corrs")
+        if dead is None:
+            dead = self.__dict__["_qp_dead_corrs"] = set()
+        return dead
+
+    # ------------------------------------------------------ lifecycle hygiene
+
+    def abandon_corr(self, corr: str) -> None:
+        """Forget all correlation state for *corr* and dead-letter any
+        late arrival (the executor calls this on delivery timeout)."""
+        self.mailbox.pop(corr, None)
+        self._delivered_early.pop(corr, None)
+        event = self._expected.pop(corr, None)
+        if event is not None:
+            event.cancel()
+        self._dead_corrs.add(corr)
+
+    def purge_corrs(self, corrs) -> int:
+        """Drop every trace of the given correlation ids (mailbox,
+        expectations, early notifications, dead-letter marks). Called by
+        the executor when a query finishes or fails, so long-running
+        systems don't accumulate per-query state. Returns the number of
+        entries removed."""
+        removed = 0
+        state = self.__dict__
+        box = state.get("_qp_mailbox")
+        expected = state.get("_qp_expected")
+        early = state.get("_qp_delivered_early")
+        dead = state.get("_qp_dead_corrs")
+        for corr in corrs:
+            if box and box.pop(corr, None) is not None:
+                removed += 1
+            if expected:
+                event = expected.pop(corr, None)
+                if event is not None:
+                    event.cancel()
+                    removed += 1
+            if early and early.pop(corr, None) is not None:
+                removed += 1
+            if dead and corr in dead:
+                dead.discard(corr)
+                removed += 1
+        return removed
+
     # ----------------------------------------------------- orchestrator side
 
     def expect(self, corr: str) -> Event:
@@ -113,6 +163,11 @@ class QueryPeer:
 
     def rpc_delivered(self, payload: Dict[str, Any], src: str) -> None:
         corr = payload["corr"]
+        if corr in self._dead_corrs:
+            # Late notification for an abandoned delivery (the waiter
+            # already timed out and fell back): swallow it.
+            self._dead_corrs.discard(corr)
+            return
         count = payload.get("count", 0)
         event = self._expected.pop(corr, None)
         if event is not None and not event.triggered:
@@ -129,6 +184,13 @@ class QueryPeer:
         that is what the in-network aggregation chains rely on.
         """
         corr = payload["corr"]
+        if corr in self._dead_corrs:
+            # The orchestrator gave up on this correlation id (delivery
+            # timeout → fallback already re-executed): drop the payload
+            # instead of leaking it into the mailbox, and send no
+            # notification that could re-latch upstream state.
+            self._dead_corrs.discard(corr)
+            return
         data = payload.get("data", ())
         box = self.mailbox.setdefault(corr, set())
         box.update(data)

@@ -225,16 +225,19 @@ class HybridSystem:
 
     # -------------------------------------------------------------- queries
 
-    def execute(self, query_text: str, initiator: Optional[str] = None, **options):
+    def execute(self, query_text: str, initiator: Optional[str] = None,
+                tracer=None, **options):
         """Parse and execute a SPARQL query distributedly.
 
         Convenience wrapper over
         :class:`repro.query.executor.DistributedExecutor`; see there for
         options (strategy, join-site policy, optimization switches).
+        Pass a :class:`repro.trace.Tracer` as *tracer* to record the
+        query's message flow and per-phase cost.
         """
         from ..query.executor import DistributedExecutor  # local import: layering
 
-        executor = DistributedExecutor(self, **options)
+        executor = DistributedExecutor(self, tracer=tracer, **options)
         return executor.execute(query_text, initiator=initiator)
 
     # ------------------------------------------------------------- utilities

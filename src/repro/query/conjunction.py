@@ -47,6 +47,16 @@ def locate_all(ctx, patterns: Sequence[TriplePattern],
 def exec_bgp(ctx, patterns: Sequence[TriplePattern],
              post_filter: Optional[ast.Expression]):
     """Generator: execute a conjunction BGP → ResultHandle."""
+    span = ctx.tracer.span("conjunction", patterns=len(patterns),
+                           mode=ctx.options.conjunction_mode.value)
+    try:
+        return (yield from _exec_bgp(ctx, patterns, post_filter))
+    finally:
+        span.close()
+
+
+def _exec_bgp(ctx, patterns: Sequence[TriplePattern],
+              post_filter: Optional[ast.Expression]):
     infos = yield from locate_all(ctx, patterns)
 
     broadcast_infos = [i for i in infos if i.owner is None]
@@ -178,5 +188,9 @@ def exec_join(ctx, node: Join):
     optimizer splitting a filtered BGP)."""
     from .executor import exec_subtrees_parallel
 
-    left, right = yield from exec_subtrees_parallel(ctx, [node.left, node.right])
-    return (yield from combine_handles(ctx, "join", left, right))
+    span = ctx.tracer.span("join")
+    try:
+        left, right = yield from exec_subtrees_parallel(ctx, [node.left, node.right])
+        return (yield from combine_handles(ctx, "join", left, right))
+    finally:
+        span.close()

@@ -28,6 +28,9 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..net.sim import Event
 from ..net.transport import RpcError
+from ..trace.tracer import (
+    NULL_TRACER, PHASE_FINALIZE, PHASE_LOOKUP, PhaseStats, Tracer,
+)
 from ..overlay.keys import key_for_pattern
 from ..overlay.peer import QueryPeer
 from ..overlay.system import HybridSystem
@@ -72,9 +75,19 @@ class ExecutionReport:
     result_count: int = 0
     #: Name of the plan shape actually executed (diagnostics).
     notes: List[str] = field(default_factory=list)
+    #: Per-workflow-phase cost breakdown (lookup / ship / join / finalize),
+    #: populated only when the query ran with a tracer; the phases' byte
+    #: totals partition ``bytes_total`` exactly.
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    #: The tracer that recorded this execution (None when tracing is off).
+    trace: Optional[Tracer] = None
 
     def merge_note(self, note: str) -> None:
         self.notes.append(note)
+
+    def phase_bytes(self, phase: str) -> int:
+        stats = self.phases.get(phase)
+        return stats.bytes if stats is not None else 0
 
 
 class ExecutionContext:
@@ -87,15 +100,22 @@ class ExecutionContext:
         options: ExecutionOptions,
         report: ExecutionReport,
         load: Counter,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.system = system
         self.initiator = initiator
         self.options = options
         self.report = report
+        #: Observability hook shared by the operator modules; the no-op
+        #: tracer by default, so untraced spans cost one method call.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Cross-query per-node load counter (the executor's simulated QoS
         #: monitor, feeding the Third-Site policy).
         self.load = load
         self._corr_seq = itertools.count()
+        #: Every correlation id this query minted, so ``release()`` can
+        #: sweep stragglers out of peer mailboxes when the query ends.
+        self._corrs: List[str] = []
         node = system.network.node(initiator)
         if not isinstance(node, QueryPeer):
             raise QueryFailed(f"initiator {initiator!r} is not a query peer")
@@ -146,25 +166,56 @@ class ExecutionContext:
         return self.system.network
 
     def new_corr(self) -> str:
-        return f"{self.initiator}#{next(self._corr_seq)}"
+        corr = f"{self.initiator}#{next(self._corr_seq)}"
+        self._corrs.append(corr)
+        return corr
 
     def call(self, dst: str, method: str, payload: Any = None,
              timeout: Optional[float] = None) -> Event:
         return self.network.call(self.initiator, dst, method, payload, timeout)
 
-    def wait_delivery(self, corr: str):
+    def wait_delivery(self, corr: str, site: Optional[str] = None):
         """Generator: wait for a `delivered` notification with a timeout.
 
         Returns the delivered solution count; raises DeliveryTimeout when
-        the chain broke (e.g. a storage node on the route crashed).
+        the chain broke (e.g. a storage node on the route crashed). The
+        loser of the race never lingers: a won delivery cancels the timer;
+        a timeout abandons the correlation id here and at *site* (the
+        delivery destination, when given), so a late arrival is dropped
+        instead of leaking into a mailbox no one reads.
         """
         expected = self.initiator_peer.expect(corr)
         timer = self.sim.timeout(self.options.delivery_timeout)
         index, value = yield self.sim.any_of([expected, timer])
         if index == 1:
-            self.initiator_peer._expected.pop(corr, None)
+            self.initiator_peer.abandon_corr(corr)
+            if site is not None and site != self.initiator:
+                target = self.network.nodes.get(site)
+                if isinstance(target, QueryPeer):
+                    target.abandon_corr(corr)
             raise DeliveryTimeout(f"delivery {corr} timed out")
+        timer.cancel()
         return value
+
+    def unexpect(self, corr: str) -> None:
+        """Withdraw a pending delivery expectation (no dead-lettering)."""
+        event = self.initiator_peer._expected.pop(corr, None)
+        if event is not None:
+            event.cancel()
+        self.initiator_peer._delivered_early.pop(corr, None)
+
+    def release(self) -> int:
+        """Sweep every correlation id this query minted out of all query
+        peers — run when the query completes or fails, so long-running
+        multi-query systems accumulate no mailbox/expectation state."""
+        if not self._corrs:
+            return 0
+        removed = 0
+        for node in self.network.nodes.values():
+            if isinstance(node, QueryPeer):
+                removed += node.purge_corrs(self._corrs)
+        self._corrs.clear()
+        return removed
 
     def local_deposit(self, corr: str, solutions) -> ResultHandle:
         """Materialize solutions at the initiator without any message."""
@@ -185,31 +236,40 @@ class ExecutionContext:
         if located is None:
             return PatternInfo(pattern, None, None, None, (), 0, condition)
         kind, key = located
-        entry_node = self.system.index_nodes[self.entry_index]
+        span = self.tracer.span("lookup", phase=PHASE_LOOKUP, pattern=str(pattern))
         hops = 0
-        if self.initiator == self.entry_index and entry_node.owns(key):
-            owner_id = self.entry_index
-            entries = entry_node.locate(key)
-        else:
-            result = yield self.call(self.entry_index, "find_successor", {"key": key})
-            owner_id = result.ref.node_id
-            hops = result.hops
-            if owner_id == self.initiator and owner_id in self.system.index_nodes:
-                entries = self.system.index_nodes[owner_id].locate(key)
+        try:
+            entry_node = self.system.index_nodes[self.entry_index]
+            if self.initiator == self.entry_index and entry_node.owns(key):
+                owner_id = self.entry_index
+                entries = entry_node.locate(key)
             else:
-                entries = yield self.call(owner_id, "index_lookup", {"key": key})
-        self.report.lookup_hops += hops
+                result = yield self.call(self.entry_index, "find_successor", {"key": key})
+                owner_id = result.ref.node_id
+                hops = result.hops
+                if owner_id == self.initiator and owner_id in self.system.index_nodes:
+                    entries = self.system.index_nodes[owner_id].locate(key)
+                else:
+                    entries = yield self.call(owner_id, "index_lookup", {"key": key})
+            self.report.lookup_hops += hops
+        finally:
+            span.close(hops=hops)
         return PatternInfo(pattern, kind, key, owner_id, tuple(entries), hops, condition)
 
     # ------------------------------------------------------------ finishing
 
     def finalize(self, handle: ResultHandle):
         """Generator: bring the final solutions to the initiator."""
-        if handle.site == self.initiator:
-            data = self.initiator_peer.mailbox.pop(handle.corr, set())
-            return data
-        data = yield self.call(handle.site, "fetch", {"corr": handle.corr})
-        return set(data)
+        span = self.tracer.span("finalize", phase=PHASE_FINALIZE,
+                                site=handle.site, corr=handle.corr)
+        try:
+            if handle.site == self.initiator:
+                data = self.initiator_peer.mailbox.pop(handle.corr, set())
+                return data
+            data = yield self.call(handle.site, "fetch", {"corr": handle.corr})
+            return set(data)
+        finally:
+            span.close()
 
 
 def exec_algebra(ctx: ExecutionContext, node: Algebra, at_home: bool = False):
@@ -264,16 +324,23 @@ def exec_subtrees_parallel(ctx: ExecutionContext, nodes: List[Algebra]):
 
 
 class DistributedExecutor:
-    """Facade: execute SPARQL queries against a hybrid system."""
+    """Facade: execute SPARQL queries against a hybrid system.
+
+    Pass a :class:`~repro.trace.Tracer` to record a structured per-query
+    trace (message flow, operator spans, per-phase cost); with the
+    default ``tracer=None`` the execution path is byte-for-byte the
+    untraced one.
+    """
 
     def __init__(self, system: HybridSystem, options: Optional[ExecutionOptions] = None,
-                 **option_overrides) -> None:
+                 tracer: Optional[Tracer] = None, **option_overrides) -> None:
         self.system = system
         if options is None:
             options = ExecutionOptions(**option_overrides)
         elif option_overrides:
             raise ValueError("pass either options or overrides, not both")
         self.options = options
+        self.tracer = tracer
         self.load: Counter = Counter()
 
     # ----------------------------------------------------------------- API
@@ -308,7 +375,9 @@ class DistributedExecutor:
                 "storage nodes (paper Sect. IV-A)"
             )
         report = ExecutionReport()
-        ctx = ExecutionContext(self.system, initiator, self.options, report, self.load)
+        tracer = self.tracer
+        ctx = ExecutionContext(self.system, initiator, self.options, report,
+                               self.load, tracer=tracer)
 
         algebra = translate_pattern(query.where)
         if self.options.optimize:
@@ -318,21 +387,60 @@ class DistributedExecutor:
         checkpoint = self.system.stats.checkpoint()
         t0 = self.sim_now()
 
+        sim = self.system.sim
+        prev_tracer = sim.tracer
+        trace_checkpoint = None
+        if tracer is not None:
+            tracer.attach(sim)
+            sim.tracer = tracer
+            trace_checkpoint = tracer.checkpoint()
+        query_span = ctx.tracer.span("query", initiator=initiator,
+                                     form=type(query).__name__)
+
         def main():
             handle = yield from exec_algebra(ctx, algebra)
             solutions = yield from ctx.finalize(handle)
             return solutions, self.sim_now()
 
-        solutions, t_done = self.system.sim.run_process(main())
-        delta = self.system.stats.delta(checkpoint)
-        report.response_time = t_done - t0
-        report.messages = delta.messages
-        report.bytes_total = delta.bytes
-        result = self._postprocess(query, algebra, solutions, ctx)
-        report.result_count = len(result.rows) if result.rows else (
-            len(result.graph) if result.graph is not None else int(bool(result.boolean))
-        )
+        try:
+            solutions, t_done = sim.run_process(main())
+            delta = self.system.stats.delta(checkpoint)
+            report.response_time = t_done - t0
+            report.messages = delta.messages
+            report.bytes_total = delta.bytes
+            if tracer is not None:
+                # Snapshot here so the phase totals cover exactly the same
+                # window as the stats delta (they partition bytes_total);
+                # DESCRIBE post-processing traffic is traced as events but,
+                # like the stats delta, stays out of the report scalars.
+                report.phases = tracer.phase_breakdown(since=trace_checkpoint)
+                report.trace = tracer
+            result = self._postprocess(query, algebra, solutions, ctx)
+        finally:
+            query_span.close()
+            if tracer is not None:
+                sim.tracer = prev_tracer
+            # Whether the query succeeded or failed mid-flight, sweep its
+            # correlation state out of every peer (mailboxes, pending
+            # expectations, dead-letter marks) — see the leak regression
+            # tests in tests/test_lifecycle_leaks.py.
+            ctx.release()
+        report.result_count = self._count_results(query, result)
         return result, report
+
+    @staticmethod
+    def _count_results(query: ast.Query, result: QueryResult) -> int:
+        """Per-query-form result cardinality.
+
+        Explicit by form: SELECT counts solution rows (0 for an empty
+        sequence), ASK counts its boolean (False → 0), CONSTRUCT and
+        DESCRIBE count triples in the output graph.
+        """
+        if isinstance(query, ast.AskQuery):
+            return int(bool(result.boolean))
+        if isinstance(query, (ast.ConstructQuery, ast.DescribeQuery)):
+            return len(result.graph) if result.graph is not None else 0
+        return len(result.rows)
 
     def sim_now(self) -> float:
         return self.system.sim.now

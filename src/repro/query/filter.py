@@ -27,12 +27,16 @@ def exec_filter(ctx, node: Filter, at_home: bool = False):
     """Generator: execute Filter(condition, pattern) → ResultHandle."""
     from .executor import exec_algebra
 
-    target = node.pattern
-    if isinstance(target, BGP) and len(target.patterns) == 1:
-        # The filter travels with the sub-query to the providers.
-        return (yield from exec_primitive(
-            ctx, target.patterns[0], node.condition, at_home=at_home))
-    if isinstance(target, BGP) and target.patterns:
-        return (yield from exec_bgp(ctx, target.patterns, node.condition))
-    handle = yield from exec_algebra(ctx, target, at_home=at_home)
-    return (yield from _apply_post_filter(ctx, handle, node.condition))
+    span = ctx.tracer.span("filter")
+    try:
+        target = node.pattern
+        if isinstance(target, BGP) and len(target.patterns) == 1:
+            # The filter travels with the sub-query to the providers.
+            return (yield from exec_primitive(
+                ctx, target.patterns[0], node.condition, at_home=at_home))
+        if isinstance(target, BGP) and target.patterns:
+            return (yield from exec_bgp(ctx, target.patterns, node.condition))
+        handle = yield from exec_algebra(ctx, target, at_home=at_home)
+        return (yield from _apply_post_filter(ctx, handle, node.condition))
+    finally:
+        span.close()

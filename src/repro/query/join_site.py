@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..sparql import ast
+from ..trace.tracer import PHASE_JOIN, PHASE_SHIP
 from .plan import ResultHandle
 from .strategies import JoinSitePolicy
 
@@ -53,19 +54,24 @@ def ship_handle(ctx, handle: ResultHandle, site: str):
     """
     if handle.site == site:
         return handle
-    if handle.site == ctx.initiator:
-        data = ctx.initiator_peer.mailbox.pop(handle.corr, set())
-        corr = handle.corr
-        yield ctx.call(site, "deliver", {"corr": corr, "data": sorted(data, key=_key)})
-        return ResultHandle(site, corr, len(data))
-    count = yield ctx.call(
-        handle.site,
-        "ship",
-        {"corr": handle.corr, "dst": site, "dst_corr": handle.corr,
-         "notify": ctx.initiator},
-    )
-    yield from ctx.wait_delivery(handle.corr)
-    return ResultHandle(site, handle.corr, count)
+    span = ctx.tracer.span("ship", phase=PHASE_SHIP,
+                           src=handle.site, dst=site, corr=handle.corr)
+    try:
+        if handle.site == ctx.initiator:
+            data = ctx.initiator_peer.mailbox.pop(handle.corr, set())
+            corr = handle.corr
+            yield ctx.call(site, "deliver", {"corr": corr, "data": sorted(data, key=_key)})
+            return ResultHandle(site, corr, len(data))
+        count = yield ctx.call(
+            handle.site,
+            "ship",
+            {"corr": handle.corr, "dst": site, "dst_corr": handle.corr,
+             "notify": ctx.initiator},
+        )
+        yield from ctx.wait_delivery(handle.corr, site=site)
+        return ResultHandle(site, handle.corr, count)
+    finally:
+        span.close()
 
 
 def combine_handles(
@@ -84,22 +90,26 @@ def combine_handles(
     """
     if site is None:
         site = pick_join_site(ctx, left, right)
-    left = yield from ship_handle(ctx, left, site)
-    right = yield from ship_handle(ctx, right, site)
-    out_corr = ctx.new_corr()
-    ctx.load[site] += 1
-    payload = {
-        "op": op,
-        "left": left.corr,
-        "right": right.corr,
-        "out": out_corr,
-        "condition": condition,
-    }
-    if site == ctx.initiator:
-        summary = ctx.initiator_peer.rpc_combine(payload, ctx.initiator)
-    else:
-        summary = yield ctx.call(site, "combine", payload)
-    return ResultHandle(site, out_corr, summary["count"])
+    span = ctx.tracer.span("combine", phase=PHASE_JOIN, op=op, site=site)
+    try:
+        left = yield from ship_handle(ctx, left, site)
+        right = yield from ship_handle(ctx, right, site)
+        out_corr = ctx.new_corr()
+        ctx.load[site] += 1
+        payload = {
+            "op": op,
+            "left": left.corr,
+            "right": right.corr,
+            "out": out_corr,
+            "condition": condition,
+        }
+        if site == ctx.initiator:
+            summary = ctx.initiator_peer.rpc_combine(payload, ctx.initiator)
+        else:
+            summary = yield ctx.call(site, "combine", payload)
+        return ResultHandle(site, out_corr, summary["count"])
+    finally:
+        span.close()
 
 
 def _key(mu):

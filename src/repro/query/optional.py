@@ -21,11 +21,15 @@ def exec_leftjoin(ctx, node: LeftJoin):
     """Generator: execute LeftJoin(P1, P2, condition) → ResultHandle."""
     from .executor import exec_subtrees_parallel
 
-    left, right = yield from exec_subtrees_parallel(ctx, [node.left, node.right])
-    # Move-small is the paper's stated choice for OPTIONAL; other policies
-    # remain available for the join-site experiment (E3/E4).
-    site = pick_join_site(ctx, left, right)
-    handle = yield from combine_handles(
-        ctx, "leftjoin", left, right, condition=node.condition, site=site
-    )
-    return handle
+    span = ctx.tracer.span("optional")
+    try:
+        left, right = yield from exec_subtrees_parallel(ctx, [node.left, node.right])
+        # Move-small is the paper's stated choice for OPTIONAL; other policies
+        # remain available for the join-site experiment (E3/E4).
+        site = pick_join_site(ctx, left, right)
+        handle = yield from combine_handles(
+            ctx, "leftjoin", left, right, condition=node.condition, site=site
+        )
+        return handle
+    finally:
+        span.close()

@@ -49,14 +49,18 @@ def exec_primitive(ctx, pattern: TriplePattern,
     decision to make (otherwise everything would already sit at the query
     site and every policy would degenerate to Query-Site).
     """
-    info = yield from ctx.locate(pattern, condition)
-    if info.owner is None:
-        return (yield from exec_broadcast(ctx, subquery_algebra(info)))
-    site = ctx.initiator
-    if at_home and info.entries:
-        heaviest = max(info.entries, key=lambda e: (e.frequency, e.storage_id))
-        site = heaviest.storage_id
-    return (yield from exec_pattern_to_site(ctx, info, site))
+    span = ctx.tracer.span("primitive", pattern=str(pattern))
+    try:
+        info = yield from ctx.locate(pattern, condition)
+        if info.owner is None:
+            return (yield from exec_broadcast(ctx, subquery_algebra(info)))
+        site = ctx.initiator
+        if at_home and info.entries:
+            heaviest = max(info.entries, key=lambda e: (e.frequency, e.storage_id))
+            site = heaviest.storage_id
+        return (yield from exec_pattern_to_site(ctx, info, site))
+    finally:
+        span.close()
 
 
 def exec_pattern_to_site(ctx, info: PatternInfo, site: str):
@@ -108,13 +112,13 @@ def exec_pattern_to_site(ctx, info: PatternInfo, site: str):
     ack = yield ctx.call(info.owner, "execute_primitive", payload)
     if ack["mode"] == "direct":
         # Empty route: no providers left; materialize the empty result.
-        ctx.initiator_peer._expected.pop(corr, None)
+        ctx.unexpect(corr)
         if site == ctx.initiator:
             return ctx.local_deposit(corr, set(ack["data"]))
         yield ctx.call(site, "deliver", {"corr": corr, "data": ack["data"]})
         return ResultHandle(site, corr, len(ack["data"]))
     try:
-        count = yield from ctx.wait_delivery(corr)
+        count = yield from ctx.wait_delivery(corr, site=site)
     except DeliveryTimeout:
         # A storage node on the route died mid-chain. Re-execute with the
         # BASIC strategy: its per-node timeouts clean the stale entries.
@@ -143,7 +147,7 @@ def _basic(ctx, info: PatternInfo, algebra, site: str, corr: str):
         if ack["mode"] == "direct":
             yield ctx.call(site, "deliver", {"corr": corr, "data": ack["data"]})
             return ResultHandle(site, corr, len(ack["data"]))
-        yield from ctx.wait_delivery(corr)
+        yield from ctx.wait_delivery(corr, site=site)
         return ResultHandle(site, corr, ack["count"])
     response = yield ctx.call(info.owner, "execute_primitive", payload,
                               timeout=ctx.options.delivery_timeout * 4)
@@ -181,16 +185,20 @@ def exec_broadcast(ctx, algebra):
         from .executor import QueryFailed
 
         raise QueryFailed("broadcast disabled but pattern has no index key")
-    storages = yield from discover_all_storage(ctx)
-    ctx.report.merge_note(f"broadcast to {len(storages)} storage nodes")
-    corr = ctx.new_corr()
-    events = [
-        ctx.call(storage_id, "evaluate", {"algebra": algebra})
-        for storage_id in sorted(set(storages))
-    ]
-    solutions = set()
-    if events:
-        results = yield ctx.sim.all_of(events)
-        for batch in results:
-            solutions = omega_union(solutions, batch)
-    return ctx.local_deposit(corr, solutions)
+    span = ctx.tracer.span("broadcast")
+    try:
+        storages = yield from discover_all_storage(ctx)
+        ctx.report.merge_note(f"broadcast to {len(storages)} storage nodes")
+        corr = ctx.new_corr()
+        events = [
+            ctx.call(storage_id, "evaluate", {"algebra": algebra})
+            for storage_id in sorted(set(storages))
+        ]
+        solutions = set()
+        if events:
+            results = yield ctx.sim.all_of(events)
+            for batch in results:
+                solutions = omega_union(solutions, batch)
+        return ctx.local_deposit(corr, solutions)
+    finally:
+        span.close()

@@ -39,6 +39,14 @@ def _leaf_pattern(node: Algebra) -> Optional[Tuple]:
 
 def exec_union(ctx, node: Union):
     """Generator: execute Union(P1, P2) → ResultHandle."""
+    span = ctx.tracer.span("union")
+    try:
+        return (yield from _exec_union(ctx, node))
+    finally:
+        span.close()
+
+
+def _exec_union(ctx, node: Union):
     from .executor import exec_subtrees_parallel
     from .primitive import exec_pattern_to_site
 

@@ -1,0 +1,78 @@
+"""JSONL export of trace events.
+
+One JSON object per line, keys sorted, floats emitted as-is — the output
+is deterministic for a deterministic simulation, so trace files diff
+cleanly between runs and can serve as golden artifacts.
+
+Schema (absent fields are omitted):
+
+``seq``     monotonically increasing event number (int)
+``time``    simulated seconds since simulator start (float)
+``kind``    rpc_request | rpc_reply | rpc_error | oneway | rpc_timeout |
+            span_start | span_end | process_spawn | process_finish | mark
+``src``     sending node id (messages)
+``dst``     receiving node id (messages)
+``name``    RPC method (messages) or span/process name
+``bytes``   wire size charged to NetworkStats (messages; omitted when 0)
+``phase``   lookup | ship | join | finalize (messages and phased spans)
+``detail``  kind-specific object (e.g. span id, duration, corr id)
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Iterable, Iterator, Union
+
+from .tracer import TraceEvent, Tracer
+
+__all__ = ["event_to_dict", "iter_event_dicts", "to_jsonl", "write_jsonl"]
+
+
+def event_to_dict(event: TraceEvent) -> Dict[str, Any]:
+    """A compact JSON-ready dict for one event (None/0 fields dropped)."""
+    out: Dict[str, Any] = {"seq": event.seq, "time": event.time, "kind": event.kind}
+    if event.src is not None:
+        out["src"] = event.src
+    if event.dst is not None:
+        out["dst"] = event.dst
+    if event.name is not None:
+        out["name"] = event.name
+    if event.bytes:
+        out["bytes"] = event.bytes
+    if event.phase is not None:
+        out["phase"] = event.phase
+    if event.detail:
+        out["detail"] = _jsonable(event.detail)
+    return out
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON coercion: unknown objects become their repr."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def iter_event_dicts(source: Union[Tracer, Iterable[TraceEvent]]) -> Iterator[Dict[str, Any]]:
+    events = source.events if isinstance(source, Tracer) else source
+    for event in events:
+        yield event_to_dict(event)
+
+
+def to_jsonl(source: Union[Tracer, Iterable[TraceEvent]]) -> str:
+    """The whole trace as one JSONL string (trailing newline included)."""
+    lines = [json.dumps(d, sort_keys=True) for d in iter_event_dicts(source)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(source: Union[Tracer, Iterable[TraceEvent]], path) -> pathlib.Path:
+    """Write the trace to *path* (parent directories created)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_jsonl(source), encoding="utf-8")
+    return path

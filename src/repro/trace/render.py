@@ -1,0 +1,148 @@
+"""Text rendering of traces: Fig. 3-style sequence diagrams + phase table.
+
+:func:`render_sequence` lays the participating sites out as lifelines
+(columns, in order of first appearance) and draws one row per message,
+with the RPC method, payload size, and workflow phase on the arrow —
+the message flow of the paper's Fig. 3, reconstructed from a live trace
+instead of hand-drawn. Output is plain ASCII and deterministic: the same
+seed yields a byte-identical diagram.
+
+:func:`render_phases` prints the per-phase cost table
+(lookup / ship / join / finalize) via the metrics table renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..metrics.tables import render_table
+from .tracer import PHASES, PhaseStats, TraceEvent, Tracer
+
+__all__ = ["render_sequence", "render_phases", "render_spans"]
+
+#: Kinds drawn as arrows, with the glyph used for the arrow shaft.
+_ARROW_STYLES = {
+    "rpc_request": "-",
+    "rpc_reply": "-",
+    "rpc_error": "!",
+    "oneway": "=",
+}
+
+_COL_WIDTH = 26
+_TIME_WIDTH = 10
+
+
+def _participants(events: List[TraceEvent]) -> List[str]:
+    seen: List[str] = []
+    for event in events:
+        for site in (event.src, event.dst):
+            if site is not None and site not in seen:
+                seen.append(site)
+    return seen
+
+
+def render_sequence(
+    source: Union[Tracer, List[TraceEvent]],
+    max_events: Optional[int] = None,
+) -> str:
+    """ASCII sequence diagram of the trace's message events."""
+    events = source.events if isinstance(source, Tracer) else list(source)
+    messages = [e for e in events if e.kind in _ARROW_STYLES]
+    truncated = 0
+    if max_events is not None and len(messages) > max_events:
+        truncated = len(messages) - max_events
+        messages = messages[:max_events]
+    if not messages:
+        return "(no messages traced)\n"
+
+    sites = _participants(messages)
+    centers = {s: _TIME_WIDTH + 2 + i * _COL_WIDTH + _COL_WIDTH // 2
+               for i, s in enumerate(sites)}
+    width = _TIME_WIDTH + 2 + len(sites) * _COL_WIDTH
+
+    def blank_row() -> List[str]:
+        row = [" "] * width
+        for site in sites:
+            row[centers[site]] = "|"
+        return row
+
+    lines: List[str] = []
+    header = [" "] * width
+    header[: len("time(ms)")] = "time(ms)"
+    for site in sites:
+        label = site[: _COL_WIDTH - 2]
+        start = centers[site] - len(label) // 2
+        header[start : start + len(label)] = label
+    lines.append("".join(header).rstrip())
+    lines.append("".join(blank_row()).rstrip())
+
+    for event in messages:
+        row = blank_row()
+        stamp = f"{event.time * 1000:9.3f}"
+        row[: len(stamp)] = stamp
+        a, b = centers[event.src], centers[event.dst]
+        shaft = _ARROW_STYLES[event.kind]
+        label = f" {event.name} {event.bytes}B [{event.phase}] "
+        if a == b:
+            # Local self-delivery (e.g. the initiator notifying itself).
+            text = f"{shaft * 2}o{label}"
+            row[a + 1 : a + 1 + len(text)] = text[: width - a - 1]
+        else:
+            lo, hi = (a, b) if a < b else (b, a)
+            span = hi - lo - 1
+            for i in range(lo + 1, hi):
+                row[i] = shaft
+            if len(label) > span - 2:
+                label = label[: max(span - 2, 0)]
+            if label:
+                start = lo + 1 + (span - len(label)) // 2
+                row[start : start + len(label)] = label
+            if a < b:
+                row[hi - 1] = ">"
+            else:
+                row[lo + 1] = "<"
+        lines.append("".join(row).rstrip())
+
+    if truncated:
+        lines.append(f"... ({truncated} more messages)")
+    return "\n".join(lines) + "\n"
+
+
+def render_phases(breakdown: Dict[str, PhaseStats]) -> str:
+    """The per-phase cost table (all four phases, canonical order)."""
+    rows = []
+    total_msgs = total_bytes = 0
+    total_time = 0.0
+    for phase in PHASES:
+        stats = breakdown.get(phase, PhaseStats())
+        rows.append([phase, str(stats.messages), str(stats.bytes),
+                     f"{stats.time * 1000:.3f}"])
+        total_msgs += stats.messages
+        total_bytes += stats.bytes
+        total_time += stats.time
+    rows.append(["total", str(total_msgs), str(total_bytes),
+                 f"{total_time * 1000:.3f}"])
+    return render_table(
+        ["phase", "messages", "bytes", "link-ms"], rows,
+        title="per-phase cost",
+    )
+
+
+def render_spans(source: Union[Tracer, List[TraceEvent]]) -> str:
+    """One line per operator span: name, phase, start/end, duration."""
+    tracer = source if isinstance(source, Tracer) else None
+    if tracer is None:
+        raise TypeError("render_spans requires a Tracer")
+    lines = []
+    for start, end in tracer.spans():
+        name = start.name or "?"
+        phase = f" [{start.phase}]" if start.phase else ""
+        if end is None:
+            lines.append(f"{start.time * 1000:9.3f}ms  {name}{phase} (open)")
+        else:
+            duration = (end.time - start.time) * 1000
+            lines.append(
+                f"{start.time * 1000:9.3f}ms  {name}{phase} "
+                f"{duration:.3f}ms"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -112,6 +112,38 @@ class TestRpc:
 
         assert run(net, proc()) == "back"
 
+    def test_generator_handler_node_dies_mid_chain(self, net):
+        """A node that crashes while its generator handler is awaiting a
+        nested call never replies (`_respond_value` alive check): the
+        caller sees a timeout, not a ghost answer."""
+
+        class Dier(Node):
+            def rpc_slow(self, payload, src):
+                result = yield self.call("a", "echo", payload)
+                self.alive = False
+                return result
+
+        net.register(Dier("d"))
+
+        def proc():
+            with pytest.raises(RpcTimeout):
+                yield net.call("client", "d", "slow", "x")
+            return True
+
+        assert run(net, proc())
+
+    def test_handler_error_after_node_death_not_delivered(self, net):
+        net.fail_node("a")
+
+        def proc():
+            with pytest.raises(RpcTimeout):
+                # The dead node drops the request entirely — not even a
+                # RemoteError for the handler it doesn't have.
+                yield net.call("client", "a", "nonexistent")
+            return True
+
+        assert run(net, proc())
+
 
 class TestOneWay:
     def test_send_dispatches_handler(self, net):
@@ -139,6 +171,38 @@ class TestAccounting:
         assert net.stats.messages == 2  # request + reply
         request = net.stats.records[0]
         assert request.bytes == HEADER_BYTES + size_of("echo") + size_of("12345")
+
+    def test_request_bytes_charged_exactly_once_per_message(self, net):
+        """Every message crossing a link appears exactly once in the
+        stats ledger, even when handlers chain nested RPCs."""
+
+        def proc():
+            yield net.call("client", "a", "relay", {"via": "b", "data": "x"})
+
+        run(net, proc())
+        # client->a request, a->b nested request, b->a reply, a->client reply
+        assert net.stats.messages == 4
+        assert len(net.stats.records) == 4
+        labels = [(r.src, r.dst, r.kind) for r in net.stats.records]
+        assert len(set(labels)) == 4  # no message double-charged
+        assert net.stats.bytes_total == sum(r.bytes for r in net.stats.records)
+
+    def test_error_reply_charged(self, net):
+        def proc():
+            with pytest.raises(RemoteError):
+                yield net.call("client", "a", "boom")
+
+        run(net, proc())
+        assert net.stats.messages == 2
+        assert net.stats.records[1].kind == "boom.error"
+        assert net.stats.records[1].bytes > HEADER_BYTES
+
+    def test_oneway_bytes_charged_once(self, net):
+        net.send("client", "a", "note", {"k": 1})
+        net.sim.run()
+        assert net.stats.messages == 1
+        expected = HEADER_BYTES + size_of("note") + size_of({"k": 1})
+        assert net.stats.records[0].bytes == expected
 
     def test_latency_model(self):
         link = LinkModel(latency=0.5, bandwidth=100.0)

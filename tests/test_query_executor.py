@@ -140,6 +140,44 @@ class TestReports:
         result, report = assert_matches_oracle(paper_system, QUERIES["distinct"])
         assert report.result_count == len(result.rows)
 
+    def test_result_count_select_empty(self, paper_system):
+        executor = DistributedExecutor(paper_system)
+        result, report = executor.execute(
+            "SELECT ?x WHERE { ?x foaf:knows <http://example.org/people/nobody> . }",
+            initiator="D1")
+        assert result.rows == []
+        assert report.result_count == 0
+
+    def test_result_count_ask(self, paper_system):
+        executor = DistributedExecutor(paper_system)
+        _, yes = executor.execute("ASK { ?x foaf:knows ?y . }", initiator="D1")
+        assert yes.result_count == 1
+        result, no = executor.execute(
+            "ASK { ?x foaf:knows <http://example.org/people/nobody> . }",
+            initiator="D1")
+        assert result.boolean is False
+        assert no.result_count == 0
+
+    def test_result_count_construct(self, paper_system):
+        executor = DistributedExecutor(paper_system)
+        result, report = executor.execute(
+            "CONSTRUCT { ?x ns:knownBy ns:me . } WHERE { ?x foaf:knows ns:me . }",
+            initiator="D1")
+        assert report.result_count == len(result.graph) == 2
+        # Empty CONSTRUCT counts zero triples, not a phantom row.
+        result, report = executor.execute(
+            "CONSTRUCT { ?x ns:y ns:z . } WHERE "
+            "{ ?x foaf:knows <http://example.org/people/nobody> . }",
+            initiator="D1")
+        assert report.result_count == len(result.graph) == 0
+
+    def test_result_count_describe(self, paper_system):
+        executor = DistributedExecutor(paper_system)
+        result, report = executor.execute(
+            "DESCRIBE <http://example.org/people/anna>", initiator="D1")
+        assert result.graph is not None
+        assert report.result_count == len(result.graph) > 0
+
     def test_mailboxes_drained_after_query(self, paper_system):
         executor = DistributedExecutor(paper_system)
         executor.execute(QUERIES["fig9"], initiator="D1")
