@@ -16,7 +16,7 @@ from typing import Iterable, Union
 from ..rdf.terms import RDFTerm
 from .idspace import IdentifierSpace
 
-__all__ = ["hash_term", "hash_terms", "hash_string"]
+__all__ = ["hash_term", "hash_terms", "hash_string", "hash_terms_seeded"]
 
 
 def _canonical_bytes(term: Union[RDFTerm, str]) -> bytes:
@@ -49,3 +49,20 @@ def hash_terms(terms: Iterable[Union[RDFTerm, str]], space: IdentifierSpace) -> 
         hasher.update(len(data).to_bytes(4, "big"))
         hasher.update(data)
     return int.from_bytes(hasher.digest(), "big") % space.size
+
+
+def hash_terms_seeded(
+    terms: Iterable[Union[RDFTerm, str]], seed: int, modulus: int
+) -> int:
+    """Seeded variant of :func:`hash_terms` over an arbitrary modulus.
+
+    The family of independent hash functions the Bloom-filter digests
+    need (one per *seed*), built from the same canonical prefix-free
+    term encoding as the index keys.
+    """
+    hasher = hashlib.sha1(seed.to_bytes(4, "big"))
+    for term in terms:
+        data = _canonical_bytes(term)
+        hasher.update(len(data).to_bytes(4, "big"))
+        hasher.update(data)
+    return int.from_bytes(hasher.digest(), "big") % modulus

@@ -79,6 +79,25 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "--no-optimize", action="store_true",
         help="disable algebraic optimization (filter pushing)",
     )
+    parser.add_argument(
+        "--semijoin", action="store_true",
+        help="semijoin/Bloom pre-filtering: ship join-key digests so "
+             "non-joining rows never travel",
+    )
+    parser.add_argument(
+        "--projection-pushdown", action="store_true",
+        help="prune dead variables from intermediate results before "
+             "every ship (sound for DISTINCT/ASK/CONSTRUCT queries)",
+    )
+    parser.add_argument(
+        "--dict-encoding", action="store_true",
+        help="dictionary-delta wire encoding for shipped solution sets",
+    )
+    parser.add_argument(
+        "--lookup-cache", type=int, default=128, metavar="N",
+        help="per-query LRU capacity for index lookups (0 disables; "
+             "default 128)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -163,6 +182,10 @@ def _build_options(args: argparse.Namespace) -> ExecutionOptions:
         join_site_policy=JoinSitePolicy(args.join_site),
         time_weight=args.time_weight,
         optimize=not args.no_optimize,
+        semijoin=args.semijoin,
+        projection_pushdown=args.projection_pushdown,
+        dictionary_encoding=args.dict_encoding,
+        lookup_cache_size=args.lookup_cache,
     )
 
 

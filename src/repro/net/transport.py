@@ -121,6 +121,9 @@ class Network:
         self.stats = stats or NetworkStats()
         self.default_timeout = default_timeout
         self.nodes: Dict[str, Node] = {}
+        #: Bumped on every membership change (join/leave/crash/recovery);
+        #: cheap staleness check for caches of lookup results.
+        self.membership_epoch = 0
 
     # ----------------------------------------------------------- membership
 
@@ -129,10 +132,12 @@ class Network:
             raise ValueError(f"duplicate node id {node.node_id!r}")
         node.attach(self)
         self.nodes[node.node_id] = node
+        self.membership_epoch += 1
         return node
 
     def deregister(self, node_id: str) -> None:
-        self.nodes.pop(node_id, None)
+        if self.nodes.pop(node_id, None) is not None:
+            self.membership_epoch += 1
 
     def node(self, node_id: str) -> Node:
         try:
@@ -143,9 +148,11 @@ class Network:
     def fail_node(self, node_id: str) -> None:
         """Crash a node: it stops answering but keeps its state (III-D)."""
         self.node(node_id).alive = False
+        self.membership_epoch += 1
 
     def recover_node(self, node_id: str) -> None:
         self.node(node_id).alive = True
+        self.membership_epoch += 1
 
     # ------------------------------------------------------------------ rpc
 

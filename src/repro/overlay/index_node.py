@@ -15,6 +15,7 @@ from typing import Any, Dict, Iterable, List, Optional
 from ..chord.idspace import IdentifierSpace
 from ..chord.node import ChordNode
 from ..net.transport import RpcError
+from ..net.wire import FilteredResult, as_solution_set, encode_solutions
 from ..sparql.solutions import SolutionMapping, union as omega_union
 from .location_table import LocationEntry, LocationTable
 from .peer import QueryPeer, _mapping_sort_key
@@ -164,22 +165,27 @@ class IndexNode(QueryPeer, ChordNode):
         strategy = payload.get("strategy", "basic")
         entries = self.locate(payload["key"])
         if strategy == "basic":
-            result = yield from self._execute_basic(payload, entries)
+            result, pruned = yield from self._execute_basic(payload, entries)
             corr = payload.get("corr")
             if payload.get("deposit"):
                 self.mailbox[corr] = set(result)
-                return {"mode": "deposited", "count": len(result)}
+                ack = {"mode": "deposited", "count": len(result)}
+                if pruned is not None:
+                    ack["pruned"] = pruned
+                return ack
             final = payload.get("final")
+            encode = payload.get("encode", False)
             if final is not None and final != src:
                 assert self.network is not None
                 self.network.send(
                     self.node_id,
                     final,
                     "deliver",
-                    {"corr": corr, "data": result, "notify": payload.get("notify")},
+                    {"corr": corr, "data": encode_solutions(result, encode),
+                     "notify": payload.get("notify")},
                 )
                 return {"mode": "shipped", "count": len(result)}
-            return {"mode": "direct", "data": result}
+            return {"mode": "direct", "data": encode_solutions(result, encode)}
         if strategy in ("chained", "freq"):
             route = self._route(entries, strategy, end_at=payload.get("end_at"))
             if not route:
@@ -196,19 +202,24 @@ class IndexNode(QueryPeer, ChordNode):
         """
         assert self.network is not None
         per_node_timeout = payload.get("storage_timeout")
+        sub_query: Dict[str, Any] = {"algebra": payload["algebra"]}
+        for key in ("digest", "project", "encode"):
+            if key in payload:
+                sub_query[key] = payload[key]
         calls = [
             (
                 entry.storage_id,
                 self.call(
                     entry.storage_id,
                     "evaluate",
-                    {"algebra": payload["algebra"]},
+                    sub_query,
                     timeout=per_node_timeout,
                 ),
             )
             for entry in entries
         ]
         solutions: set = set()
+        pruned = 0 if "digest" in payload else None
         for storage_id, event in calls:
             try:
                 batch = yield event
@@ -218,8 +229,11 @@ class IndexNode(QueryPeer, ChordNode):
                 self.table.remove_storage_node(storage_id)
                 self.replicas.remove_storage_node(storage_id)
                 continue
-            solutions = omega_union(solutions, batch)
-        return sorted(solutions, key=_mapping_sort_key)
+            if isinstance(batch, FilteredResult):
+                pruned = (pruned or 0) + batch.pruned
+                batch = batch.data
+            solutions = omega_union(solutions, as_solution_set(batch))
+        return sorted(solutions, key=_mapping_sort_key), pruned
 
     def _route(
         self,
@@ -244,19 +258,18 @@ class IndexNode(QueryPeer, ChordNode):
     def _kickoff_chain(self, payload: Dict[str, Any], route: List[str]) -> None:
         assert self.network is not None
         first, rest = route[0], route[1:]
-        self.network.send(
-            self.node_id,
-            first,
-            "chain_step",
-            {
-                "algebra": payload["algebra"],
-                "acc": [],
-                "route": rest,
-                "final": payload["final"],
-                "corr": payload["corr"],
-                "notify": payload.get("notify"),
-            },
-        )
+        step = {
+            "algebra": payload["algebra"],
+            "acc": [],
+            "route": rest,
+            "final": payload["final"],
+            "corr": payload["corr"],
+            "notify": payload.get("notify"),
+        }
+        for key in ("digest", "project", "encode"):
+            if key in payload:
+                step[key] = payload[key]
+        self.network.send(self.node_id, first, "chain_step", step)
 
     def rpc_get_attached(self, payload: Any, src: str) -> List[str]:
         """Storage nodes attached beneath this index node (used by the

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Set
 
 from ..net.sim import Event
+from ..net.wire import JoinDigest, as_solution_set, encode_solutions
 from ..sparql import ast
 from ..sparql.expr import filter_passes
 from ..sparql.solutions import (
@@ -193,7 +194,7 @@ class QueryPeer:
             return
         data = payload.get("data", ())
         box = self.mailbox.setdefault(corr, set())
-        box.update(data)
+        box.update(as_solution_set(data))
         notify = payload.get("notify")
         if notify == self.node_id:
             # The initiator is the final site: resolve locally, no message.
@@ -204,14 +205,14 @@ class QueryPeer:
                 self.node_id, notify, "delivered", {"corr": corr, "count": len(box)}
             )
 
-    def rpc_fetch(self, payload: Dict[str, Any], src: str) -> List[SolutionMapping]:
+    def rpc_fetch(self, payload: Dict[str, Any], src: str):
         """Return (and optionally drop) a mailbox entry — the final result
         transfer to the query initiator, charged as reply traffic."""
         corr = payload["corr"]
         data = self.mailbox.get(corr, set())
         if payload.get("discard", True):
             self.mailbox.pop(corr, None)
-        return sorted(data, key=_mapping_sort_key)
+        return encode_solutions(data, payload.get("encode", False))
 
     def rpc_discard(self, payload: Dict[str, Any], src: str) -> int:
         dropped = 0
@@ -220,12 +221,29 @@ class QueryPeer:
                 dropped += 1
         return dropped
 
-    def rpc_ship(self, payload: Dict[str, Any], src: str) -> int:
-        """Forward a mailbox entry to another site's mailbox (one-way)."""
+    def rpc_ship(self, payload: Dict[str, Any], src: str):
+        """Forward a mailbox entry to another site's mailbox (one-way).
+
+        Shipping optimizations ride in optional payload keys: ``digest``
+        (a :class:`~repro.net.wire.JoinDigest` — rows it rejects are
+        dropped before transfer), ``project`` (variables to keep), and
+        ``encode`` (dictionary-delta wire format). With a digest present
+        the reply is a dict carrying the exact pruned-row count;
+        otherwise it stays the bare count, byte-identical to before.
+        """
         corr = payload["corr"]
         data = self.mailbox.get(corr, set())
         if payload.get("discard", True):
             self.mailbox.pop(corr, None)
+        digest: Optional[JoinDigest] = payload.get("digest")
+        pruned = 0
+        if digest is not None:
+            kept = digest.filter(data)
+            pruned = len(data) - len(kept)
+            data = kept
+        keep = payload.get("project")
+        if keep is not None:
+            data = {mu.project(keep) for mu in data}
         assert self.network is not None
         self.network.send(
             self.node_id,
@@ -233,11 +251,28 @@ class QueryPeer:
             "deliver",
             {
                 "corr": payload.get("dst_corr", corr),
-                "data": sorted(data, key=_mapping_sort_key),
+                "data": encode_solutions(data, payload.get("encode", False)),
                 "notify": payload.get("notify"),
             },
         )
+        if digest is not None:
+            return {"count": len(data), "pruned": pruned}
         return len(data)
+
+    def rpc_digest(self, payload: Dict[str, Any], src: str) -> JoinDigest:
+        """Build a semijoin digest over a mailbox entry's join-key values.
+
+        Payload: ``corr``, ``vars`` (the prospective join variables),
+        ``exact_threshold``, ``bloom_bits``. The reply's wire size is the
+        digest's real cost — the price of the pre-filtering bet.
+        """
+        data = self.mailbox.get(payload["corr"], set())
+        return JoinDigest.build(
+            data,
+            payload["vars"],
+            exact_threshold=payload.get("exact_threshold", 64),
+            bloom_bits=payload.get("bloom_bits", 10),
+        )
 
     # ------------------------------------------------------------- operators
 

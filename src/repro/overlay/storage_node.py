@@ -15,13 +15,14 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..chord.idspace import IdentifierSpace
 from ..net.transport import Node
+from ..net.wire import FilteredResult, as_solution_set, encode_solutions
 from ..rdf.graph import Graph
 from ..rdf.triple import Triple, TriplePattern
 from ..sparql.algebra import Algebra, BGP
 from ..sparql.eval import evaluate_algebra
 from ..sparql.solutions import SolutionMapping, union as omega_union
 from .keys import KeyKind, index_keys
-from .peer import QueryPeer, _mapping_sort_key
+from .peer import QueryPeer
 
 __all__ = ["StorageNode"]
 
@@ -81,11 +82,39 @@ class StorageNode(QueryPeer, Node):
 
     # ---------------------------------------------------------- RPC handlers
 
-    def rpc_evaluate(self, payload: Dict[str, Any], src: str) -> List[SolutionMapping]:
+    def rpc_evaluate(self, payload: Dict[str, Any], src: str):
         """Evaluate a sub-query and reply with the local solutions
-        (the BASIC strategy's storage-node step)."""
+        (the BASIC strategy's storage-node step).
+
+        Optional shipping directives: ``digest`` drops rows that cannot
+        join the accumulated result before they ever leave this node
+        (the reply then reports the dropped count), ``project`` prunes
+        dead variables, ``encode`` switches the reply to the
+        dictionary-delta wire format.
+        """
+        solutions, pruned = self._eval_shippable(payload)
+        encoded = encode_solutions(solutions, payload.get("encode", False))
+        if pruned is not None:
+            return FilteredResult(encoded, pruned)
+        return encoded
+
+    def _eval_shippable(self, payload: Dict[str, Any]):
+        """Local evaluation with the pre-ship reductions applied.
+
+        Returns (solutions, pruned) — *pruned* is None when no digest was
+        supplied, else the number of rows it dropped.
+        """
         solutions = self.local_eval(payload["algebra"])
-        return sorted(solutions, key=_mapping_sort_key)
+        pruned = None
+        digest = payload.get("digest")
+        if digest is not None:
+            kept = digest.filter(solutions)
+            pruned = len(solutions) - len(kept)
+            solutions = kept
+        keep = payload.get("project")
+        if keep is not None:
+            solutions = {mu.project(keep) for mu in solutions}
+        return solutions, pruned
 
     def rpc_count(self, payload: Dict[str, Any], src: str) -> int:
         """Local cardinality of a triple pattern (planner statistics)."""
@@ -104,28 +133,28 @@ class StorageNode(QueryPeer, Node):
         results never back-track, which is the whole point of the chain.
         """
         assert self.network is not None
-        local = self.local_eval(payload["algebra"])
-        merged = omega_union(payload.get("acc", ()), local)
+        local, _pruned = self._eval_shippable(payload)
+        encode = payload.get("encode", False)
+        merged = omega_union(as_solution_set(payload.get("acc", ())), local)
         route: List[str] = list(payload.get("route", ()))
         if route:
             next_hop = route[0]
-            self.network.send(
-                self.node_id,
-                next_hop,
-                "chain_step",
-                {
-                    "algebra": payload["algebra"],
-                    "acc": sorted(merged, key=_mapping_sort_key),
-                    "route": route[1:],
-                    "final": payload["final"],
-                    "corr": payload["corr"],
-                    "notify": payload.get("notify"),
-                },
-            )
+            forward = {
+                "algebra": payload["algebra"],
+                "acc": encode_solutions(merged, encode),
+                "route": route[1:],
+                "final": payload["final"],
+                "corr": payload["corr"],
+                "notify": payload.get("notify"),
+            }
+            for key in ("digest", "project", "encode"):
+                if key in payload:
+                    forward[key] = payload[key]
+            self.network.send(self.node_id, next_hop, "chain_step", forward)
         else:
             delivery = {
                 "corr": payload["corr"],
-                "data": sorted(merged, key=_mapping_sort_key),
+                "data": encode_solutions(merged, encode),
                 "notify": payload.get("notify"),
             }
             if payload["final"] == self.node_id:

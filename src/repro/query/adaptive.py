@@ -114,15 +114,25 @@ def choose_strategy(
     link: LinkModel,
     time_weight: float,
     dedup_ratio: float = 1.0,
+    wire_scale: float = 1.0,
 ) -> Tuple[PrimitiveStrategy, List[StrategyCosts]]:
     """Pick the strategy minimizing the scalarized objective.
 
     Returns (choice, predicted costs) — the predictions are surfaced in
     the execution report so experiments can audit the model.
+
+    ``wire_scale`` shrinks the per-solution byte prior when shipping
+    optimizations (projection pushdown, dictionary encoding) make each
+    solution cheaper on the wire; latency terms are unaffected, so the
+    model shifts toward the latency-optimal plan exactly when the
+    payloads stop dominating.
     """
     if not 0.0 <= time_weight <= 1.0:
         raise ValueError("time_weight must lie in [0, 1]")
-    model = CostModel(link=link, dedup_ratio=dedup_ratio)
+    if wire_scale <= 0.0:
+        raise ValueError("wire_scale must be positive")
+    model = CostModel(link=link, dedup_ratio=dedup_ratio,
+                      bytes_per_solution=BYTES_PER_SOLUTION * wire_scale)
     costs = model.predict(entries)
     if len(costs) == 1:
         return costs[0].strategy, costs

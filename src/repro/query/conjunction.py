@@ -22,10 +22,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from ..net.sizes import size_of
+from ..net.wire import PRUNED_COUNTER_BYTES
 from ..rdf.triple import TriplePattern
 from ..sparql import ast
 from ..sparql.algebra import Join
-from .join_site import combine_handles
+from .join_site import combine_handles, digest_embed_cost, fetch_digest
 from .plan import PatternInfo, ResultHandle, choose_shared_site, subquery_algebra
 from .primitive import exec_broadcast, exec_pattern_to_site
 from .strategies import ConjunctionMode, JoinSitePolicy
@@ -88,10 +90,27 @@ def _exec_bgp(ctx, patterns: Sequence[TriplePattern],
 
 
 def _exec_basic_mode(ctx, infos: List[PatternInfo]):
-    """The paper's basic conjunction walk over index nodes."""
+    """The paper's basic conjunction walk over index nodes.
+
+    With the shipping optimizations on, each step also (a) pushes the
+    query-wide projection down into the storage fan-out, (b) embeds a
+    semijoin digest of the accumulated solutions so providers shed
+    non-joining rows before their results ever travel, and (c) ships the
+    accumulated result onward projected to the variables still needed by
+    the remaining patterns (per-edge liveness, tighter than the global
+    set for the walk's middle hops).
+    """
+    opts = ctx.options
+    pattern_vars = [frozenset(info.pattern.variables()) for info in infos]
+    # suffix[i] = vars appearing in patterns i.. (suffix[len] = empty).
+    suffix: List[frozenset] = [frozenset()] * (len(infos) + 1)
+    for i in range(len(infos) - 1, -1, -1):
+        suffix[i] = suffix[i + 1] | pattern_vars[i]
+
     handle: Optional[ResultHandle] = None
-    for info in infos:
+    for i, info in enumerate(infos):
         corr = ctx.new_corr()
+        keep = ctx.keep_vars(pattern_vars[i])
         payload = {
             "algebra": subquery_algebra(info),
             "key": info.key,
@@ -100,17 +119,48 @@ def _exec_basic_mode(ctx, infos: List[PatternInfo]):
             "deposit": True,
             "storage_timeout": ctx.options.delivery_timeout,
         }
+        if keep is not None:
+            payload["project"] = keep
+        if opts.dictionary_encoding:
+            payload["encode"] = True
+        if (
+            handle is not None
+            and opts.semijoin
+            and handle.count >= opts.semijoin_min_rows
+            and handle.vars
+        ):
+            shared = handle.vars & pattern_vars[i]
+            if shared:
+                digest = yield from fetch_digest(ctx, handle, shared)
+                if digest is not None:
+                    payload["digest"] = digest
+                    # The digest rides in the execute_primitive call and
+                    # in each of the owner's storage fan-out sub-queries;
+                    # each provider reply grows by the pruned counter.
+                    ctx.report.digest_bytes += (
+                        (1 + len(info.entries)) * digest_embed_cost(digest)
+                        + len(info.entries) * PRUNED_COUNTER_BYTES
+                    )
         ack = yield ctx.call(info.owner, "execute_primitive", payload,
                              timeout=ctx.options.delivery_timeout * 4)
-        mine = ResultHandle(info.owner, corr, ack["count"])
+        if "digest" in payload:
+            pruned = ack.get("pruned", 0)
+            ctx.report.rows_pruned += pruned
+            # The ack itself grew by its pruned entry.
+            ctx.report.digest_bytes += size_of("pruned") + size_of(pruned) + 2
+        hvars = frozenset(keep) if keep is not None else pattern_vars[i]
+        mine = ResultHandle(info.owner, corr, ack["count"], hvars)
         if handle is None:
             handle = mine
         else:
             # Ship the accumulated solutions to this pattern's index node
             # and join there (N4 forwards its solutions to N15, which
-            # carries out a local join).
+            # carries out a local join). The accumulated side only needs
+            # the globally-live vars plus whatever later patterns join on.
+            edge_live = (None if ctx.live_vars is None
+                         else ctx.live_vars | suffix[i + 1])
             handle = yield from combine_handles(
-                ctx, "join", handle, mine, site=mine.site
+                ctx, "join", handle, mine, site=mine.site, live=edge_live
             )
     assert handle is not None
     return handle
@@ -169,7 +219,7 @@ def _apply_post_filter(ctx, handle: ResultHandle,
         summary = ctx.initiator_peer.rpc_filter_box(payload, ctx.initiator)
     else:
         summary = yield ctx.call(handle.site, "filter_box", payload)
-    return ResultHandle(handle.site, out, summary["count"])
+    return ResultHandle(handle.site, out, summary["count"], handle.vars)
 
 
 def _apply_post_filter_done(ctx, handle, post_filter):
@@ -180,7 +230,7 @@ def _apply_post_filter_done(ctx, handle, post_filter):
     from ..sparql.expr import filter_passes
 
     filtered = {mu for mu in data if filter_passes(post_filter, mu)}
-    return ctx.local_deposit(ctx.new_corr(), filtered)
+    return ctx.local_deposit(ctx.new_corr(), filtered, vars=handle.vars)
 
 
 def exec_join(ctx, node: Join):

@@ -22,12 +22,13 @@ optimization study trades against each other.
 from __future__ import annotations
 
 import itertools
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..net.sim import Event
 from ..net.transport import RpcError
+from ..net.wire import as_solution_set
 from ..trace.tracer import (
     NULL_TRACER, PHASE_FINALIZE, PHASE_LOOKUP, PhaseStats, Tracer,
 )
@@ -47,7 +48,7 @@ from ..sparql.optimizer import optimize as optimize_algebra
 from ..sparql.parser import parse_query
 from ..sparql.solutions import EMPTY_MAPPING, SolutionMapping
 from ..rdf.namespaces import COMMON_PREFIXES
-from .plan import PatternInfo, ResultHandle
+from .plan import PatternInfo, ResultHandle, compute_live_vars
 from .strategies import ExecutionOptions
 
 __all__ = ["DistributedExecutor", "ExecutionReport", "ExecutionContext", "QueryFailed"]
@@ -73,6 +74,16 @@ class ExecutionReport:
     #: Chain fall-backs after a delivery timeout (failure handling).
     retries: int = 0
     result_count: int = 0
+    #: Per-query lookup-cache effectiveness (the executor's LRU over
+    #: two-level index consultations; see ExecutionOptions.lookup_cache_size).
+    lookup_cache_hits: int = 0
+    lookup_cache_misses: int = 0
+    #: Rows dropped by semijoin digests before they could cross a link.
+    rows_pruned: int = 0
+    #: Exact overhead the semijoin technique added: digest round trips
+    #: plus digest embeds in ship/evaluate payloads. The documented bound:
+    #: enabling semijoin never costs more than this many extra bytes.
+    digest_bytes: int = 0
     #: Name of the plan shape actually executed (diagnostics).
     notes: List[str] = field(default_factory=list)
     #: Per-workflow-phase cost breakdown (lookup / ship / join / finalize),
@@ -116,6 +127,13 @@ class ExecutionContext:
         #: Every correlation id this query minted, so ``release()`` can
         #: sweep stragglers out of peer mailboxes when the query ends.
         self._corrs: List[str] = []
+        #: Global keep-set for projection pushdown (None = pruning off or
+        #: unsound for this query form); set by the executor after plan
+        #: analysis (:func:`repro.query.plan.compute_live_vars`).
+        self.live_vars: Optional[FrozenSet] = None
+        #: Per-query LRU over (key kind, ring key) → (owner, entries).
+        self._lookup_cache: "OrderedDict" = OrderedDict()
+        self._lookup_epoch = system.network.membership_epoch
         node = system.network.node(initiator)
         if not isinstance(node, QueryPeer):
             raise QueryFailed(f"initiator {initiator!r} is not a query peer")
@@ -217,10 +235,21 @@ class ExecutionContext:
         self._corrs.clear()
         return removed
 
-    def local_deposit(self, corr: str, solutions) -> ResultHandle:
+    def local_deposit(self, corr: str, solutions, vars=None) -> ResultHandle:
         """Materialize solutions at the initiator without any message."""
         self.initiator_peer.mailbox[corr] = set(solutions)
-        return ResultHandle(self.initiator, corr, len(self.initiator_peer.mailbox[corr]))
+        return ResultHandle(self.initiator, corr,
+                            len(self.initiator_peer.mailbox[corr]), vars)
+
+    def keep_vars(self, pattern_vars) -> Optional[List]:
+        """Projection keep-list for a pattern's provider-side results, or
+        None when pruning is off or nothing would be dropped."""
+        if self.live_vars is None:
+            return None
+        kept = [v for v in pattern_vars if v in self.live_vars]
+        if len(kept) == len(pattern_vars):
+            return None
+        return sorted(kept, key=lambda v: v.name)
 
     # --------------------------------------------------------------- lookup
 
@@ -236,6 +265,35 @@ class ExecutionContext:
         if located is None:
             return PatternInfo(pattern, None, None, None, (), 0, condition)
         kind, key = located
+        cache_size = self.options.lookup_cache_size
+        if cache_size > 0:
+            # Churn invalidation: any membership change since the last
+            # consultation voids every cached row (a departed node may
+            # have owned any key; a joiner may have split any range).
+            epoch = self.network.membership_epoch
+            if epoch != self._lookup_epoch:
+                self._lookup_cache.clear()
+                self._lookup_epoch = epoch
+            cached = self._lookup_cache.get((kind, key))
+            if cached is not None:
+                if cached[0] == "pending":
+                    # Another process of this query is resolving the same
+                    # key right now (patterns locate in parallel): wait
+                    # for it instead of issuing a duplicate consultation.
+                    owner_id, entries = yield cached[1]
+                else:
+                    owner_id, entries = cached[1], cached[2]
+                if (kind, key) in self._lookup_cache:
+                    self._lookup_cache.move_to_end((kind, key))
+                self.report.lookup_cache_hits += 1
+                cached_span = self.tracer.span(
+                    "lookup", phase=PHASE_LOOKUP, pattern=str(pattern),
+                    cached=True)
+                cached_span.close(hops=0)
+                return PatternInfo(pattern, kind, key, owner_id, entries,
+                                   0, condition)
+            pending = self.sim.event()
+            self._lookup_cache[(kind, key)] = ("pending", pending)
         span = self.tracer.span("lookup", phase=PHASE_LOOKUP, pattern=str(pattern))
         hops = 0
         try:
@@ -252,8 +310,25 @@ class ExecutionContext:
                 else:
                     entries = yield self.call(owner_id, "index_lookup", {"key": key})
             self.report.lookup_hops += hops
+        except BaseException as exc:
+            if cache_size > 0:
+                if self._lookup_cache.get((kind, key)) == ("pending", pending):
+                    del self._lookup_cache[(kind, key)]
+                pending.fail(exc)
+            raise
         finally:
             span.close(hops=hops)
+        if cache_size > 0:
+            self.report.lookup_cache_misses += 1
+            if self.network.membership_epoch == self._lookup_epoch:
+                self._lookup_cache[(kind, key)] = ("done", owner_id,
+                                                   tuple(entries))
+            elif self._lookup_cache.get((kind, key)) == ("pending", pending):
+                # Membership changed mid-flight: don't install a stale row.
+                del self._lookup_cache[(kind, key)]
+            pending.succeed((owner_id, tuple(entries)))
+            while len(self._lookup_cache) > cache_size:
+                self._lookup_cache.popitem(last=False)
         return PatternInfo(pattern, kind, key, owner_id, tuple(entries), hops, condition)
 
     # ------------------------------------------------------------ finishing
@@ -266,8 +341,11 @@ class ExecutionContext:
             if handle.site == self.initiator:
                 data = self.initiator_peer.mailbox.pop(handle.corr, set())
                 return data
-            data = yield self.call(handle.site, "fetch", {"corr": handle.corr})
-            return set(data)
+            payload: Dict[str, Any] = {"corr": handle.corr}
+            if self.options.dictionary_encoding:
+                payload["encode"] = True
+            data = yield self.call(handle.site, "fetch", payload)
+            return as_solution_set(data)
         finally:
             span.close()
 
@@ -285,7 +363,8 @@ def exec_algebra(ctx: ExecutionContext, node: Algebra, at_home: bool = False):
 
     if isinstance(node, BGP):
         if not node.patterns:
-            return ctx.local_deposit(ctx.new_corr(), {EMPTY_MAPPING})
+            return ctx.local_deposit(ctx.new_corr(), {EMPTY_MAPPING},
+                                     vars=frozenset())
         if len(node.patterns) == 1:
             return (yield from primitive.exec_primitive(
                 ctx, node.patterns[0], None, at_home=at_home))
@@ -383,6 +462,8 @@ class DistributedExecutor:
         if self.options.optimize:
             algebra = optimize_algebra(algebra, estimate=None, reorder=False)
             report.merge_note("optimized")
+        if self.options.projection_pushdown:
+            ctx.live_vars = compute_live_vars(query, algebra)
 
         checkpoint = self.system.stats.checkpoint()
         t0 = self.sim_now()
@@ -490,6 +571,10 @@ class DistributedExecutor:
         primitive distributed queries."""
         from .primitive import exec_primitive
 
+        # The follow-up primitives bind fresh variables (__dp/__do) that
+        # the main plan's keep-set knows nothing about — pruning them
+        # would erase the descriptions.
+        ctx.live_vars = None
         targets = []
         for subject in query.subjects:
             if isinstance(subject, IRI):

@@ -5,18 +5,38 @@ Given two materialized intermediate results (mailbox handles), decide
 what must move, and run the combine operation at the chosen site. This is
 the distributed-database machinery the paper imports into SPARQL
 processing.
+
+This module is also the choke point for the transmission-minimizing
+shipping optimizations (all off by default, toggled per-technique via
+:class:`~repro.query.strategies.ExecutionOptions`):
+
+* **projection pushdown** — every ship projects the moving rows onto the
+  plan's live variables (``ctx.live_vars``, or a tighter per-edge set
+  passed by the caller);
+* **semijoin pre-filtering** — before a join/leftjoin operand moves, the
+  resident side's digest (:class:`~repro.net.wire.JoinDigest`) is fetched
+  and shipped to the holder, which drops rows that cannot join. The
+  digest round-trip and its embeds are charged to
+  ``report.digest_bytes`` — the technique's exact overhead bound;
+* **dictionary encoding** — moving rows travel as
+  :class:`~repro.net.wire.SolutionBatch` payloads.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from ..net.sizes import HEADER_BYTES, size_of
+from ..net.wire import JoinDigest, encode_solutions
 from ..sparql import ast
 from ..trace.tracer import PHASE_JOIN, PHASE_SHIP
-from .plan import ResultHandle
+from .plan import ResultHandle, combine_vars
 from .strategies import JoinSitePolicy
 
-__all__ = ["pick_join_site", "combine_handles", "ship_handle"]
+__all__ = ["pick_join_site", "combine_handles", "ship_handle", "fetch_digest",
+           "digest_embed_cost"]
+
+_PER_ITEM_OVERHEAD = 2
 
 
 def pick_join_site(ctx, left: ResultHandle, right: ResultHandle) -> str:
@@ -44,34 +64,122 @@ def pick_join_site(ctx, left: ResultHandle, right: ResultHandle) -> str:
     raise ValueError(f"unknown join-site policy {policy!r}")
 
 
-def ship_handle(ctx, handle: ResultHandle, site: str):
+def digest_embed_cost(digest: JoinDigest) -> int:
+    """Extra bytes one payload grows by when a digest rides inside it."""
+    return size_of("digest") + size_of(digest) + _PER_ITEM_OVERHEAD
+
+
+def fetch_digest(ctx, handle: ResultHandle, shared_vars):
+    """Generator: fetch a semijoin digest over *handle*'s join-key values.
+
+    Returns the digest, or None when pruning with it would be unsound
+    (some resident row does not bind every key variable). The round
+    trip's full cost — request, payload, and digest reply — is charged to
+    ``report.digest_bytes``; a local build at the initiator is free, like
+    every other local mailbox operation.
+    """
+    opts = ctx.options
+    payload = {
+        "corr": handle.corr,
+        "vars": sorted(shared_vars, key=lambda v: v.name),
+        "exact_threshold": opts.semijoin_exact_threshold,
+        "bloom_bits": opts.semijoin_bloom_bits,
+    }
+    span = ctx.tracer.span("digest", phase=PHASE_SHIP,
+                           site=handle.site, corr=handle.corr)
+    try:
+        if handle.site == ctx.initiator:
+            digest = ctx.initiator_peer.rpc_digest(payload, ctx.initiator)
+        else:
+            digest = yield ctx.call(handle.site, "digest", payload)
+            ctx.report.digest_bytes += (
+                2 * HEADER_BYTES + size_of("digest") + size_of(payload)
+                + size_of(digest)
+            )
+    finally:
+        span.close()
+    return digest if digest.prunable else None
+
+
+def _projection_for(ctx, handle: ResultHandle, live):
+    """The keep-list for shipping *handle*, or None when projection is a
+    no-op (pushdown off, vars unknown, or nothing to drop)."""
+    if live is None:
+        live = ctx.live_vars
+    if live is None or handle.vars is None:
+        return None
+    kept = [v for v in handle.vars if v in live]
+    if len(kept) == len(handle.vars):
+        return None
+    return sorted(kept, key=lambda v: v.name)
+
+
+def ship_handle(ctx, handle: ResultHandle, site: str, live=None,
+                digest: Optional[JoinDigest] = None):
     """Generator: move *handle*'s data into *site*'s mailbox.
 
     No-op when already there. Shipping from the initiator is a plain
     one-way deliver; shipping between two remote sites is a small control
     message to the holder followed by its one-way transfer (the
     "data shipping" of Fig. 3), acknowledged to the initiator.
+
+    *live* (optional) overrides ``ctx.live_vars`` as the projection
+    target; *digest* (optional) pre-filters the moving rows.
     """
     if handle.site == site:
         return handle
+    opts = ctx.options
+    keep = _projection_for(ctx, handle, live)
+    shipped_vars = frozenset(keep) if keep is not None else handle.vars
     span = ctx.tracer.span("ship", phase=PHASE_SHIP,
                            src=handle.site, dst=site, corr=handle.corr)
     try:
         if handle.site == ctx.initiator:
             data = ctx.initiator_peer.mailbox.pop(handle.corr, set())
+            if digest is not None:
+                kept_rows = digest.filter(data)
+                ctx.report.rows_pruned += len(data) - len(kept_rows)
+                data = kept_rows
+            if keep is not None:
+                data = {mu.project(keep) for mu in data}
             corr = handle.corr
-            yield ctx.call(site, "deliver", {"corr": corr, "data": sorted(data, key=_key)})
-            return ResultHandle(site, corr, len(data))
-        count = yield ctx.call(
-            handle.site,
-            "ship",
-            {"corr": handle.corr, "dst": site, "dst_corr": handle.corr,
-             "notify": ctx.initiator},
-        )
+            yield ctx.call(site, "deliver", {
+                "corr": corr,
+                "data": encode_solutions(data, opts.dictionary_encoding),
+            })
+            return ResultHandle(site, corr, len(data), shipped_vars)
+        payload = {"corr": handle.corr, "dst": site, "dst_corr": handle.corr,
+                   "notify": ctx.initiator}
+        if keep is not None:
+            payload["project"] = keep
+        if digest is not None:
+            payload["digest"] = digest
+            ctx.report.digest_bytes += digest_embed_cost(digest)
+        if opts.dictionary_encoding:
+            payload["encode"] = True
+        ack = yield ctx.call(handle.site, "ship", payload)
+        if isinstance(ack, dict):
+            count = ack["count"]
+            ctx.report.rows_pruned += ack.get("pruned", 0)
+        else:
+            count = ack
         yield from ctx.wait_delivery(handle.corr, site=site)
-        return ResultHandle(site, handle.corr, count)
+        return ResultHandle(site, handle.corr, count, shipped_vars)
     finally:
         span.close()
+
+
+def _digest_may_prune(op: str, role: str) -> bool:
+    """May the *role* operand of *op* be semijoin-pruned?
+
+    Join is symmetric: either side. LeftJoin keeps every unmatched left
+    row, so only the right operand may be filtered (a right row whose
+    join keys match no left row can neither extend a left row nor make
+    one incompatible). Union and minus ship everything.
+    """
+    if op == "join":
+        return True
+    return op == "leftjoin" and role == "right"
 
 
 def combine_handles(
@@ -81,19 +189,50 @@ def combine_handles(
     right: ResultHandle,
     condition: Optional[ast.Expression] = None,
     site: Optional[str] = None,
+    live=None,
 ):
     """Generator: bring both operands to one site and combine them there.
 
     Returns the ResultHandle of the combined result. ``op`` is one of
     join / union / leftjoin / minus (the operations on solution-mapping
-    sets of Sect. IV-A).
+    sets of Sect. IV-A). With the semijoin option on, the operand that is
+    (or arrives) resident at the join site digests its join keys so the
+    other side can shed non-joining rows before it moves.
     """
     if site is None:
         site = pick_join_site(ctx, left, right)
     span = ctx.tracer.span("combine", phase=PHASE_JOIN, op=op, site=site)
     try:
-        left = yield from ship_handle(ctx, left, site)
-        right = yield from ship_handle(ctx, right, site)
+        opts = ctx.options
+        order = [("left", left), ("right", right)]
+        use_semijoin = opts.semijoin and op in ("join", "leftjoin")
+        if use_semijoin:
+            # Land an anchor first — prefer the operand already at the
+            # site (free), else the smaller one — so its digest can
+            # pre-filter the other side's transfer.
+            order.sort(key=lambda item: (
+                0 if item[1].site == site else 1, item[1].count, item[0]))
+        first_role, first = order[0]
+        second_role, second = order[1]
+
+        first = yield from ship_handle(ctx, first, site, live=live)
+        digest = None
+        if (
+            use_semijoin
+            and _digest_may_prune(op, second_role)
+            and second.site != site
+            and second.count >= opts.semijoin_min_rows
+            and first.vars is not None
+            and second.vars is not None
+        ):
+            shared = first.vars & second.vars
+            if shared:
+                digest = yield from fetch_digest(ctx, first, shared)
+        second = yield from ship_handle(ctx, second, site, live=live,
+                                        digest=digest)
+
+        left, right = ((first, second) if first_role == "left"
+                       else (second, first))
         out_corr = ctx.new_corr()
         ctx.load[site] += 1
         payload = {
@@ -107,10 +246,7 @@ def combine_handles(
             summary = ctx.initiator_peer.rpc_combine(payload, ctx.initiator)
         else:
             summary = yield ctx.call(site, "combine", payload)
-        return ResultHandle(site, out_corr, summary["count"])
+        return ResultHandle(site, out_corr, summary["count"],
+                            combine_vars(op, left.vars, right.vars))
     finally:
         span.close()
-
-
-def _key(mu):
-    return tuple((v.name, t.n3()) for v, t in mu.items())

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..net.transport import RpcError
+from ..net.wire import DICT_WIRE_SCALE, as_solution_set
 from ..rdf.triple import TriplePattern
 from ..sparql import ast
 from ..sparql.algebra import BGP, Filter
@@ -74,31 +75,44 @@ def exec_pattern_to_site(ctx, info: PatternInfo, site: str):
     from .executor import DeliveryTimeout  # local import: avoid cycle
 
     corr = ctx.new_corr()
+    pattern_vars = frozenset(info.pattern.variables())
+    keep = ctx.keep_vars(pattern_vars)
+    result_vars = frozenset(keep) if keep is not None else pattern_vars
     if not info.entries:
         if site == ctx.initiator:
-            return ctx.local_deposit(corr, set())
+            return ctx.local_deposit(corr, set(), vars=result_vars)
         # Install an empty box remotely so downstream combines find it.
         yield ctx.call(site, "deliver", {"corr": corr, "data": []})
-        return ResultHandle(site, corr, 0)
+        return ResultHandle(site, corr, 0, result_vars)
 
     algebra = subquery_algebra(info)
     strategy = ctx.options.primitive_strategy
+    encode = ctx.options.dictionary_encoding
 
     if strategy is PrimitiveStrategy.ADAPTIVE:
         # Sect. V future work: pick per sub-query from the frequency
-        # statistics, under the executor's objective mixture.
+        # statistics, under the executor's objective mixture. The wire
+        # scale folds the active shipping optimizations into the model's
+        # per-solution byte prior, so the choice sees the real costs.
         from .adaptive import choose_strategy
 
+        wire_scale = 1.0
+        if encode:
+            wire_scale *= DICT_WIRE_SCALE
+        if keep is not None and pattern_vars:
+            wire_scale *= max(len(keep), 1) / len(pattern_vars)
         strategy, _costs = choose_strategy(
             info.entries,
             ctx.network.link,
             ctx.options.time_weight,
             ctx.options.dedup_prior,
+            wire_scale=wire_scale,
         )
         ctx.report.merge_note(f"adaptive -> {strategy.value} ({corr})")
 
     if strategy is PrimitiveStrategy.BASIC:
-        return (yield from _basic(ctx, info, algebra, site, corr))
+        return (yield from _basic(ctx, info, algebra, site, corr,
+                                  keep=keep, result_vars=result_vars))
 
     payload = {
         "algebra": algebra,
@@ -109,14 +123,19 @@ def exec_pattern_to_site(ctx, info: PatternInfo, site: str):
         "corr": corr,
         "notify": ctx.initiator,
     }
+    if keep is not None:
+        payload["project"] = keep
+    if encode:
+        payload["encode"] = True
     ack = yield ctx.call(info.owner, "execute_primitive", payload)
     if ack["mode"] == "direct":
         # Empty route: no providers left; materialize the empty result.
         ctx.unexpect(corr)
+        data = as_solution_set(ack["data"])
         if site == ctx.initiator:
-            return ctx.local_deposit(corr, set(ack["data"]))
+            return ctx.local_deposit(corr, data, vars=result_vars)
         yield ctx.call(site, "deliver", {"corr": corr, "data": ack["data"]})
-        return ResultHandle(site, corr, len(ack["data"]))
+        return ResultHandle(site, corr, len(data), result_vars)
     try:
         count = yield from ctx.wait_delivery(corr, site=site)
     except DeliveryTimeout:
@@ -125,11 +144,13 @@ def exec_pattern_to_site(ctx, info: PatternInfo, site: str):
         ctx.report.retries += 1
         ctx.report.merge_note(f"chain fallback for {corr}")
         corr = ctx.new_corr()
-        return (yield from _basic(ctx, info, algebra, site, corr))
-    return ResultHandle(site, corr, count)
+        return (yield from _basic(ctx, info, algebra, site, corr,
+                                  keep=keep, result_vars=result_vars))
+    return ResultHandle(site, corr, count, result_vars)
 
 
-def _basic(ctx, info: PatternInfo, algebra, site: str, corr: str):
+def _basic(ctx, info: PatternInfo, algebra, site: str, corr: str,
+           keep=None, result_vars=None):
     payload = {
         "algebra": algebra,
         "key": info.key,
@@ -139,6 +160,10 @@ def _basic(ctx, info: PatternInfo, algebra, site: str, corr: str):
         # finishes inside our own call deadline below.
         "storage_timeout": ctx.options.delivery_timeout,
     }
+    if keep is not None:
+        payload["project"] = keep
+    if ctx.options.dictionary_encoding:
+        payload["encode"] = True
     if site != ctx.initiator:
         payload["final"] = site
         payload["notify"] = ctx.initiator
@@ -146,12 +171,14 @@ def _basic(ctx, info: PatternInfo, algebra, site: str, corr: str):
                              timeout=ctx.options.delivery_timeout * 4)
         if ack["mode"] == "direct":
             yield ctx.call(site, "deliver", {"corr": corr, "data": ack["data"]})
-            return ResultHandle(site, corr, len(ack["data"]))
+            return ResultHandle(site, corr, len(as_solution_set(ack["data"])),
+                                result_vars)
         yield from ctx.wait_delivery(corr, site=site)
-        return ResultHandle(site, corr, ack["count"])
+        return ResultHandle(site, corr, ack["count"], result_vars)
     response = yield ctx.call(info.owner, "execute_primitive", payload,
                               timeout=ctx.options.delivery_timeout * 4)
-    return ctx.local_deposit(corr, set(response["data"]))
+    return ctx.local_deposit(corr, as_solution_set(response["data"]),
+                             vars=result_vars)
 
 
 # --------------------------------------------------------------- broadcast

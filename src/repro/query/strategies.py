@@ -94,3 +94,30 @@ class ExecutionOptions:
     #: Prior on cross-provider duplication for the adaptive cost model
     #: (expected |union| / Σ|local results|; 1.0 = no duplication).
     dedup_prior: float = 1.0
+
+    # --- transmission-minimizing shipping optimizations ------------------
+    # Each technique is independently toggleable so benchmarks can
+    # attribute savings; all default off, keeping the paper-faithful wire
+    # behaviour byte-identical to previous releases.
+
+    #: Semijoin pre-filtering: before a join operand ships, the receiver
+    #: sends a digest of its join-key values (exact set or Bloom filter)
+    #: and the sender drops rows that cannot join.
+    semijoin: bool = False
+    #: Projection pushdown: prune variables that no downstream operator,
+    #: filter, or output needs before every ship.
+    projection_pushdown: bool = False
+    #: Dictionary-delta wire encoding (:class:`repro.net.wire.SolutionBatch`)
+    #: for every shipped solution set.
+    dictionary_encoding: bool = False
+    #: Digest mode switch: at most this many distinct join keys ship as an
+    #: exact key set; above it, a counting-free Bloom filter.
+    semijoin_exact_threshold: int = 64
+    #: Bloom digest density (bits per key).
+    semijoin_bloom_bits: int = 10
+    #: Skip the digest round-trip when the candidate operand has fewer
+    #: rows than this (the digest would cost more than it saves).
+    semijoin_min_rows: int = 4
+    #: Per-query LRU cache of index lookups (0 disables). Invalidated on
+    #: membership churn; hit/miss counts land in the ExecutionReport.
+    lookup_cache_size: int = 128

@@ -77,6 +77,7 @@ _METHOD_PHASES: Dict[str, str] = {
     "deliver": PHASE_SHIP,
     "delivered": PHASE_SHIP,
     "ship": PHASE_SHIP,
+    "digest": PHASE_SHIP,
     # Combining at the join site.
     "combine": PHASE_JOIN,
     "filter_box": PHASE_JOIN,

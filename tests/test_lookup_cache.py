@@ -1,0 +1,107 @@
+"""Per-query LRU caching of two-level index consultations."""
+
+from collections import Counter
+
+from repro.net.sizes import HEADER_BYTES
+from repro.query import DistributedExecutor
+from repro.query.executor import ExecutionContext, ExecutionReport
+from repro.rdf import Variable
+from repro.rdf.namespaces import FOAF
+from repro.rdf.triple import TriplePattern
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+#: Both patterns key the index by the same predicate, so one query
+#: consults the same location-table row twice.
+REPEAT_QUERY = """SELECT ?x ?z WHERE {
+    ?x foaf:knows ?y . ?y foaf:knows ?z . }"""
+
+
+def make_ctx(system, initiator="D1", **options):
+    executor = DistributedExecutor(system, **options)
+    return ExecutionContext(
+        system, initiator, executor.options, ExecutionReport(), executor.load
+    )
+
+
+def locate(system, ctx, pattern):
+    def proc():
+        return (yield from ctx.locate(pattern, None))
+
+    return system.sim.run_process(proc())
+
+
+class TestWithinQuery:
+    def test_repeated_pattern_hits(self, paper_system):
+        executor = DistributedExecutor(paper_system)
+        _, report = executor.execute(REPEAT_QUERY, initiator="D1")
+        assert report.lookup_cache_hits >= 1
+        assert report.lookup_cache_misses >= 1
+
+    def test_disabled_cache_counts_nothing(self, paper_system):
+        executor = DistributedExecutor(paper_system, lookup_cache_size=0)
+        _, report = executor.execute(REPEAT_QUERY, initiator="D1")
+        assert report.lookup_cache_hits == 0
+        assert report.lookup_cache_misses == 0
+
+    def test_results_identical_with_and_without(self, paper_system):
+        on = DistributedExecutor(paper_system)
+        off = DistributedExecutor(paper_system, lookup_cache_size=0)
+        r_on, rep_on = on.execute(REPEAT_QUERY, initiator="D1")
+        r_off, rep_off = off.execute(REPEAT_QUERY, initiator="D1")
+        assert set(map(str, r_on.rows)) == set(map(str, r_off.rows))
+        # A hit saves at least one round trip's envelope bytes.
+        assert rep_on.bytes_total < rep_off.bytes_total
+        assert rep_off.bytes_total - rep_on.bytes_total >= 2 * HEADER_BYTES
+
+    def test_cached_locate_returns_same_entries(self, paper_system):
+        ctx = make_ctx(paper_system)
+        pattern = TriplePattern(X, FOAF.knows, Y)
+        first = locate(paper_system, ctx, pattern)
+        second = locate(paper_system, ctx, pattern)
+        assert [e.storage_id for e in first.entries] == \
+               [e.storage_id for e in second.entries]
+        assert ctx.report.lookup_cache_hits == 1
+        assert ctx.report.lookup_cache_misses == 1
+
+
+class TestInvalidation:
+    def test_membership_epoch_tracks_churn(self, paper_system):
+        net = paper_system.network
+        before = net.membership_epoch
+        net.fail_node("D2")
+        assert net.membership_epoch == before + 1
+        net.recover_node("D2")
+        assert net.membership_epoch == before + 2
+
+    def test_churn_clears_the_cache(self, paper_system):
+        ctx = make_ctx(paper_system)
+        pattern = TriplePattern(X, FOAF.knows, Y)
+        locate(paper_system, ctx, pattern)
+        paper_system.network.fail_node("D4")
+        try:
+            locate(paper_system, ctx, pattern)
+        finally:
+            paper_system.network.recover_node("D4")
+        assert ctx.report.lookup_cache_hits == 0
+        assert ctx.report.lookup_cache_misses == 2
+
+    def test_lru_evicts_oldest(self, paper_system):
+        ctx = make_ctx(paper_system, lookup_cache_size=1)
+        knows = TriplePattern(X, FOAF.knows, Y)
+        name = TriplePattern(X, FOAF.name, Z)
+        locate(paper_system, ctx, knows)
+        locate(paper_system, ctx, name)   # evicts knows
+        locate(paper_system, ctx, knows)  # miss again
+        assert ctx.report.lookup_cache_hits == 0
+        assert ctx.report.lookup_cache_misses == 3
+
+    def test_capacity_two_keeps_both(self, paper_system):
+        ctx = make_ctx(paper_system, lookup_cache_size=2)
+        knows = TriplePattern(X, FOAF.knows, Y)
+        name = TriplePattern(X, FOAF.name, Z)
+        locate(paper_system, ctx, knows)
+        locate(paper_system, ctx, name)
+        locate(paper_system, ctx, knows)
+        assert ctx.report.lookup_cache_hits == 1
+        assert ctx.report.lookup_cache_misses == 2

@@ -107,3 +107,62 @@ class TestSharedSite:
     def test_empty(self):
         assert choose_shared_site([]) is None
         assert choose_shared_site([info(TriplePattern(X, FOAF.knows, Z), [])]) is None
+
+
+class TestLiveVars:
+    """The projection-pushdown analysis (PR 2): which variables must
+    survive every ship."""
+
+    @staticmethod
+    def live(text):
+        from repro.query.plan import compute_live_vars
+        from repro.sparql import translate_pattern
+
+        query = parse_query(text, COMMON_PREFIXES)
+        return compute_live_vars(query, translate_pattern(query.where))
+
+    def test_plain_select_disables_pruning(self):
+        # Non-DISTINCT SELECT preserves duplicate projected rows; dropping
+        # any variable could merge rows, so the pass refuses.
+        assert self.live(
+            "SELECT ?n WHERE { ?x foaf:knows ?y . ?y foaf:name ?n . }"
+        ) is None
+
+    def test_distinct_keeps_output_and_join_vars_only(self):
+        live = self.live("""SELECT DISTINCT ?n WHERE {
+            ?x foaf:knows ?y . ?y foaf:knows ?z . ?z foaf:name ?n . }""")
+        assert live == {Variable("n"), Variable("y"), Variable("z")}
+        assert Variable("x") not in live
+
+    def test_filter_vars_are_live(self):
+        live = self.live("""SELECT DISTINCT ?x WHERE {
+            ?x foaf:name ?name . FILTER regex(?name, "Smith") }""")
+        assert Variable("name") in live
+
+    def test_order_by_vars_are_live(self):
+        live = self.live("""SELECT DISTINCT ?y WHERE {
+            ?x foaf:knows ?y . } ORDER BY ?x""")
+        assert Variable("x") in live
+
+    def test_ask_keeps_only_structural_vars(self):
+        live = self.live(
+            "ASK { ?x foaf:knows ?y . ?y foaf:name ?n . }"
+        )
+        assert live == {Variable("y")}
+
+    def test_select_star_keeps_everything(self):
+        live = self.live(
+            "SELECT DISTINCT * WHERE { ?x foaf:knows ?y . }"
+        )
+        assert live == {Variable("x"), Variable("y")}
+
+    def test_combine_vars_table(self):
+        from repro.query.plan import combine_vars
+
+        l, r = frozenset({X, Y}), frozenset({Y, Z})
+        assert combine_vars("join", l, r) == l | r
+        assert combine_vars("union", l, r) == l & r
+        assert combine_vars("leftjoin", l, r) == l
+        assert combine_vars("minus", l, r) == l
+        assert combine_vars("join", None, r) is None
+        assert combine_vars("union", l, None) is None
