@@ -1,0 +1,223 @@
+"""E15 — Concurrent query processing under contention (PR 3).
+
+Closed-loop multiprogramming sweep (1/4/16/64 concurrent clients) over
+two workloads — the E2 controlled-overlap conjunction mix and an
+E7-style synthetic FOAF mix — with the network contention model
+attached, with and without the PR 2 shipping optimizations.
+
+Claims under test:
+
+* **Correctness is concurrency-invariant**: every job at every
+  multiprogramming level returns solutions bit-identical to a serial
+  execution of the same query.
+* **Concurrency = 1 is the serial engine**: the first job of the
+  single-client workload reports the exact response time and message
+  count of a direct ``execute`` on a fresh system, contention attached.
+* **Contention is real**: on the E2 mix, p95 latency at 64 clients
+  strictly exceeds the single-client p95 — concurrent queries queue for
+  node bandwidth and compute instead of enjoying infinite parallelism.
+* **Shipping helps under load**: the PR 2 optimizations still reduce
+  total bytes at every multiprogramming level.
+
+Writes ``BENCH_PR3_concurrency.json`` next to this file for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter
+
+from repro.metrics import render_table
+from repro.net import ContentionModel
+from repro.query import DistributedExecutor, ExecutionOptions
+from repro.workloads import (
+    FoafConfig,
+    LoadConfig,
+    generate_foaf_triples,
+    partition_triples,
+    run_workload,
+)
+
+from conftest import build_system, emit, run_once
+from test_e2_conjunction import QUERY as E2_QUERY, parts_with_overlap
+from test_e14_shipping import E2_DISTINCT_QUERY
+
+JSON_PATH = pathlib.Path(__file__).parent / "BENCH_PR3_concurrency.json"
+
+LEVELS = (1, 4, 16, 64)
+NUM_QUERIES = 64
+
+CONFIGS = {
+    "plain": {},
+    "shipping": {"semijoin": True, "projection_pushdown": True,
+                 "dictionary_encoding": True},
+}
+
+FOAF_PATH_QUERY = """SELECT DISTINCT ?k WHERE {
+  ?x foaf:knows ?y .
+  ?y foaf:nick ?k .
+}"""
+FOAF_KNOWS_QUERY = "SELECT ?x ?y WHERE { ?x foaf:knows ?y . }"
+
+
+def _foaf_parts():
+    triples = generate_foaf_triples(
+        FoafConfig(num_people=100, knows_per_person=3, nick_fraction=0.3,
+                   seed=11))
+    return partition_triples(triples, 6, overlap=0.2, seed=12)
+
+
+WORKLOADS = {
+    "e2": (lambda: parts_with_overlap(1),
+           [("e2", E2_QUERY), ("e2-distinct", E2_DISTINCT_QUERY)]),
+    "foaf": (_foaf_parts,
+             [("path", FOAF_PATH_QUERY), ("knows", FOAF_KNOWS_QUERY)]),
+}
+
+
+def canon(result):
+    return Counter(
+        tuple(sorted((v.name, t.n3()) for v, t in mu.items()))
+        for mu in result.rows
+    )
+
+
+def fresh_system(parts):
+    system = build_system(num_index=16, parts=parts)
+    system.network.contention = ContentionModel()
+    return system
+
+
+def measure_cell(parts, mix, level, options):
+    system = fresh_system(parts)
+    config = LoadConfig(
+        queries=mix,
+        initiators=tuple(sorted(system.storage_nodes)),
+        mode="closed",
+        concurrency=level,
+        num_queries=NUM_QUERIES,
+        seed=15,
+    )
+    report = run_workload(system, config, options)
+    lat = report.latency
+    return {
+        "report": report,
+        "throughput": report.throughput,
+        "mean_ms": lat.mean * 1000,
+        "p50_ms": lat.p50 * 1000,
+        "p95_ms": lat.p95 * 1000,
+        "p99_ms": lat.p99 * 1000,
+        "duration_ms": report.duration * 1000,
+        "messages": report.messages,
+        "bytes_total": report.bytes_total,
+        "contention_wait_ms": report.contention["total_wait"] * 1000,
+        "max_queue_depth": report.contention["max_queue_depth"],
+    }
+
+
+def run_sweep():
+    results = {}
+    serial = {}
+    for wname, (mkparts, mix) in WORKLOADS.items():
+        parts = mkparts()
+        for cname, techniques in CONFIGS.items():
+            options = ExecutionOptions(**techniques)
+            # The serial oracle: each mix entry executed alone on a fresh
+            # contended system (single flow => zero queueing).
+            baselines = {}
+            for label, query in mix:
+                system = fresh_system(parts)
+                result, rep = DistributedExecutor(system, options).execute(
+                    query, initiator=sorted(system.storage_nodes)[0])
+                baselines[label] = {"canon": canon(result), "report": rep}
+            serial[(wname, cname)] = baselines
+            for level in LEVELS:
+                results[(wname, cname, level)] = measure_cell(
+                    parts, mix, level, options)
+    return results, serial
+
+
+def test_e15_concurrency(benchmark):
+    results, serial = run_once(benchmark, run_sweep)
+
+    rows = []
+    payload = {"levels": list(LEVELS), "num_queries": NUM_QUERIES,
+               "cells": []}
+    for (wname, cname, level), m in sorted(results.items()):
+        rows.append([
+            wname, cname, level, f"{m['throughput']:.1f}",
+            f"{m['p50_ms']:.1f}", f"{m['p95_ms']:.1f}",
+            f"{m['p99_ms']:.1f}", m["messages"], m["bytes_total"],
+            f"{m['contention_wait_ms']:.1f}", m["max_queue_depth"],
+        ])
+        payload["cells"].append({
+            "workload": wname, "config": cname, "concurrency": level,
+            "throughput_qps": round(m["throughput"], 2),
+            "latency_ms": {
+                "mean": round(m["mean_ms"], 3),
+                "p50": round(m["p50_ms"], 3),
+                "p95": round(m["p95_ms"], 3),
+                "p99": round(m["p99_ms"], 3),
+            },
+            "duration_ms": round(m["duration_ms"], 3),
+            "messages": m["messages"],
+            "bytes_total": m["bytes_total"],
+            "contention_wait_ms": round(m["contention_wait_ms"], 3),
+            "max_queue_depth": m["max_queue_depth"],
+        })
+    emit(render_table(
+        ["workload", "config", "clients", "q/s", "p50_ms", "p95_ms",
+         "p99_ms", "messages", "bytes", "wait_ms", "depth"],
+        rows,
+        title=f"E15: closed-loop concurrency sweep, {NUM_QUERIES} queries "
+              "per cell, contention enabled",
+    ))
+
+    # 1. Solutions are concurrency-invariant: every completed job matches
+    # the serial oracle for its query, at every level and config.
+    for (wname, cname, level), m in results.items():
+        baselines = serial[(wname, cname)]
+        report = m["report"]
+        assert report.completed == NUM_QUERIES, (wname, cname, level)
+        assert report.failed == 0 and report.shed == 0
+        for job in report.jobs:
+            assert canon(job.result) == baselines[job.label]["canon"], \
+                (wname, cname, level, job.job_id)
+
+    # 2. A single-client workload IS the serial engine: its first job
+    # reports the exact serial response time and message count.
+    for wname in WORKLOADS:
+        for cname in CONFIGS:
+            first = results[(wname, cname, 1)]["report"].jobs[0]
+            oracle = serial[(wname, cname)][first.label]["report"]
+            assert first.report.response_time == oracle.response_time, \
+                (wname, cname)
+            assert first.report.messages == oracle.messages
+            assert first.report.bytes_total == oracle.bytes_total
+
+    # 3. The headline acceptance claim: 64-way concurrency has strictly
+    # worse tail latency than serial on the E2 mix — contention bites.
+    for cname in CONFIGS:
+        p95_serial = results[("e2", cname, 1)]["p95_ms"]
+        p95_loaded = results[("e2", cname, 64)]["p95_ms"]
+        assert p95_loaded > p95_serial, (cname, p95_serial, p95_loaded)
+        payload.setdefault("e2_p95_ratio", {})[cname] = round(
+            p95_loaded / p95_serial, 3)
+
+    # 4. Queueing actually happened at 64 clients.
+    for wname in WORKLOADS:
+        m = results[(wname, "plain", 64)]
+        assert m["max_queue_depth"] > 1
+        assert m["contention_wait_ms"] > 0
+
+    # 5. The shipping optimizations keep paying off under load.
+    for wname in WORKLOADS:
+        for level in LEVELS:
+            plain = results[(wname, "plain", level)]
+            shipped = results[(wname, "shipping", level)]
+            assert shipped["bytes_total"] < plain["bytes_total"], \
+                (wname, level)
+
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                         encoding="utf-8")

@@ -19,6 +19,13 @@ Examples::
 The ``trace`` subcommand executes the query with the tracer enabled and
 prints the Fig. 3-style message sequence diagram, the per-phase cost
 table, and (optionally) a JSONL event dump.
+
+The ``bench-load`` subcommand drives a multi-query workload (closed-loop
+fixed concurrency or open-loop Poisson arrivals) through one simulation
+and prints throughput, latency percentiles, and admission statistics::
+
+    python -m repro bench-load --data ./shared/*.nt \
+        --mode closed --concurrency 16 --num-queries 64 --contention
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ from .query.strategies import (
 )
 from .rdf.ntriples import parse_ntriples
 
-__all__ = ["main", "build_parser", "build_trace_parser"]
+__all__ = ["main", "build_parser", "build_trace_parser", "build_bench_load_parser"]
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -148,6 +155,127 @@ def build_trace_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_bench_load_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench-load",
+        description="Drive a multi-query workload through one simulation "
+                    "and report throughput, tail latency, and admission "
+                    "statistics.",
+    )
+    _add_common_options(parser)
+    parser.add_argument(
+        "--mode", choices=["closed", "open"], default="closed",
+        help="closed = fixed concurrency, open = Poisson arrivals "
+             "(default closed)",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=4,
+        help="closed-loop clients (default 4)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=50.0,
+        help="open-loop arrival rate, queries per simulated second "
+             "(default 50)",
+    )
+    parser.add_argument(
+        "--num-queries", type=int, default=32,
+        help="total jobs to submit (default 32)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload schedule seed (default 0)",
+    )
+    parser.add_argument(
+        "--max-in-flight", type=int, default=None, metavar="N",
+        help="admission control: max concurrently executing queries",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="bounded admission queue beyond --max-in-flight; "
+             "overflow is shed",
+    )
+    parser.add_argument(
+        "--no-contention", action="store_true",
+        help="disable the shared-resource contention model (bandwidth "
+             "and compute queue freely)",
+    )
+    parser.add_argument(
+        "--query", action="append", default=[], metavar="SPARQL",
+        help="replace the default Fig. 4-9 mix with these queries "
+             "(repeatable)",
+    )
+    return parser
+
+
+def _bench_load_main(argv: Sequence[str]) -> int:
+    from .net.contention import ContentionModel
+    from .workloads.load import LoadConfig, run_workload
+
+    args = build_bench_load_parser().parse_args(argv)
+    system = _load_system(args)
+    if not args.no_contention:
+        system.network.contention = ContentionModel()
+
+    kwargs = {}
+    if args.query:
+        kwargs["queries"] = [(f"q{i}", q) for i, q in enumerate(args.query)]
+    if args.initiator:
+        kwargs["initiators"] = [args.initiator]
+    config = LoadConfig(
+        mode=args.mode,
+        concurrency=args.concurrency,
+        arrival_rate=args.rate,
+        num_queries=args.num_queries,
+        seed=args.seed,
+        max_in_flight=args.max_in_flight,
+        queue_limit=args.queue_limit,
+        **kwargs,
+    )
+    report = run_workload(system, config, _build_options(args))
+
+    mix = ", ".join(f"{label}x{n}" for label, n in sorted(report.per_label().items()))
+    print(f"# mode={config.mode} jobs={len(report.jobs)} mix: {mix}")
+    print(
+        f"# completed={report.completed} failed={report.failed} "
+        f"shed={report.shed} deferred={report.deferred} "
+        f"peak_in_flight={report.peak_in_flight} "
+        f"max_queue={report.max_admission_queue}"
+    )
+    print(
+        f"# duration={report.duration * 1000:.1f} ms simulated, "
+        f"throughput={report.throughput:.1f} q/s, "
+        f"{report.messages} messages, {report.bytes_total} bytes"
+    )
+    if report.latency is not None:
+        lat = report.latency
+        print(
+            f"# latency ms: mean={lat.mean * 1000:.2f} "
+            f"p50={lat.p50 * 1000:.2f} p95={lat.p95 * 1000:.2f} "
+            f"p99={lat.p99 * 1000:.2f} max={lat.maximum * 1000:.2f}"
+        )
+    if report.contention:
+        print(
+            f"# contention: max_queue_depth="
+            f"{report.contention['max_queue_depth']} "
+            f"total_wait={report.contention['total_wait'] * 1000:.2f} ms"
+        )
+        hot = sorted(
+            report.contention["queues"].items(),
+            key=lambda kv: kv[1]["total_wait"],
+            reverse=True,
+        )[:5]
+        for name, stats in hot:
+            print(
+                f"#   {name}: depth<={stats['max_depth']} "
+                f"waits={stats['waits']} "
+                f"wait={stats['total_wait'] * 1000:.2f} ms"
+            )
+    failures = [j for j in report.jobs if j.error is not None and not j.shed]
+    for job in failures[:5]:
+        print(f"# failed job {job.job_id} ({job.label}): {job.error}")
+    return 0
+
+
 def _load_system(args: argparse.Namespace) -> HybridSystem:
     if not args.data:
         raise SystemExit("error: at least one --data file is required")
@@ -222,6 +350,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv)
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "bench-load":
+        return _bench_load_main(argv[1:])
     args = build_parser().parse_args(argv)
     system = _load_system(args)
     executor = DistributedExecutor(system, _build_options(args))

@@ -20,12 +20,23 @@ class Summary:
     minimum: float
     maximum: float
     p95: float
+    #: Order-statistic percentiles (nearest-rank). ``p50`` is the lower
+    #: middle order statistic, which differs from ``median`` (mean of the
+    #: two middle values) on even-length series.
+    p50: float = 0.0
+    p99: float = 0.0
 
     def __str__(self) -> str:  # pragma: no cover - presentation
         return (
             f"n={self.count} mean={self.mean:.3f} median={self.median:.3f} "
-            f"min={self.minimum:.3f} max={self.maximum:.3f} p95={self.p95:.3f}"
+            f"min={self.minimum:.3f} max={self.maximum:.3f} "
+            f"p50={self.p50:.3f} p95={self.p95:.3f} p99={self.p99:.3f}"
         )
+
+
+def _nearest_rank(data: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted series."""
+    return data[min(len(data) - 1, math.ceil(q * len(data)) - 1)]
 
 
 def summarize(values: Iterable[float]) -> Summary:
@@ -38,5 +49,7 @@ def summarize(values: Iterable[float]) -> Summary:
         median=median(data),
         minimum=data[0],
         maximum=data[-1],
-        p95=data[min(len(data) - 1, math.ceil(0.95 * len(data)) - 1)],
+        p95=_nearest_rank(data, 0.95),
+        p50=_nearest_rank(data, 0.50),
+        p99=_nearest_rank(data, 0.99),
     )

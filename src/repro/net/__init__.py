@@ -5,6 +5,7 @@ The multi-process (real OS processes) transport lives in
 it, to keep simulation imports light.
 """
 
+from .contention import ContentionModel, ResourceQueue
 from .sim import AllOf, AnyOf, Event, Process, SimError, Simulator, Timeout
 from .sizes import HEADER_BYTES, size_of
 from .stats import MessageRecord, NetworkStats
@@ -19,6 +20,8 @@ from .transport import (
 )
 
 __all__ = [
+    "ContentionModel",
+    "ResourceQueue",
     "Simulator",
     "Event",
     "Timeout",

@@ -1,0 +1,154 @@
+"""Shared-resource contention for the simulated network.
+
+The base :class:`~repro.net.transport.LinkModel` prices every message as
+``latency + bytes/bandwidth`` with infinite parallelism: a thousand
+concurrent transfers through one site cost the same as one. That is the
+right model for the paper's single-query experiments, but it cannot show
+interference between concurrent queries.
+
+This module adds a *capacity* model on top, kept strictly additive so the
+uncontended path stays byte-identical:
+
+* every node has an **egress** and an **ingress** resource whose service
+  time per message is the message's transfer time (``bytes/bandwidth``) —
+  the node's access link, shared by all in-flight transfers through it;
+* every node has a **compute** resource whose service time is the node's
+  ``compute_delay`` — the per-request local-processing queue.
+
+Transfers are grouped into **flows** (one flow per query).  Work of the
+same flow runs in parallel, exactly as before — a query never contends
+with itself, so a single running query observes zero waiting everywhere
+and reports the same response time, message count, and byte totals as a
+simulation without any contention model.  Work of *different* flows
+serializes FIFO through each resource: a message admitted while another
+flow occupies the resource waits until the earlier occupancy drains.
+
+The accounting is analytic (busy-until bookkeeping at admission time)
+rather than token-passing, which keeps the simulator's determinism: the
+wait depends only on admission order, which the event heap already makes
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+__all__ = ["ResourceQueue", "ContentionModel"]
+
+
+class ResourceQueue:
+    """A FIFO service queue shared by concurrent flows.
+
+    Occupancies are tracked per flow as absolute busy-until times.  Work
+    belonging to the flow that already occupies the queue is concurrent
+    (zero wait); work of other flows starts when every earlier foreign
+    occupancy has drained.
+    """
+
+    __slots__ = ("name", "_until", "max_depth", "total_wait", "waits", "admissions")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: flow -> absolute time its admitted work finishes.
+        self._until: Dict[Hashable, float] = {}
+        self.max_depth = 0
+        self.total_wait = 0.0
+        self.waits = 0
+        self.admissions = 0
+
+    def admit(self, flow: Hashable, at: float, duration: float) -> float:
+        """Admit *duration* seconds of work for *flow* at time *at*.
+
+        Returns the queueing wait (0.0 when the queue is idle or only
+        holds work of the same flow).
+        """
+        self.admissions += 1
+        stale = [g for g, t in self._until.items() if t <= at]
+        for g in stale:
+            del self._until[g]
+        start = at
+        for g, t in self._until.items():
+            if g != flow and t > start:
+                start = t
+        wait = start - at
+        if duration > 0.0:
+            finish = start + duration
+            prev = self._until.get(flow)
+            if prev is None or finish > prev:
+                self._until[flow] = finish
+            depth = len(self._until)
+            if depth > self.max_depth:
+                self.max_depth = depth
+        if wait > 0.0:
+            self.total_wait += wait
+            self.waits += 1
+        return wait
+
+    @property
+    def depth(self) -> int:
+        """Number of flows currently holding an occupancy (approximate:
+        drained entries are purged lazily on the next admission)."""
+        return len(self._until)
+
+
+class ContentionModel:
+    """Per-node ingress/egress/compute queues for a :class:`Network`.
+
+    Attach with ``network.contention = ContentionModel()``.  The
+    transport then asks this model for the extra queueing wait of every
+    message that carries a flow id; messages without a flow (setup
+    traffic, maintenance) bypass contention entirely and behave exactly
+    as in the uncontended model.
+    """
+
+    def __init__(self) -> None:
+        self._queues: Dict[Tuple[str, str], ResourceQueue] = {}
+
+    def _queue(self, kind: str, node_id: str) -> ResourceQueue:
+        key = (kind, node_id)
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = self._queues[key] = ResourceQueue(f"{kind}:{node_id}")
+        return queue
+
+    # ------------------------------------------------------------- admission
+
+    def transfer_wait(self, src: str, dst: str, flow: Optional[Hashable],
+                      at: float, transfer: float) -> float:
+        """Queueing wait for a transfer of *transfer* seconds from *src*
+        to *dst*: the message serializes through the sender's egress and
+        the receiver's ingress resources."""
+        if flow is None:
+            return 0.0
+        wait = self._queue("out", src).admit(flow, at, transfer)
+        wait += self._queue("in", dst).admit(flow, at + wait, transfer)
+        return wait
+
+    def compute_wait(self, node_id: str, flow: Optional[Hashable],
+                     at: float, service: float) -> float:
+        """Queueing wait for *service* seconds of local processing at
+        *node_id* (the node's ``compute_delay``)."""
+        if flow is None:
+            return 0.0
+        return self._queue("cpu", node_id).admit(flow, at, service)
+
+    # ------------------------------------------------------------ reporting
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate queue statistics (for workload reports)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for (kind, node_id), queue in sorted(self._queues.items()):
+            if queue.max_depth <= 1 and queue.waits == 0:
+                continue
+            out[f"{kind}:{node_id}"] = {
+                "max_depth": queue.max_depth,
+                "waits": queue.waits,
+                "total_wait": queue.total_wait,
+            }
+        return out
+
+    def max_queue_depth(self) -> int:
+        return max((q.max_depth for q in self._queues.values()), default=0)
+
+    def total_wait(self) -> float:
+        return sum(q.total_wait for q in self._queues.values())

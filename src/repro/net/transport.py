@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Generator, Optional
 
 from ..trace.tracer import phase_for_method
+from .contention import ContentionModel
 from .sim import Event, Simulator, Timeout
 from .sizes import HEADER_BYTES, size_of
 from .stats import NetworkStats
@@ -97,9 +98,12 @@ class Node:
 
     # Convenience for handler code -------------------------------------------
 
-    def call(self, dst: str, method: str, payload: Any = None, timeout: Optional[float] = None) -> Event:
+    def call(self, dst: str, method: str, payload: Any = None,
+             timeout: Optional[float] = None,
+             flow: Optional[str] = None) -> Event:
         assert self.network is not None
-        return self.network.call(self.node_id, dst, method, payload, timeout)
+        return self.network.call(self.node_id, dst, method, payload, timeout,
+                                 flow=flow)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "up" if self.alive else "down"
@@ -124,6 +128,28 @@ class Network:
         #: Bumped on every membership change (join/leave/crash/recovery);
         #: cheap staleness check for caches of lookup results.
         self.membership_epoch = 0
+        #: Optional shared-resource capacity model (see
+        #: :mod:`repro.net.contention`).  ``None`` — the default — keeps
+        #: the classic infinite-parallelism link model; assign a
+        #: :class:`~repro.net.contention.ContentionModel` to make
+        #: concurrent flows queue for node ingress/egress bandwidth and
+        #: compute.  Messages without a flow id bypass the model either
+        #: way, so single-query runs are byte-identical in both settings.
+        self.contention: Optional[ContentionModel] = None
+
+    @staticmethod
+    def _sniff_flow(payload: Any) -> Optional[str]:
+        """Derive a flow id from a payload's correlation id, if any.
+
+        Correlation ids are minted as ``<query-id>#<seq>``, so the prefix
+        identifies the owning query — the flow every message of that
+        query contends as.
+        """
+        if isinstance(payload, dict):
+            corr = payload.get("corr")
+            if isinstance(corr, str):
+                return corr.rsplit("#", 1)[0]
+        return None
 
     # ----------------------------------------------------------- membership
 
@@ -163,16 +189,22 @@ class Network:
         method: str,
         payload: Any = None,
         timeout: Optional[float] = None,
+        flow: Optional[str] = None,
     ) -> Event:
         """Invoke ``rpc_<method>`` on *dst*, returning an Event.
 
         The event succeeds with the handler's return value, or fails with
         :class:`RpcTimeout` / :class:`RemoteError`. Both the request and
-        the response are charged to the traffic stats.
+        the response are charged to the traffic stats. *flow* names the
+        query this message belongs to for the contention model (sniffed
+        from the payload's correlation id when omitted); the reply
+        inherits the request's flow.
         """
         result = self.sim.event()
         deadline = timeout if timeout is not None else self.default_timeout
-        state: dict = {"done": False}
+        if flow is None:
+            flow = self._sniff_flow(payload)
+        state: dict = {"done": False, "flow": flow}
 
         def expire(_event: Event) -> None:
             if not state["done"]:
@@ -198,6 +230,11 @@ class Network:
             return result
 
         delay = self.link.delay(request_bytes)
+        if self.contention is not None:
+            delay += self.contention.transfer_wait(
+                src, dst, flow, self.sim.now,
+                request_bytes / self.link.bandwidth,
+            )
         self.stats.record(self.sim.now, src, dst, method, request_bytes)
         tracer = self.sim.tracer
         if tracer.enabled:
@@ -208,7 +245,8 @@ class Network:
         )
         return result
 
-    def send(self, src: str, dst: str, method: str, payload: Any = None) -> None:
+    def send(self, src: str, dst: str, method: str, payload: Any = None,
+             flow: Optional[str] = None) -> None:
         """One-way (unacknowledged) message — used for sub-query shipping
         along storage-node chains, where the paper's optimized strategies
         deliberately avoid response traffic. Dropped silently when the
@@ -217,6 +255,12 @@ class Network:
         if dst not in self.nodes:
             return
         delay = self.link.delay(nbytes)
+        if self.contention is not None:
+            if flow is None:
+                flow = self._sniff_flow(payload)
+            delay += self.contention.transfer_wait(
+                src, dst, flow, self.sim.now, nbytes / self.link.bandwidth
+            )
         self.stats.record(self.sim.now, src, dst, method, nbytes)
         tracer = self.sim.tracer
         if tracer.enabled:
@@ -297,6 +341,16 @@ class Network:
         response_bytes = HEADER_BYTES + size_of(value)
         self.stats.record(self.sim.now, dst, src, f"{method}.reply", response_bytes)
         total_delay = self.link.delay(response_bytes) + target.compute_delay
+        if self.contention is not None:
+            flow = state.get("flow")
+            now = self.sim.now
+            compute_wait = self.contention.compute_wait(
+                dst, flow, now, target.compute_delay
+            )
+            total_delay += compute_wait + self.contention.transfer_wait(
+                dst, src, flow, now + compute_wait + target.compute_delay,
+                response_bytes / self.link.bandwidth,
+            )
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.message("rpc_reply", dst, src, f"{method}.reply",
@@ -314,6 +368,11 @@ class Network:
     ) -> None:
         response_bytes = HEADER_BYTES + size_of(str(exc))
         delay = self.link.delay(response_bytes)
+        if self.contention is not None:
+            delay += self.contention.transfer_wait(
+                dst, src, state.get("flow"), self.sim.now,
+                response_bytes / self.link.bandwidth,
+            )
         self.stats.record(self.sim.now, dst, src, f"{method}.error", response_bytes)
         tracer = self.sim.tracer
         if tracer.enabled:

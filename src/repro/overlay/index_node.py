@@ -206,6 +206,11 @@ class IndexNode(QueryPeer, ChordNode):
         for key in ("digest", "project", "encode"):
             if key in payload:
                 sub_query[key] = payload[key]
+        # The evaluate sub-queries carry no correlation id, so the owning
+        # query's flow (for the contention model) is derived from the
+        # orchestrating payload and threaded out-of-band — the wire
+        # payload stays unchanged.
+        flow = self.network._sniff_flow(payload)
         calls = [
             (
                 entry.storage_id,
@@ -214,6 +219,7 @@ class IndexNode(QueryPeer, ChordNode):
                     "evaluate",
                     sub_query,
                     timeout=per_node_timeout,
+                    flow=flow,
                 ),
             )
             for entry in entries

@@ -107,6 +107,34 @@ class QueryPeer:
             dead = self.__dict__["_qp_dead_corrs"] = set()
         return dead
 
+    # ------------------------------------------------------- query namespaces
+
+    @property
+    def _query_slots(self) -> Set[int]:
+        slots = self.__dict__.get("_qp_query_slots")
+        if slots is None:
+            slots = self.__dict__["_qp_query_slots"] = set()
+        return slots
+
+    def acquire_query_slot(self) -> int:
+        """Reserve the smallest free correlation-id namespace slot.
+
+        Every query initiated at this peer holds a slot for its lifetime;
+        slot 0 yields the classic ``<node>#<seq>`` correlation ids, later
+        slots the ``<node>~<slot>#<seq>`` form — so correlation ids of
+        queries running *concurrently* from the same initiator can never
+        collide, while a lone query keeps byte-identical wire traffic.
+        """
+        slots = self._query_slots
+        slot = 0
+        while slot in slots:
+            slot += 1
+        slots.add(slot)
+        return slot
+
+    def release_query_slot(self, slot: int) -> None:
+        self._query_slots.discard(slot)
+
     # ------------------------------------------------------ lifecycle hygiene
 
     def abandon_corr(self, corr: str) -> None:
@@ -159,6 +187,13 @@ class QueryPeer:
         if corr in self._delivered_early:
             event.succeed(self._delivered_early.pop(corr))
             return event
+        # Collision-freedom: correlation ids are globally unique among
+        # live queries (per-initiator slot namespaces), so two waiters on
+        # the same corr can only mean id-minting is broken.
+        assert corr not in self._expected, (
+            f"correlation id collision at {self.node_id}: {corr!r} already "
+            "has a pending expectation"
+        )
         self._expected[corr] = event
         return event
 

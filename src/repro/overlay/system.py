@@ -23,6 +23,7 @@ topology: index nodes N1, N4, N7, N12, N15 and storage nodes D1..D4 in a
 from __future__ import annotations
 
 import random
+from collections import Counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..chord.hashing import hash_string
@@ -54,6 +55,12 @@ class HybridSystem:
         self.successor_list_size = successor_list_size
         self.index_nodes: Dict[str, IndexNode] = {}
         self.storage_nodes: Dict[str, StorageNode] = {}
+        #: Per-node combine-work counter — the system's simulated QoS
+        #: monitor feeding the Third-Site join placement policy.  Lives on
+        #: the system (not the executor) so concurrent executors observe
+        #: each other's load, and two interleaved execution contexts share
+        #: nothing but this system object.
+        self.load: Counter = Counter()
 
     # ------------------------------------------------------------- plumbing
 

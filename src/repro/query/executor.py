@@ -124,6 +124,11 @@ class ExecutionContext:
         #: monitor, feeding the Third-Site policy).
         self.load = load
         self._corr_seq = itertools.count()
+        self._slot: Optional[int] = None
+        #: Correlation ids abandoned after a delivery timeout: a late
+        #: message may still be in flight for these, so their dead-letter
+        #: tombstones outlive the query (swept by a delayed timer).
+        self._abandoned: Set[str] = set()
         #: Every correlation id this query minted, so ``release()`` can
         #: sweep stragglers out of peer mailboxes when the query ends.
         self._corrs: List[str] = []
@@ -154,6 +159,18 @@ class ExecutionContext:
                 # (same placement rule as the original attachment).
                 entry = self._reattach(storage)
             self.entry_index = entry
+        # Globally unique query id among live executions: per-initiator
+        # namespace slots.  A lone (or serial) query always holds slot 0
+        # and keeps the classic `<initiator>#<seq>` correlation ids —
+        # byte-identical wire traffic — while concurrent queries from the
+        # same initiator mint from disjoint `<initiator>~<slot>` spaces.
+        # The slot doubles as the query's flow id for the network's
+        # contention model.  Acquired last, so a failed __init__ never
+        # holds a slot.
+        self._slot = self.initiator_peer.acquire_query_slot()
+        self.query_id = (
+            initiator if self._slot == 0 else f"{initiator}~{self._slot}"
+        )
 
     def _reattach(self, storage) -> str:
         from ..chord.hashing import hash_string
@@ -184,13 +201,14 @@ class ExecutionContext:
         return self.system.network
 
     def new_corr(self) -> str:
-        corr = f"{self.initiator}#{next(self._corr_seq)}"
+        corr = f"{self.query_id}#{next(self._corr_seq)}"
         self._corrs.append(corr)
         return corr
 
     def call(self, dst: str, method: str, payload: Any = None,
              timeout: Optional[float] = None) -> Event:
-        return self.network.call(self.initiator, dst, method, payload, timeout)
+        return self.network.call(self.initiator, dst, method, payload, timeout,
+                                 flow=self.query_id)
 
     def wait_delivery(self, corr: str, site: Optional[str] = None):
         """Generator: wait for a `delivered` notification with a timeout.
@@ -211,6 +229,7 @@ class ExecutionContext:
                 target = self.network.nodes.get(site)
                 if isinstance(target, QueryPeer):
                     target.abandon_corr(corr)
+            self._abandoned.add(corr)
             raise DeliveryTimeout(f"delivery {corr} timed out")
         timer.cancel()
         return value
@@ -224,14 +243,37 @@ class ExecutionContext:
 
     def release(self) -> int:
         """Sweep every correlation id this query minted out of all query
-        peers — run when the query completes or fails, so long-running
-        multi-query systems accumulate no mailbox/expectation state."""
+        peers and free the initiator's namespace slot — run when the
+        query completes or fails, so long-running multi-query systems
+        accumulate no mailbox/expectation state.
+
+        Correlation ids abandoned after a delivery timeout keep their
+        dead-letter tombstones for one more ``delivery_timeout``: a late
+        one-way message may still be in flight, and the tombstone is what
+        drops it on arrival.  A delayed sweep removes whatever the late
+        arrival did not consume.
+        """
+        if self._slot is not None:
+            self.initiator_peer.release_query_slot(self._slot)
+            self._slot = None
         if not self._corrs:
             return 0
+        prompt = [c for c in self._corrs if c not in self._abandoned]
         removed = 0
         for node in self.network.nodes.values():
             if isinstance(node, QueryPeer):
-                removed += node.purge_corrs(self._corrs)
+                removed += node.purge_corrs(prompt)
+        if self._abandoned:
+            late = sorted(self._abandoned)
+            network = self.network
+
+            def sweep(_event) -> None:
+                for node in network.nodes.values():
+                    if isinstance(node, QueryPeer):
+                        node.purge_corrs(late)
+
+            self.sim.timeout(self.options.delivery_timeout).callbacks.append(sweep)
+            self._abandoned = set()
         self._corrs.clear()
         return removed
 
@@ -420,7 +462,17 @@ class DistributedExecutor:
             raise ValueError("pass either options or overrides, not both")
         self.options = options
         self.tracer = tracer
-        self.load: Counter = Counter()
+
+    @property
+    def load(self) -> Counter:
+        """The system-wide per-node load counter (Third-Site QoS input).
+
+        Delegates to :attr:`HybridSystem.load` so that concurrent
+        executors — and concurrent execution contexts — observe one
+        another through the shared system only, never through executor
+        instance state.
+        """
+        return self.system.load
 
     # ----------------------------------------------------------------- API
 
@@ -438,6 +490,45 @@ class DistributedExecutor:
     def execute_parsed(
         self, query: ast.Query, initiator: Optional[str] = None
     ) -> Tuple[QueryResult, ExecutionReport]:
+        """Run one parsed query alone: spawn :meth:`execute_process` as a
+        simulation process and drive the simulator to completion.
+
+        This is the classic single-tenant entry point; the coroutine it
+        wraps is the multi-tenant one (a workload harness spawns many of
+        them against one simulator).
+        """
+        sim = self.system.sim
+        tracer = self.tracer
+        prev_tracer = sim.tracer
+        if tracer is not None:
+            tracer.attach(sim)
+            sim.tracer = tracer
+        try:
+            return sim.run_process(
+                self.execute_process(query, initiator, tracer=tracer)
+            )
+        finally:
+            if tracer is not None:
+                sim.tracer = prev_tracer
+
+    def execute_process(
+        self,
+        query: ast.Query,
+        initiator: Optional[str] = None,
+        report: Optional[ExecutionReport] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        """Generator: execute one query as an ordinary sim process.
+
+        Returns ``(result, report)``.  Re-entrant: any number of these
+        coroutines may run interleaved in one simulation — every piece of
+        per-query mutable state (correlation ids, mailbox expectations,
+        lookup cache, report, spans) lives in this invocation's
+        :class:`ExecutionContext`, keyed by a query id that is unique
+        among live executions.  Distributed failures surface as
+        :class:`QueryFailed`, and the context is always swept on the way
+        out, so one failing query never corrupts its neighbours.
+        """
         if initiator is None:
             if not self.system.storage_nodes:
                 raise QueryFailed("system has no storage nodes to initiate from")
@@ -453,8 +544,8 @@ class DistributedExecutor:
                 "ad-hoc system; the dataset is always the union of all "
                 "storage nodes (paper Sect. IV-A)"
             )
-        report = ExecutionReport()
-        tracer = self.tracer
+        if report is None:
+            report = ExecutionReport()
         ctx = ExecutionContext(self.system, initiator, self.options, report,
                                self.load, tracer=tracer)
 
@@ -467,44 +558,40 @@ class DistributedExecutor:
 
         checkpoint = self.system.stats.checkpoint()
         t0 = self.sim_now()
-
-        sim = self.system.sim
-        prev_tracer = sim.tracer
-        trace_checkpoint = None
-        if tracer is not None:
-            tracer.attach(sim)
-            sim.tracer = tracer
-            trace_checkpoint = tracer.checkpoint()
+        trace_checkpoint = tracer.checkpoint() if tracer is not None else None
         query_span = ctx.tracer.span("query", initiator=initiator,
                                      form=type(query).__name__)
-
-        def main():
-            handle = yield from exec_algebra(ctx, algebra)
-            solutions = yield from ctx.finalize(handle)
-            return solutions, self.sim_now()
-
         try:
-            solutions, t_done = sim.run_process(main())
-            delta = self.system.stats.delta(checkpoint)
-            report.response_time = t_done - t0
-            report.messages = delta.messages
-            report.bytes_total = delta.bytes
-            if tracer is not None:
-                # Snapshot here so the phase totals cover exactly the same
-                # window as the stats delta (they partition bytes_total);
-                # DESCRIBE post-processing traffic is traced as events but,
-                # like the stats delta, stays out of the report scalars.
-                report.phases = tracer.phase_breakdown(since=trace_checkpoint)
-                report.trace = tracer
-            result = self._postprocess(query, algebra, solutions, ctx)
+            try:
+                handle = yield from exec_algebra(ctx, algebra)
+                solutions = yield from ctx.finalize(handle)
+                t_done = self.sim_now()
+                delta = self.system.stats.delta(checkpoint)
+                report.response_time = t_done - t0
+                report.messages = delta.messages
+                report.bytes_total = delta.bytes
+                if tracer is not None:
+                    # Snapshot here so the phase totals cover exactly the
+                    # same window as the stats delta (they partition
+                    # bytes_total); DESCRIBE post-processing traffic is
+                    # traced as events but, like the stats delta, stays
+                    # out of the report scalars.  Under concurrency the
+                    # delta window also carries neighbouring queries'
+                    # traffic — per-query attribution needs the tracer.
+                    report.phases = tracer.phase_breakdown(since=trace_checkpoint)
+                    report.trace = tracer
+                result = yield from self._postprocess(query, algebra, solutions, ctx)
+            except RpcError as exc:
+                # A site died under us mid-execution: surface the loss as
+                # a clean per-query failure, never a raw transport error.
+                raise QueryFailed(f"distributed execution failed: {exc}") from exc
         finally:
             query_span.close()
-            if tracer is not None:
-                sim.tracer = prev_tracer
             # Whether the query succeeded or failed mid-flight, sweep its
             # correlation state out of every peer (mailboxes, pending
-            # expectations, dead-letter marks) — see the leak regression
-            # tests in tests/test_lifecycle_leaks.py.
+            # expectations, dead-letter marks) and free its id-namespace
+            # slot — see the leak regression tests in
+            # tests/test_lifecycle_leaks.py.
             ctx.release()
         report.result_count = self._count_results(query, result)
         return result, report
@@ -534,8 +621,13 @@ class DistributedExecutor:
         algebra: Algebra,
         solutions: Set[SolutionMapping],
         ctx: ExecutionContext,
-    ) -> QueryResult:
-        """The paper's Post-Processing stage, at the initiator."""
+    ):
+        """Generator: the paper's Post-Processing stage, at the initiator.
+
+        A generator because DESCRIBE issues follow-up distributed
+        primitives, which must run inside the calling query's process
+        (``yield from``), not through a nested simulator run.
+        """
         if isinstance(query, ast.AskQuery):
             return QueryResult(boolean=bool(solutions))
 
@@ -560,15 +652,16 @@ class DistributedExecutor:
             return QueryResult(graph=out)
 
         if isinstance(query, ast.DescribeQuery):
-            return self._describe(query, solutions, ctx)
+            return (yield from self._describe(query, solutions, ctx))
 
         raise QueryFailed(f"unknown query form {type(query).__name__}")
 
     def _describe(
         self, query: ast.DescribeQuery, solutions: Set[SolutionMapping], ctx: ExecutionContext
-    ) -> QueryResult:
-        """DESCRIBE: fetch the outgoing edges of every target via further
-        primitive distributed queries."""
+    ):
+        """Generator: DESCRIBE fetches the outgoing edges of every target
+        via further primitive distributed queries, inside this query's
+        own process."""
         from .primitive import exec_primitive
 
         # The follow-up primitives bind fresh variables (__dp/__do) that
@@ -590,13 +683,9 @@ class DistributedExecutor:
             if not isinstance(target, IRI):
                 continue
             pattern = TriplePattern(target, var_p, var_o)
-
-            def proc(pattern=pattern):
-                handle = yield from exec_primitive(ctx, pattern, None)
-                data = yield from ctx.finalize(handle)
-                return data
-
-            for mu in self.system.sim.run_process(proc()):
+            handle = yield from exec_primitive(ctx, pattern, None)
+            data = yield from ctx.finalize(handle)
+            for mu in data:
                 p, o = mu.get(var_p), mu.get(var_o)
                 if p is not None and o is not None:
                     try:

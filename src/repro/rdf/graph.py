@@ -214,8 +214,10 @@ class Graph:
             return NotImplemented
         return self._size == other._size and all(t in other for t in self)
 
-    def __hash__(self) -> int:  # graphs are mutable; identity hash
-        return id(self)
+    # Graphs are mutable containers with value-based equality; an identity
+    # hash would silently break dict/set membership for equal graphs, so
+    # graphs are explicitly unhashable (like list and dict).
+    __hash__ = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Graph(<{self._size} triples>)"

@@ -1,10 +1,11 @@
 """Workload generators (S11): synthetic FOAF data, Zipf skew, query mixes,
-and the canned paper-example datasets."""
+the canned paper-example datasets, and the multi-tenant load harness."""
 
 from .zipf import ZipfSampler
 from .foaf import FoafConfig, generate_foaf_triples, partition_triples, person_iri
 from .datasets import paper_example_dataset, paper_example_partition
-from .queries import QueryWorkload
+from .queries import PAPER_FIG_QUERIES, QueryWorkload, paper_query_mix
+from .load import LoadConfig, QueryJob, WorkloadReport, run_workload
 
 __all__ = [
     "ZipfSampler",
@@ -15,4 +16,10 @@ __all__ = [
     "paper_example_dataset",
     "paper_example_partition",
     "QueryWorkload",
+    "PAPER_FIG_QUERIES",
+    "paper_query_mix",
+    "LoadConfig",
+    "QueryJob",
+    "WorkloadReport",
+    "run_workload",
 ]

@@ -1,0 +1,292 @@
+"""Load-generation harness: many concurrent queries in one simulation.
+
+The single-query experiments measure strategies in isolation; this module
+measures the *system* under sustained multi-tenant load, the regime the
+ROADMAP's "heavy traffic" north star cares about.  Two arrival processes
+over a query mix (default: the paper's Fig. 4-9 examples):
+
+* **closed-loop** — ``concurrency`` clients, each submitting its next
+  query the moment the previous one finishes (fixed multiprogramming
+  level; the classic throughput/latency operating point);
+* **open-loop** — Poisson arrivals at ``arrival_rate`` queries/second,
+  independent of completions (the honest tail-latency regime: queues
+  build when service cannot keep up).
+
+Each job runs as its own :meth:`DistributedExecutor.execute_process`
+coroutine, so queries genuinely interleave inside one simulator and — if
+``network.contention`` is set — queue against each other for node
+bandwidth and compute.  Admission control bounds the damage of overload:
+at most ``max_in_flight`` queries run at once, up to ``queue_limit``
+deferred jobs wait in FIFO order, and anything beyond that is *shed* and
+counted, never silently dropped.
+
+Determinism: the whole schedule (query choice, initiator assignment,
+arrival times) is drawn up front from one seeded RNG, so a given
+``LoadConfig`` always produces the same simulation, event for event.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.counters import Summary, summarize
+from ..query.executor import DistributedExecutor, ExecutionReport, QueryFailed
+from ..query.strategies import ExecutionOptions
+from ..rdf.namespaces import COMMON_PREFIXES
+from ..sparql.eval import QueryResult
+from ..sparql.parser import parse_query
+from .queries import paper_query_mix
+
+__all__ = ["LoadConfig", "QueryJob", "WorkloadReport", "run_workload"]
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One workload run: arrival process, mix, and admission limits."""
+
+    #: The query mix as ``(label, sparql_text)`` pairs; jobs draw from it
+    #: uniformly (seeded).  Default: the paper's Fig. 4-9 queries.
+    queries: Sequence[Tuple[str, str]] = field(default_factory=paper_query_mix)
+    #: Initiating peers, assigned round-robin — per-client initiators in
+    #: closed-loop mode.  Empty = the executor's default initiator.
+    initiators: Sequence[str] = ()
+    #: ``"closed"`` (fixed concurrency) or ``"open"`` (Poisson arrivals).
+    mode: str = "closed"
+    #: Closed-loop multiprogramming level (number of clients).
+    concurrency: int = 4
+    #: Open-loop offered load, queries per simulated second.
+    arrival_rate: float = 50.0
+    #: Total jobs submitted over the run.
+    num_queries: int = 32
+    seed: int = 0
+    #: Admission control: max concurrently executing queries (None = off).
+    max_in_flight: Optional[int] = None
+    #: Bounded defer queue beyond ``max_in_flight``; jobs that find the
+    #: queue full are shed.  None = unbounded queue, nothing ever shed.
+    queue_limit: Optional[int] = None
+
+
+@dataclass
+class QueryJob:
+    """One submitted query and everything that happened to it."""
+
+    job_id: int
+    label: str
+    query_text: str
+    initiator: Optional[str]
+    #: Scheduled arrival time (open-loop; 0.0 in closed-loop mode).
+    arrival: float = 0.0
+    submitted: Optional[float] = None
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    result: Optional[QueryResult] = None
+    report: Optional[ExecutionReport] = None
+    error: Optional[str] = None
+    shed: bool = False
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submission-to-completion time (includes any admission wait)."""
+        if self.submitted is None or self.finished is None or self.shed:
+            return None
+        return self.finished - self.submitted
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.shed
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregate outcome of one :func:`run_workload` run."""
+
+    jobs: List[QueryJob]
+    duration: float
+    completed: int
+    failed: int
+    shed: int
+    deferred: int
+    throughput: float
+    #: Latency percentiles over completed jobs (None when none completed).
+    latency: Optional[Summary]
+    messages: int
+    bytes_total: int
+    peak_in_flight: int
+    max_admission_queue: int
+    #: Network contention statistics, when the system ran with a
+    #: :class:`~repro.net.contention.ContentionModel` attached.
+    contention: Dict[str, Any] = field(default_factory=dict)
+
+    def per_label(self) -> Dict[str, int]:
+        return dict(Counter(j.label for j in self.jobs))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly summary (drops the per-job objects)."""
+        latency = None
+        if self.latency is not None:
+            latency = {
+                "mean": self.latency.mean,
+                "p50": self.latency.p50,
+                "p95": self.latency.p95,
+                "p99": self.latency.p99,
+                "max": self.latency.maximum,
+            }
+        return {
+            "jobs": len(self.jobs),
+            "duration": self.duration,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": self.shed,
+            "deferred": self.deferred,
+            "throughput": self.throughput,
+            "latency": latency,
+            "messages": self.messages,
+            "bytes_total": self.bytes_total,
+            "peak_in_flight": self.peak_in_flight,
+            "max_admission_queue": self.max_admission_queue,
+            "contention": self.contention,
+        }
+
+
+def build_jobs(config: LoadConfig) -> List[QueryJob]:
+    """The deterministic schedule: every job's query, initiator, and
+    (open-loop) arrival time, drawn before the simulation starts."""
+    if not config.queries:
+        raise ValueError("load config needs a non-empty query mix")
+    if config.mode not in ("closed", "open"):
+        raise ValueError(f"unknown workload mode {config.mode!r}")
+    rng = random.Random(config.seed)
+    initiators = list(config.initiators)
+    jobs: List[QueryJob] = []
+    t = 0.0
+    for i in range(config.num_queries):
+        label, text = config.queries[rng.randrange(len(config.queries))]
+        if config.mode == "open":
+            t += rng.expovariate(config.arrival_rate)
+        jobs.append(QueryJob(
+            job_id=i,
+            label=label,
+            query_text=text,
+            initiator=initiators[i % len(initiators)] if initiators else None,
+            arrival=t,
+        ))
+    return jobs
+
+
+def run_workload(
+    system,
+    config: LoadConfig,
+    options: Optional[ExecutionOptions] = None,
+) -> WorkloadReport:
+    """Run *config* against *system* and aggregate the outcome.
+
+    Every job executes as a concurrent ``execute_process`` coroutine.
+    Failed queries (e.g. a site crashed mid-flight) count as ``failed``
+    with the :class:`QueryFailed` message on the job; they never abort
+    the rest of the workload.
+    """
+    sim = system.sim
+    executor = DistributedExecutor(system, options)
+    jobs = build_jobs(config)
+    parsed = {
+        job.job_id: parse_query(job.query_text, COMMON_PREFIXES) for job in jobs
+    }
+    done_events = {job.job_id: sim.event() for job in jobs}
+
+    state = {"in_flight": 0, "peak": 0, "shed": 0, "deferred": 0,
+             "max_queue": 0}
+    waiting: deque = deque()
+
+    def runner(job: QueryJob):
+        try:
+            result, report = yield from executor.execute_process(
+                parsed[job.job_id], job.initiator
+            )
+            job.result, job.report = result, report
+        except QueryFailed as exc:
+            job.error = str(exc)
+        job.finished = sim.now
+        state["in_flight"] -= 1
+        if waiting:
+            launch(waiting.popleft())
+        done_events[job.job_id].succeed(None)
+
+    def launch(job: QueryJob) -> None:
+        state["in_flight"] += 1
+        if state["in_flight"] > state["peak"]:
+            state["peak"] = state["in_flight"]
+        job.started = sim.now
+        sim.process(runner(job))
+
+    def submit(job: QueryJob) -> None:
+        job.submitted = sim.now
+        limit = config.max_in_flight
+        if limit is None or state["in_flight"] < limit:
+            launch(job)
+        elif config.queue_limit is None or len(waiting) < config.queue_limit:
+            state["deferred"] += 1
+            waiting.append(job)
+            if len(waiting) > state["max_queue"]:
+                state["max_queue"] = len(waiting)
+        else:
+            state["shed"] += 1
+            job.shed = True
+            job.error = "shed"
+            job.finished = sim.now
+            done_events[job.job_id].succeed(None)
+
+    def open_driver():
+        for job in jobs:
+            if job.arrival > sim.now:
+                yield sim.timeout(job.arrival - sim.now)
+            submit(job)
+
+    pending = deque(jobs)
+
+    def client():
+        while pending:
+            job = pending.popleft()
+            submit(job)
+            yield done_events[job.job_id]
+
+    checkpoint = system.stats.checkpoint()
+    t_start = sim.now
+    if config.mode == "open":
+        sim.process(open_driver())
+    else:
+        for _ in range(max(1, config.concurrency)):
+            sim.process(client())
+    sim.run()
+
+    delta = system.stats.delta(checkpoint)
+    finish_times = [j.finished for j in jobs if j.finished is not None]
+    duration = (max(finish_times) - t_start) if finish_times else 0.0
+    completed = sum(1 for j in jobs if j.ok)
+    failed = sum(1 for j in jobs if j.error is not None and not j.shed)
+    latencies = [j.latency for j in jobs if j.ok and j.latency is not None]
+    contention: Dict[str, Any] = {}
+    model = system.network.contention
+    if model is not None:
+        contention = {
+            "max_queue_depth": model.max_queue_depth(),
+            "total_wait": model.total_wait(),
+            "queues": model.snapshot(),
+        }
+    return WorkloadReport(
+        jobs=jobs,
+        duration=duration,
+        completed=completed,
+        failed=failed,
+        shed=state["shed"],
+        deferred=state["deferred"],
+        throughput=(completed / duration) if duration > 0 else float(completed),
+        latency=summarize(latencies) if latencies else None,
+        messages=delta.messages,
+        bytes_total=delta.bytes,
+        peak_in_flight=state["peak"],
+        max_admission_queue=state["max_queue"],
+        contention=contention,
+    )

@@ -14,7 +14,48 @@ from typing import List, Optional, Sequence
 from ..rdf.terms import IRI, BlankNode, Literal, RDFTerm
 from ..rdf.triple import PatternShape, Triple
 
-__all__ = ["QueryWorkload"]
+__all__ = ["QueryWorkload", "PAPER_FIG_QUERIES", "paper_query_mix"]
+
+
+#: The paper's example queries (Figs. 4-9), over the vocabulary of
+#: :func:`repro.workloads.datasets.paper_example_dataset` — the canonical
+#: mixed workload for the concurrency experiments: a filtered ordered
+#: conjunction, a primitive, a plain BGP, an OPTIONAL, a UNION, and a
+#: filter + left-join combination.
+PAPER_FIG_QUERIES = {
+    "fig4": """SELECT ?x ?y ?z WHERE {
+  ?x foaf:name ?name .
+  ?x foaf:knows ?z .
+  ?x ns:knowsNothingAbout ?y .
+  ?y foaf:knows ?z .
+  FILTER regex(?name, "Smith")
+} ORDER BY DESC(?x)""",
+    "fig5": "SELECT ?x WHERE { ?x foaf:knows ns:me . }",
+    "fig6": """SELECT ?x ?y ?z WHERE {
+  ?x foaf:knows ?z .
+  ?x ns:knowsNothingAbout ?y .
+}""",
+    "fig7": """SELECT ?x ?y WHERE {
+  { ?x foaf:name "Smith" . ?x foaf:knows ?y . }
+  OPTIONAL { ?y foaf:nick "Shrek" . }
+}""",
+    "fig8": """SELECT ?x ?y ?z WHERE {
+  { ?x foaf:name "Smith" . ?x foaf:knows ?y . }
+  UNION
+  { ?x foaf:mbox <mailto:abc@example.org> . ?x foaf:knows ?z . }
+}""",
+    "fig9": """SELECT ?x ?y ?z WHERE {
+  ?x foaf:name ?name ;
+     ns:knowsNothingAbout ?y .
+  FILTER regex(?name, "Smith")
+  OPTIONAL { ?y foaf:knows ?z . }
+}""",
+}
+
+
+def paper_query_mix():
+    """The Fig. 4-9 mix as ``(label, query_text)`` pairs, in figure order."""
+    return list(PAPER_FIG_QUERIES.items())
 
 
 def _term_sparql(term: RDFTerm) -> str:

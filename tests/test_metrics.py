@@ -18,9 +18,22 @@ class TestSummarize:
         s = summarize(range(1, 101))
         assert s.p95 == 95
 
+    def test_percentiles(self):
+        s = summarize(range(1, 101))
+        assert s.p50 == 50
+        assert s.p99 == 99
+        # Nearest-rank: with four samples p99 is the maximum.
+        s4 = summarize([10, 20, 30, 40])
+        assert s4.p50 == 20
+        assert s4.p95 == s4.p99 == 40
+
+    def test_percentiles_order_insensitive(self):
+        assert summarize([5, 1, 3, 2, 4]) == summarize([1, 2, 3, 4, 5])
+
     def test_single_value(self):
         s = summarize([7.0])
         assert s.mean == s.median == s.minimum == s.maximum == s.p95 == 7.0
+        assert s.p50 == s.p99 == 7.0
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):

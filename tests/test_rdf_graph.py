@@ -78,6 +78,16 @@ class TestSetSemantics:
         with pytest.raises(TypeError):
             Graph().add("not a triple")
 
+    def test_unhashable(self):
+        """Graphs compare by value but are mutable, so like list/dict they
+        must not be hashable — equal graphs in a set would otherwise land
+        in different buckets under the old identity hash."""
+        g = make_graph()
+        with pytest.raises(TypeError):
+            hash(g)
+        with pytest.raises(TypeError):
+            {g}
+
 
 class TestPatternAccess:
     @pytest.mark.parametrize(
