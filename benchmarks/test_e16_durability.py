@@ -1,0 +1,234 @@
+"""E16 — Durable state & recovery: restart cost vs snapshot interval (PR 4).
+
+A durable system (every node write-ahead logging under a state
+directory) runs the E15 closed-loop load harness with contention
+attached. Mid-workload, the index node owning the hot ``foaf:knows``
+key crashes; the workload drains (the jobs that needed the dead node
+fail — that is the churn window), then the node restarts from its
+snapshot + WAL and rejoins the ring.
+
+Swept over snapshot intervals (no snapshots / every 256 records /
+every 64 records), the experiment measures:
+
+* **recovery cost**: WAL records replayed and wall-clock restart time —
+  both must shrink as snapshots get more frequent;
+* **queries affected**: jobs failed because they ran while the owner of
+  their key was down;
+* **correctness**: post-recovery Fig. 4-9-style answers are
+  bit-identical to a system that never crashed, at every interval;
+* **cold restart**: a whole-site ``recover_system`` power cycle from
+  the same state directory also round-trips the answers.
+
+Writes ``BENCH_PR4_durability.json`` next to this file for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.chord import IdentifierSpace
+from repro.metrics import render_table
+from repro.net import ContentionModel
+from repro.overlay import HybridSystem, key_for_pattern, restart_index_node
+from repro.rdf import FOAF, TriplePattern, Variable
+from repro.storage import recover_system
+from repro.workloads import (
+    FoafConfig,
+    LoadConfig,
+    generate_foaf_triples,
+    partition_triples,
+    run_workload,
+)
+
+from conftest import emit, run_once
+
+JSON_PATH = pathlib.Path(__file__).parent / "BENCH_PR4_durability.json"
+
+#: ``snapshot_every`` sweep: WAL-only recovery, coarse, fine.
+INTERVALS = (None, 256, 64)
+
+NUM_QUERIES = 48
+CONCURRENCY = 8
+
+QUERY_MIX = [
+    ("knows", "SELECT ?x ?y WHERE { ?x foaf:knows ?y . }"),
+    ("path", "SELECT DISTINCT ?k WHERE { ?x foaf:knows ?y . "
+             "?y foaf:nick ?k . }"),
+]
+
+X, Y = Variable("x"), Variable("y")
+
+
+def foaf_parts():
+    triples = generate_foaf_triples(
+        FoafConfig(num_people=200, knows_per_person=4, nick_fraction=0.4,
+                   seed=21))
+    return partition_triples(triples, 6, overlap=0.1, seed=22)
+
+
+def build_system(parts, state_dir=None, snapshot_every=None):
+    system = HybridSystem(
+        space=IdentifierSpace(32),
+        state_dir=state_dir,
+        snapshot_every=snapshot_every,
+    )
+    for i in range(8):
+        system.add_index_node(f"N{i}")
+    system.build_ring()
+    for i, triples in enumerate(parts):
+        system.add_storage_node(f"D{i}", triples)
+    system.network.contention = ContentionModel()
+    return system
+
+
+def knows_owner(system) -> str:
+    _, key = key_for_pattern(TriplePattern(X, FOAF.knows, Y), system.space)
+    return system.ring.owner_of(key).node_id
+
+
+def answers(system):
+    return {label: system.execute(text)[0].rows for label, text in QUERY_MIX}
+
+
+def load_config():
+    return LoadConfig(
+        queries=QUERY_MIX,
+        mode="closed",
+        concurrency=CONCURRENCY,
+        num_queries=NUM_QUERIES,
+        seed=16,
+    )
+
+
+def measure_interval(parts, state_dir, snapshot_every, crash_at, baseline):
+    system = build_system(parts, state_dir=state_dir,
+                          snapshot_every=snapshot_every)
+    loaded = system.durability.checkpoint()
+    victim = knows_owner(system)
+    system.sim.timeout(crash_at).callbacks.append(
+        lambda _e: system.network.fail_node(victim))
+    report = run_workload(system, load_config())
+    system.ring.stabilize(3)
+    system.journal_event("index-fail", victim)
+
+    before = system.durability.checkpoint()
+    t0 = time.perf_counter()
+    restart_index_node(system, victim)
+    restart_wall = time.perf_counter() - t0
+    delta = system.durability.delta(before)
+
+    post = answers(system)
+    assert post == baseline, f"answers diverged (snapshot_every={snapshot_every})"
+
+    # Whole-site power cycle from the same state directory.
+    t0 = time.perf_counter()
+    recovered, recovery_report = recover_system(state_dir)
+    cold_wall = time.perf_counter() - t0
+    assert answers(recovered) == baseline, \
+        f"cold restart diverged (snapshot_every={snapshot_every})"
+    cold_replayed = sum(
+        info["records_replayed"]
+        for section in recovery_report.values()
+        for info in section.values()
+    )
+
+    return {
+        "victim": victim,
+        "completed": report.completed,
+        "queries_affected": report.failed,
+        "shed": report.shed,
+        "wal_appended_during_load": loaded.wal_records_appended,
+        "snapshots_during_load": loaded.snapshots_written,
+        "restart_records_replayed": delta["wal_records_replayed"],
+        "restart_snapshots_loaded": delta["snapshots_loaded"],
+        "restart_wall_ms": restart_wall * 1000,
+        "cold_records_replayed": cold_replayed,
+        "cold_wall_ms": cold_wall * 1000,
+    }
+
+
+def run_sweep(tmp_dir):
+    parts = foaf_parts()
+
+    # The never-crashed oracle, and the crash schedule: the node dies
+    # ~40% into the healthy run's drain time.
+    control = build_system(parts)
+    control_report = run_workload(control, load_config())
+    assert control_report.failed == 0 and control_report.shed == 0
+    baseline = answers(control)
+    crash_at = control_report.duration * 0.4
+
+    results = {}
+    for snapshot_every in INTERVALS:
+        tag = snapshot_every if snapshot_every is not None else "none"
+        state_dir = pathlib.Path(tmp_dir) / f"state-{tag}"
+        results[snapshot_every] = measure_interval(
+            parts, state_dir, snapshot_every, crash_at, baseline)
+    return results, control_report
+
+
+def test_e16_durability(benchmark, tmp_path):
+    results, control_report = run_once(
+        benchmark, lambda: run_sweep(tmp_path))
+
+    rows = []
+    payload = {
+        "num_queries": NUM_QUERIES,
+        "concurrency": CONCURRENCY,
+        "control_completed": control_report.completed,
+        "intervals": [],
+    }
+    for snapshot_every in INTERVALS:
+        m = results[snapshot_every]
+        tag = "none" if snapshot_every is None else str(snapshot_every)
+        rows.append([
+            tag, m["victim"], m["queries_affected"], m["completed"],
+            m["snapshots_during_load"], m["restart_records_replayed"],
+            f"{m['restart_wall_ms']:.1f}", m["cold_records_replayed"],
+            f"{m['cold_wall_ms']:.1f}",
+        ])
+        payload["intervals"].append({
+            "snapshot_every": snapshot_every,
+            "victim": m["victim"],
+            "queries_affected": m["queries_affected"],
+            "completed": m["completed"],
+            "wal_appended_during_load": m["wal_appended_during_load"],
+            "snapshots_during_load": m["snapshots_during_load"],
+            "restart_records_replayed": m["restart_records_replayed"],
+            "restart_snapshots_loaded": m["restart_snapshots_loaded"],
+            "restart_wall_ms": round(m["restart_wall_ms"], 3),
+            "cold_records_replayed": m["cold_records_replayed"],
+            "cold_wall_ms": round(m["cold_wall_ms"], 3),
+        })
+    emit(render_table(
+        ["snap_every", "victim", "affected", "completed", "snaps",
+         "replayed", "restart_ms", "cold_replayed", "cold_ms"],
+        rows,
+        title=f"E16: crash+restart under load ({NUM_QUERIES} queries, "
+              f"{CONCURRENCY} clients), snapshot-interval sweep",
+    ))
+
+    # 1. The crash actually hit the workload: some queries ran against
+    # the dead owner and failed, at every interval (same crash schedule).
+    for snapshot_every, m in results.items():
+        assert m["queries_affected"] > 0, snapshot_every
+        assert m["completed"] + m["queries_affected"] == NUM_QUERIES
+
+    # 2. Snapshots bound replay: more frequent snapshots mean strictly
+    # fewer WAL records replayed at restart, for the victim and for the
+    # whole-site cold start.
+    replayed = [results[i]["restart_records_replayed"] for i in INTERVALS]
+    assert replayed[0] > replayed[1] > replayed[2]
+    cold = [results[i]["cold_records_replayed"] for i in INTERVALS]
+    assert cold[0] > cold[1] > cold[2]
+
+    # 3. Snapshotting actually happened for the finite intervals, and
+    # the finer interval wrote at least as many snapshots.
+    assert results[None]["snapshots_during_load"] == 0
+    assert results[64]["snapshots_during_load"] >= \
+        results[256]["snapshots_during_load"] > 0
+
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                         encoding="utf-8")

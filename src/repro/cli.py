@@ -26,6 +26,14 @@ and prints throughput, latency percentiles, and admission statistics::
 
     python -m repro bench-load --data ./shared/*.nt \
         --mode closed --concurrency 16 --num-queries 64 --contention
+
+With ``--state-dir`` every node write-ahead logs its state under the
+given directory; the ``checkpoint`` subcommand snapshots and compacts
+that state, and ``recover`` rebuilds the whole system from it::
+
+    python -m repro --data alice.nt --query '...' --state-dir ./state
+    python -m repro checkpoint --state-dir ./state
+    python -m repro recover --state-dir ./state --query '...'
 """
 
 from __future__ import annotations
@@ -45,7 +53,14 @@ from .query.strategies import (
 )
 from .rdf.ntriples import parse_ntriples
 
-__all__ = ["main", "build_parser", "build_trace_parser", "build_bench_load_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_trace_parser",
+    "build_bench_load_parser",
+    "build_checkpoint_parser",
+    "build_recover_parser",
+]
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -104,6 +119,20 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "--lookup-cache", type=int, default=128, metavar="N",
         help="per-query LRU capacity for index lookups (0 disables; "
              "default 128)",
+    )
+    parser.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="durable state directory: every node write-ahead logs its "
+             "state under it (see 'repro checkpoint' / 'repro recover')",
+    )
+    parser.add_argument(
+        "--fsync", action="store_true",
+        help="fsync every WAL append and snapshot (durable against OS "
+             "crashes, not just process crashes)",
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N",
+        help="auto-checkpoint a node's state after N WAL records",
     )
 
 
@@ -204,6 +233,43 @@ def build_bench_load_parser() -> argparse.ArgumentParser:
         help="replace the default Fig. 4-9 mix with these queries "
              "(repeatable)",
     )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full workload report (summary plus per-job "
+             "timeline) to this JSON file",
+    )
+    return parser
+
+
+def build_checkpoint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro checkpoint",
+        description="Recover the system persisted under a state directory, "
+                    "snapshot every node's state, and compact the logs.",
+    )
+    parser.add_argument(
+        "--state-dir", metavar="DIR", required=True,
+        help="the system's durable state directory",
+    )
+    return parser
+
+
+def build_recover_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro recover",
+        description="Rebuild the system persisted under a state directory "
+                    "(snapshot + WAL replay per node) and report how each "
+                    "node came back.",
+    )
+    parser.add_argument(
+        "--state-dir", metavar="DIR", required=True,
+        help="the system's durable state directory",
+    )
+    parser.add_argument(
+        "--query", metavar="SPARQL", default=None,
+        help="also run this query on the recovered system and print the "
+             "result count (a liveness check)",
+    )
     return parser
 
 
@@ -273,13 +339,67 @@ def _bench_load_main(argv: Sequence[str]) -> int:
     failures = [j for j in report.jobs if j.error is not None and not j.shed]
     for job in failures[:5]:
         print(f"# failed job {job.job_id} ({job.label}): {job.error}")
+    if args.json:
+        import json
+
+        path = pathlib.Path(args.json)
+        path.write_text(
+            json.dumps(report.as_dict(include_jobs=True), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"# wrote workload report to {path}")
+    return 0
+
+
+def _checkpoint_main(argv: Sequence[str]) -> int:
+    from .storage import recover_system
+
+    args = build_checkpoint_parser().parse_args(argv)
+    system, report = recover_system(args.state_dir)
+    done = system.checkpoint()
+    print(
+        f"# recovered {len(report['index'])} index nodes and "
+        f"{len(report['storage'])} storage nodes from {args.state_dir}"
+    )
+    for node_id in sorted(done):
+        print(f"# snapshot {node_id} @ lsn {done[node_id]}")
+    return 0
+
+
+def _recover_main(argv: Sequence[str]) -> int:
+    from .storage import recover_system
+
+    args = build_recover_parser().parse_args(argv)
+    system, report = recover_system(args.state_dir)
+    print(
+        f"# recovered {len(report['index'])} index nodes and "
+        f"{len(report['storage'])} storage nodes from {args.state_dir}"
+    )
+    print("# node | snapshot lsn | records replayed | torn truncated")
+    for section in ("index", "storage"):
+        for node_id in sorted(report[section]):
+            info = report[section][node_id]
+            print(
+                f"# {node_id} | {info['snapshot_lsn']} | "
+                f"{info['records_replayed']} | {info['torn_truncated']}"
+            )
+    if args.query is not None:
+        result, exec_report = system.execute(args.query)
+        print(
+            f"# query ok: {exec_report.result_count} results, "
+            f"{exec_report.messages} messages"
+        )
     return 0
 
 
 def _load_system(args: argparse.Namespace) -> HybridSystem:
     if not args.data:
         raise SystemExit("error: at least one --data file is required")
-    system = HybridSystem()
+    system = HybridSystem(
+        state_dir=getattr(args, "state_dir", None),
+        fsync=getattr(args, "fsync", False),
+        snapshot_every=getattr(args, "snapshot_every", None),
+    )
     for i in range(args.index_nodes):
         system.add_index_node(f"N{i}")
     system.build_ring()
@@ -352,6 +472,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _trace_main(argv[1:])
     if argv and argv[0] == "bench-load":
         return _bench_load_main(argv[1:])
+    if argv and argv[0] == "checkpoint":
+        return _checkpoint_main(argv[1:])
+    if argv and argv[0] == "recover":
+        return _recover_main(argv[1:])
     args = build_parser().parse_args(argv)
     system = _load_system(args)
     executor = DistributedExecutor(system, _build_options(args))

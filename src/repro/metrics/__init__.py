@@ -1,6 +1,6 @@
 """Measurement utilities (S12): series summaries and table rendering."""
 
-from .counters import Summary, summarize
+from .counters import DurabilityCounters, Summary, summarize
 from .tables import render_table
 
-__all__ = ["Summary", "summarize", "render_table"]
+__all__ = ["DurabilityCounters", "Summary", "summarize", "render_table"]

@@ -5,9 +5,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from statistics import mean, median
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
-__all__ = ["Summary", "summarize"]
+__all__ = ["Summary", "summarize", "DurabilityCounters"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -37,6 +37,56 @@ class Summary:
 def _nearest_rank(data: Sequence[float], q: float) -> float:
     """Nearest-rank percentile of an already-sorted series."""
     return data[min(len(data) - 1, math.ceil(q * len(data)) - 1)]
+
+
+@dataclass
+class DurabilityCounters:
+    """Ledger of the durability subsystem's work (one per system).
+
+    Shared by every WAL, snapshot store, and durable wrapper of a
+    :class:`~repro.overlay.system.HybridSystem`, so experiments can
+    measure recovery cost (records replayed, torn tails repaired) and
+    steady-state overhead (records appended, fsyncs, snapshot bytes)
+    with the same checkpoint/delta discipline as the network stats.
+    """
+
+    wal_records_appended: int = 0
+    wal_records_replayed: int = 0
+    wal_torn_records_truncated: int = 0
+    wal_fsyncs: int = 0
+    snapshots_written: int = 0
+    snapshots_loaded: int = 0
+    snapshot_bytes_written: int = 0
+    #: Completed node recoveries (restart_index_node / restart_storage_node
+    #: / recover_system, one per node brought back).
+    recoveries: int = 0
+    #: Location-table cells dropped at restart because their storage node
+    #: was gone (stale-entry detection via membership epoch, Sect. III-D).
+    stale_entries_dropped: int = 0
+    #: Replica rows merged back into a restarted index node's table.
+    replica_rows_reconciled: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "wal_records_appended": self.wal_records_appended,
+            "wal_records_replayed": self.wal_records_replayed,
+            "wal_torn_records_truncated": self.wal_torn_records_truncated,
+            "wal_fsyncs": self.wal_fsyncs,
+            "snapshots_written": self.snapshots_written,
+            "snapshots_loaded": self.snapshots_loaded,
+            "snapshot_bytes_written": self.snapshot_bytes_written,
+            "recoveries": self.recoveries,
+            "stale_entries_dropped": self.stale_entries_dropped,
+            "replica_rows_reconciled": self.replica_rows_reconciled,
+        }
+
+    def checkpoint(self) -> "DurabilityCounters":
+        """A frozen copy, for before/after deltas."""
+        return DurabilityCounters(**self.as_dict())
+
+    def delta(self, since: "DurabilityCounters") -> Dict[str, int]:
+        mine, theirs = self.as_dict(), since.as_dict()
+        return {key: mine[key] - theirs[key] for key in mine}
 
 
 def summarize(values: Iterable[float]) -> Summary:

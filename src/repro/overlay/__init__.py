@@ -13,6 +13,8 @@ from .membership import (
     fail_index_node,
     fail_storage_node,
     join_index_node,
+    restart_index_node,
+    restart_storage_node,
 )
 
 __all__ = [
@@ -36,4 +38,6 @@ __all__ = [
     "fail_index_node",
     "fail_storage_node",
     "depart_storage_node",
+    "restart_index_node",
+    "restart_storage_node",
 ]

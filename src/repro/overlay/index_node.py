@@ -40,11 +40,16 @@ class IndexNode(QueryPeer, ChordNode):
         space: IdentifierSpace,
         successor_list_size: int = 3,
         replication_factor: int = 1,
+        table: Optional[LocationTable] = None,
     ) -> None:
         ChordNode.__init__(self, node_id, ident, space, successor_list_size)
         if replication_factor < 1:
             raise ValueError("replication factor must be >= 1")
-        self.table = LocationTable()
+        # An externally built table — e.g. a
+        # :class:`~repro.storage.durable.DurableLocationTable` recovered
+        # from disk — slots in transparently; every index write below
+        # goes through it.
+        self.table = table if table is not None else LocationTable()
         #: Rows replicated here by ring predecessors (kept apart from the
         #: primary table so load accounting stays honest).
         self.replicas = LocationTable()

@@ -30,9 +30,22 @@ __all__ = ["StorageNode"]
 class StorageNode(QueryPeer, Node):
     """A data provider holding its own RDF graph."""
 
-    def __init__(self, node_id: str, triples: Optional[Iterable[Triple]] = None) -> None:
+    def __init__(
+        self,
+        node_id: str,
+        triples: Optional[Iterable[Triple]] = None,
+        graph: Optional[Graph] = None,
+    ) -> None:
         Node.__init__(self, node_id)
-        self.graph = Graph(triples)
+        if graph is not None:
+            # An externally built repository — e.g. a
+            # :class:`~repro.storage.durable.DurableGraph` recovered from
+            # disk; *triples* (if any) are merged on top.
+            self.graph = graph
+            if triples is not None:
+                self.graph.update(triples)
+        else:
+            self.graph = Graph(triples)
         #: The ring node this storage node is attached to (Sect. III-A:
         #: "attach to one of the nodes on the ring").
         self.index_node_id: Optional[str] = None

@@ -22,6 +22,7 @@ topology: index nodes N1, N4, N7, N12, N15 and storage nodes D1..D4 in a
 
 from __future__ import annotations
 
+import pathlib
 import random
 from collections import Counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -29,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..chord.hashing import hash_string
 from ..chord.idspace import IdentifierSpace
 from ..chord.ring import ChordRing
+from ..metrics.counters import DurabilityCounters
 from ..net.transport import LinkModel, Network
 from ..rdf.triple import Triple
 from .index_node import IndexNode
@@ -47,6 +49,10 @@ class HybridSystem:
         replication_factor: int = 1,
         successor_list_size: int = 3,
         link: Optional[LinkModel] = None,
+        state_dir=None,
+        fsync: bool = False,
+        snapshot_every: Optional[int] = None,
+        _recovering: bool = False,
     ) -> None:
         self.space = space or IdentifierSpace(32)
         self.network = network or Network(link=link)
@@ -61,6 +67,34 @@ class HybridSystem:
         #: each other's load, and two interleaved execution contexts share
         #: nothing but this system object.
         self.load: Counter = Counter()
+        #: Durability subsystem (opt-in): with *state_dir* set, every
+        #: node's state (graphs, location tables) and the system's
+        #: membership history are write-ahead logged under it, so crashed
+        #: nodes — or the whole system — can be brought back from disk
+        #: (see :mod:`repro.storage`).
+        self.state_dir = pathlib.Path(state_dir) if state_dir is not None else None
+        self.fsync = fsync
+        self.snapshot_every = snapshot_every
+        self.durability = DurabilityCounters()
+        self._recovering = _recovering
+        self.journal = None
+        if self.state_dir is not None:
+            from ..storage.journal import SystemJournal  # local import: layering
+
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+            self.journal = SystemJournal(
+                self.state_dir, fsync=fsync, counters=self.durability
+            )
+            if self.journal.is_fresh:
+                self.journal.log_system(
+                    self.space.bits, replication_factor, successor_list_size
+                )
+            elif not _recovering:
+                raise ValueError(
+                    f"state directory {self.state_dir} already holds a system "
+                    "journal; use repro.storage.recover_system() to bring it "
+                    "back (or point at a fresh directory)"
+                )
 
     # ------------------------------------------------------------- plumbing
 
@@ -84,10 +118,79 @@ class HybridSystem:
             self.space,
             successor_list_size=self.successor_list_size,
             replication_factor=self.replication_factor,
+            table=self.durable_table(node_id),
         )
         self.ring.add_node(node)
         self.index_nodes[node_id] = node
+        if self.journal is not None and not self._recovering:
+            self.journal.log_index_add(node_id, ident)
         return node
+
+    # ---------------------------------------------------------- durability
+
+    def node_state_dir(self, node_id: str):
+        """This node's state directory (None without durability)."""
+        if self.state_dir is None:
+            return None
+        from ..storage.journal import node_state_dir  # local import: layering
+
+        return node_state_dir(self.state_dir, node_id)
+
+    def durable_table(self, node_id: str):
+        """A recovered-or-fresh durable location table for *node_id*
+        (None without durability)."""
+        if self.state_dir is None:
+            return None
+        from ..storage.durable import DurableLocationTable  # local import
+
+        return DurableLocationTable(
+            self.node_state_dir(node_id),
+            fsync=self.fsync,
+            snapshot_every=self.snapshot_every,
+            counters=self.durability,
+        )
+
+    def durable_graph(self, node_id: str, triples=None):
+        """A recovered-or-fresh durable graph for *node_id* (None without
+        durability)."""
+        if self.state_dir is None:
+            return None
+        from ..storage.durable import DurableGraph  # local import: layering
+
+        return DurableGraph(
+            self.node_state_dir(node_id),
+            triples=triples,
+            fsync=self.fsync,
+            snapshot_every=self.snapshot_every,
+            counters=self.durability,
+        )
+
+    def journal_event(self, kind: str, node_id: str) -> None:
+        """Record a node lifecycle event (fail/depart/restart) in the
+        membership journal; no-op without durability or during recovery."""
+        if self.journal is not None and not self._recovering:
+            self.journal.log_event(kind, node_id)
+
+    def checkpoint(self) -> Dict[str, int]:
+        """Snapshot every durable component and compact its log.
+
+        Each snapshot is stamped with the current membership epoch, the
+        baseline for stale-entry detection on a later restart. Returns
+        node id → snapshot LSN.
+        """
+        if self.state_dir is None:
+            raise RuntimeError("checkpoint requires a system with state_dir")
+        epoch = self.network.membership_epoch
+        done: Dict[str, int] = {}
+        for node_id in sorted(self.index_nodes):
+            table = self.index_nodes[node_id].table
+            if hasattr(table, "checkpoint"):
+                done[node_id] = table.checkpoint(epoch=epoch)
+        for node_id in sorted(self.storage_nodes):
+            graph = self.storage_nodes[node_id].graph
+            if hasattr(graph, "checkpoint"):
+                done[node_id] = graph.checkpoint(epoch=epoch)
+        return done
 
     def build_ring(self) -> None:
         """Wire the (fully converged) ring; call once after adding index
@@ -106,7 +209,11 @@ class HybridSystem:
         publish its triples into the distributed index."""
         if not self.index_nodes:
             raise RuntimeError("add index nodes and build the ring first")
-        node = StorageNode(node_id, triples)
+        graph = self.durable_graph(node_id, triples=triples)
+        if graph is not None:
+            node = StorageNode(node_id, graph=graph)
+        else:
+            node = StorageNode(node_id, triples)
         self.network.register(node)
         self.storage_nodes[node_id] = node
         if attach_to is None:
@@ -115,6 +222,8 @@ class HybridSystem:
         index_node = self.index_nodes[attach_to]
         node.index_node_id = attach_to
         index_node.attached_storage.append(node_id)
+        if self.journal is not None and not self._recovering:
+            self.journal.log_storage_add(node_id, attach_to)
         if publish:
             if protocol:
                 self.publish_protocol(node)

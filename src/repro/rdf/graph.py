@@ -90,8 +90,17 @@ class Graph:
                 index.pop(k1, None)
 
     def update(self, triples: Iterable[Triple]) -> int:
-        """Add many triples; returns the number actually inserted."""
-        return sum(1 for t in triples if self.add(t))
+        """Add many triples; returns the number actually inserted.
+
+        Validates the whole batch up front (like :meth:`add` does for one
+        triple), so a non-Triple element raises TypeError *before* any
+        mutation — never leaving the graph partially updated.
+        """
+        batch = list(triples)
+        for t in batch:
+            if not isinstance(t, Triple):
+                raise TypeError(f"expected Triple, got {type(t).__name__}")
+        return sum(1 for t in batch if self.add(t))
 
     def __contains__(self, triple: Triple) -> bool:
         return triple.o in self._spo.get(triple.s, {}).get(triple.p, ())

@@ -1,0 +1,148 @@
+"""The WAL line-record codec.
+
+Every durable file in the state directory — write-ahead logs and the
+membership journal — is a sequence of newline-terminated *records*::
+
+    <crc:08x> <lsn> <rtype> <payload>
+
+``crc`` is the CRC-32 of everything after it, so a record is either
+intact or detectably corrupt; ``lsn`` is the log sequence number that
+ties log records to snapshots; ``rtype`` names the mutation; ``payload``
+is record-type specific.
+
+Payloads reuse the N-Triples surface syntax rather than inventing a new
+escaping scheme: a triple record's payload *is* the triple's N-Triples
+line (``Triple.n3()``), and free-form strings (node ids) are encoded as
+N-Triples literals (``Literal(s).n3()``), which the existing
+``\\uXXXX``-escaping writer guarantees to be newline- and
+control-character-free. :class:`PayloadCursor` walks a payload
+field-by-field with the same cursor parser the N-Triples reader uses.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from ..rdf.ntriples import NTriplesError, _LineParser
+from ..rdf.terms import Literal
+
+__all__ = [
+    "CorruptRecord",
+    "Record",
+    "encode_record",
+    "decode_record",
+    "encode_str",
+    "PayloadCursor",
+    "PAYLOAD_ERRORS",
+]
+
+
+class CorruptRecord(ValueError):
+    """A record line failed its CRC or structural check."""
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """One decoded WAL record."""
+
+    lsn: int
+    rtype: str
+    payload: str
+
+
+_RECORD_RE = re.compile(r"^([0-9a-f]{8}) (\d+) ([a-z-]+)(?: (.*))?$")
+_INT_RE = re.compile(r"-?\d+")
+
+
+def _crc(body: str) -> str:
+    return f"{zlib.crc32(body.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+def encode_record(lsn: int, rtype: str, payload: str = "") -> str:
+    """Serialize one record to its line (terminating newline included)."""
+    if "\n" in payload or "\r" in payload:
+        raise ValueError("record payload must be newline-free")
+    body = f"{lsn} {rtype} {payload}" if payload else f"{lsn} {rtype}"
+    return f"{_crc(body)} {body}\n"
+
+
+def decode_record(line: str) -> Record:
+    """Parse and CRC-verify one record line (without its newline)."""
+    m = _RECORD_RE.match(line)
+    if not m:
+        raise CorruptRecord(f"malformed record line: {line[:80]!r}")
+    crc, lsn, rtype, payload = m.group(1), m.group(2), m.group(3), m.group(4)
+    body = line[len(crc) + 1:]
+    if _crc(body) != crc:
+        raise CorruptRecord(f"CRC mismatch on record line: {line[:80]!r}")
+    return Record(int(lsn), rtype, payload or "")
+
+
+# ------------------------------------------------------------- payloads
+
+
+def encode_str(value: str) -> str:
+    """Encode a free-form string as one N-Triples literal field."""
+    return Literal(value).n3()
+
+
+class PayloadCursor:
+    """Sequential field reader over a record payload.
+
+    Fields are space-separated; string fields are N-Triples literals (and
+    may therefore contain escaped spaces), integer fields are plain
+    decimals, term fields are any N-Triples term.
+    """
+
+    def __init__(self, payload: str) -> None:
+        self._parser = _LineParser(payload, 1)
+
+    def string(self) -> str:
+        term = self._parser.term()
+        if not isinstance(term, Literal):
+            raise CorruptRecord(f"expected a literal field, got {term!r}")
+        return term.lexical
+
+    def term(self):
+        return self._parser.term()
+
+    def integer(self) -> int:
+        p = self._parser
+        p.skip_ws()
+        m = _INT_RE.match(p.line, p.pos)
+        if not m:
+            raise CorruptRecord(f"expected an integer field in {p.line!r}")
+        p.pos = m.end()
+        return int(m.group(0))
+
+    def optional_integer(self) -> Optional[int]:
+        """An integer field or the ``-`` placeholder (None)."""
+        p = self._parser
+        p.skip_ws()
+        if p.pos < len(p.line) and p.line[p.pos] == "-" and not _INT_RE.match(
+            p.line, p.pos
+        ):
+            p.pos += 1
+            return None
+        return self.integer()
+
+    def at_end(self) -> bool:
+        p = self._parser
+        p.skip_ws()
+        return p.pos >= len(p.line)
+
+    def rest(self) -> str:
+        p = self._parser
+        p.skip_ws()
+        out = p.line[p.pos:]
+        p.pos = len(p.line)
+        return out
+
+
+#: Exceptions a malformed payload may raise while cursoring: the codec's
+#: own CRC/structure errors plus the N-Triples parser's — both mean the
+#: record is corrupt, and replay treats them identically.
+PAYLOAD_ERRORS = (CorruptRecord, NTriplesError)

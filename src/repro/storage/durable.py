@@ -1,0 +1,305 @@
+"""Durable wrappers: the RDF graph and the location table, on disk.
+
+:class:`DurableGraph` and :class:`DurableLocationTable` subclass the
+in-memory structures and make every mutation crash-safe: the mutation is
+appended to the component's write-ahead log *before* the in-memory
+update is acknowledged, and opening the component replays the newest
+intact snapshot plus the log suffix past it — so a storage node or index
+node killed at any instant reopens to exactly the state it had
+acknowledged.
+
+WAL record vocabulary (payloads per :mod:`~repro.storage.codec`):
+
+=========  =============================================  ==============
+rtype      payload                                        component
+=========  =============================================  ==============
+``add``    the triple's N-Triples line                    graph
+``del``    the triple's N-Triples line                    graph
+``put``    ``<key> <storage literal> <count>``            location table
+``rm``     ``<key> <storage literal> <count or ->``       location table
+``rmnode`` ``<storage literal>``                          location table
+``row``    ``<key> (<storage literal> <freq>)*``          location table
+``drop``   ``<key>``                                      location table
+``epoch``  ``<membership epoch>``                         both
+=========  =============================================  ==============
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Iterable, Optional
+
+from ..overlay.location_table import LocationTable
+from ..rdf.graph import Graph
+from ..rdf.ntriples import parse_ntriples, serialize_ntriples
+from ..rdf.triple import Triple
+from .codec import PAYLOAD_ERRORS, CorruptRecord, PayloadCursor, encode_str
+from .snapshot import SnapshotStore
+from .wal import WriteAheadLog
+
+__all__ = ["DurableGraph", "DurableLocationTable"]
+
+
+class _DurableMixin:
+    """Shared open/replay/checkpoint machinery for durable components."""
+
+    __slots__ = ()
+
+    def _open_storage(self, state_dir, name: str, fsync: bool,
+                      snapshot_every: Optional[int], counters) -> None:
+        self._dir = pathlib.Path(state_dir)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._counters = counters
+        self._wal = WriteAheadLog(self._dir / f"{name}.wal", fsync=fsync,
+                                  counters=counters)
+        self._snapshots = SnapshotStore(self._dir, name, fsync=fsync,
+                                        counters=counters)
+        self._snapshot_every = snapshot_every
+        self._logging = False
+        #: Last membership epoch recorded in the recovered state (None
+        #: when the state never saw one) — drives the stale-entry check
+        #: on restart.
+        self.recovered_epoch: Optional[int] = None
+        #: How this instance came up: snapshot LSN used (0 = none),
+        #: records replayed, torn records truncated.
+        self.recovery_info: Dict[str, int] = {
+            "snapshot_lsn": 0, "records_replayed": 0, "torn_truncated": 0,
+        }
+
+    def _recover(self) -> None:
+        """Load snapshot + replay log suffix; then arm logging."""
+        base_lsn = 0
+        snapshot = self._snapshots.load_latest()
+        if snapshot is not None:
+            self._load_snapshot_body(snapshot.body)
+            base_lsn = snapshot.lsn
+            self.recovered_epoch = snapshot.epoch
+            self.recovery_info["snapshot_lsn"] = snapshot.lsn
+        replayed = 0
+        for record in self._wal.replay():
+            if record.lsn <= base_lsn:
+                # Already folded into the snapshot (a crash landed between
+                # snapshot install and log reset).
+                continue
+            try:
+                self._apply_record(record.rtype, record.payload)
+            except PAYLOAD_ERRORS as exc:
+                raise CorruptRecord(
+                    f"{self._wal.path}: bad {record.rtype!r} record "
+                    f"at LSN {record.lsn}: {exc}"
+                ) from exc
+            replayed += 1
+        self.recovery_info["records_replayed"] = replayed
+        self.recovery_info["torn_truncated"] = self._wal.torn_truncated
+        if self._counters is not None:
+            self._counters.wal_records_replayed += replayed
+        # The log may still carry pre-snapshot records (crash before
+        # reset): compact them away now that replay proved the snapshot
+        # subsumes them.
+        if base_lsn and replayed == 0 and self._wal.record_count:
+            self._wal.reset()
+        self._logging = True
+
+    def _log(self, rtype: str, payload: str = "") -> None:
+        if not self._logging:
+            return
+        self._wal.append(rtype, payload)
+        every = self._snapshot_every
+        if every and self._wal.record_count >= every:
+            self.checkpoint()
+
+    def _apply_epoch(self, rtype: str, payload: str) -> bool:
+        if rtype != "epoch":
+            return False
+        self.recovered_epoch = PayloadCursor(payload).integer()
+        return True
+
+    def note_epoch(self, epoch: int) -> None:
+        """Record the current membership epoch in the log (stale-entry
+        detection baseline for a later restart)."""
+        self._log("epoch", str(epoch))
+        self.recovered_epoch = epoch
+
+    def checkpoint(self, epoch: Optional[int] = None) -> int:
+        """Write a full snapshot and compact the log. Returns its LSN."""
+        if epoch is None:
+            epoch = self.recovered_epoch
+        lsn = self._wal.next_lsn - 1
+        self._snapshots.write(lsn, self._snapshot_body(), epoch=epoch)
+        self._wal.reset()
+        self._snapshots.compact(keep=1)
+        if epoch is not None:
+            self.recovered_epoch = epoch
+        return lsn
+
+    def close(self) -> None:
+        self._wal.close()
+
+    # Subclass hooks -------------------------------------------------------
+
+    def _load_snapshot_body(self, body: str) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _snapshot_body(self) -> str:  # pragma: no cover
+        raise NotImplementedError
+
+    def _apply_record(self, rtype: str, payload: str) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class DurableGraph(_DurableMixin, Graph):
+    """A :class:`~repro.rdf.graph.Graph` whose mutations survive crashes.
+
+    Snapshot body: the canonical N-Triples serialization of the graph.
+    Log records: one ``add``/``del`` per effective mutation (idempotent
+    no-ops — re-adding a present triple, discarding an absent one — are
+    not logged, so replay count equals effective mutation count).
+    """
+
+    __slots__ = ("_dir", "_counters", "_wal", "_snapshots", "_snapshot_every",
+                 "_logging", "recovered_epoch", "recovery_info")
+
+    def __init__(self, state_dir, triples: Optional[Iterable[Triple]] = None,
+                 fsync: bool = False, snapshot_every: Optional[int] = None,
+                 counters=None) -> None:
+        Graph.__init__(self)
+        self._open_storage(state_dir, "graph", fsync, snapshot_every, counters)
+        self._recover()
+        if triples is not None:
+            self.update(triples)
+
+    # Mutations ------------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        inserted = Graph.add(self, triple)
+        if inserted:
+            self._log("add", triple.n3())
+        return inserted
+
+    def discard(self, triple: Triple) -> bool:
+        removed = Graph.discard(self, triple)
+        if removed:
+            self._log("del", triple.n3())
+        return removed
+
+    # Durability hooks -----------------------------------------------------
+
+    def _load_snapshot_body(self, body: str) -> None:
+        for triple in parse_ntriples(body):
+            Graph.add(self, triple)
+
+    def _snapshot_body(self) -> str:
+        return serialize_ntriples(sorted(self, key=lambda t: t.n3()))
+
+    def _apply_record(self, rtype: str, payload: str) -> None:
+        if self._apply_epoch(rtype, payload):
+            return
+        if rtype == "add":
+            Graph.add(self, next(parse_ntriples(payload)))
+        elif rtype == "del":
+            Graph.discard(self, next(parse_ntriples(payload)))
+        else:
+            raise CorruptRecord(f"unknown graph record type {rtype!r}")
+
+
+class DurableLocationTable(_DurableMixin, LocationTable):
+    """A :class:`~repro.overlay.location_table.LocationTable` on disk.
+
+    Snapshot body: one line per key — ``<key> (<storage literal>
+    <freq>)*`` in sorted key order. Log records mirror the table's
+    mutation API one-to-one (see the module table), so a replayed table
+    is cell-for-cell identical to the lost one.
+    """
+
+    __slots__ = ("_dir", "_counters", "_wal", "_snapshots", "_snapshot_every",
+                 "_logging", "recovered_epoch", "recovery_info")
+
+    def __init__(self, state_dir, fsync: bool = False,
+                 snapshot_every: Optional[int] = None, counters=None) -> None:
+        LocationTable.__init__(self)
+        self._open_storage(state_dir, "table", fsync, snapshot_every, counters)
+        self._recover()
+
+    # Mutations ------------------------------------------------------------
+
+    def add(self, key: int, storage_id: str, count: int = 1) -> None:
+        LocationTable.add(self, key, storage_id, count)
+        self._log("put", f"{key} {encode_str(storage_id)} {count}")
+
+    def remove(self, key: int, storage_id: str,
+               count: Optional[int] = None) -> None:
+        LocationTable.remove(self, key, storage_id, count)
+        self._log("rm", f"{key} {encode_str(storage_id)} "
+                        f"{'-' if count is None else count}")
+
+    def remove_storage_node(self, storage_id: str) -> int:
+        touched = LocationTable.remove_storage_node(self, storage_id)
+        if touched:
+            self._log("rmnode", encode_str(storage_id))
+        return touched
+
+    def import_row(self, key: int, cells: Dict[str, int]) -> None:
+        LocationTable.import_row(self, key, cells)
+        if cells:
+            self._log("row", self._row_payload(key, cells))
+
+    def drop_row(self, key: int) -> None:
+        had = key in self
+        LocationTable.drop_row(self, key)
+        if had:
+            self._log("drop", str(key))
+
+    # Durability hooks -----------------------------------------------------
+
+    @staticmethod
+    def _row_payload(key: int, cells: Dict[str, int]) -> str:
+        parts = [str(key)]
+        for storage_id in sorted(cells):
+            parts.append(f"{encode_str(storage_id)} {cells[storage_id]}")
+        return " ".join(parts)
+
+    def _load_snapshot_body(self, body: str) -> None:
+        for line in body.splitlines():
+            if not line:
+                continue
+            key, cells = self._parse_row(line)
+            LocationTable.import_row(self, key, cells)
+
+    @staticmethod
+    def _parse_row(payload: str):
+        cursor = PayloadCursor(payload)
+        key = cursor.integer()
+        cells: Dict[str, int] = {}
+        while not cursor.at_end():
+            # Two statements: the assignment form would evaluate the RHS
+            # (the count) before the key (the id), inverting field order.
+            storage_id = cursor.string()
+            cells[storage_id] = cursor.integer()
+        return key, cells
+
+    def _snapshot_body(self) -> str:
+        lines = [
+            self._row_payload(key, self.row_dict(key))
+            for key in sorted(self.keys())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def _apply_record(self, rtype: str, payload: str) -> None:
+        if self._apply_epoch(rtype, payload):
+            return
+        cursor = PayloadCursor(payload)
+        if rtype == "put":
+            LocationTable.add(self, cursor.integer(), cursor.string(),
+                              cursor.integer())
+        elif rtype == "rm":
+            key, sid = cursor.integer(), cursor.string()
+            LocationTable.remove(self, key, sid, cursor.optional_integer())
+        elif rtype == "rmnode":
+            LocationTable.remove_storage_node(self, cursor.string())
+        elif rtype == "row":
+            key, cells = self._parse_row(payload)
+            LocationTable.import_row(self, key, cells)
+        elif rtype == "drop":
+            LocationTable.drop_row(self, cursor.integer())
+        else:
+            raise CorruptRecord(f"unknown table record type {rtype!r}")

@@ -1,0 +1,147 @@
+"""The system membership journal: who is in the overlay, durably.
+
+Per-node WALs and snapshots capture each node's *content* (its graph or
+location table), but bringing a whole system back from disk also needs
+the overlay's *shape*: which index nodes exist (and their ring
+identifiers), which storage nodes exist (and where they attach), and
+which of them had crashed or departed by the time of the crash. The
+:class:`SystemJournal` is a tiny WAL of exactly those membership events,
+written by :class:`~repro.overlay.system.HybridSystem` whenever its
+topology changes.
+
+Journal record vocabulary:
+
+===================  ==============================================
+rtype                payload
+===================  ==============================================
+``system``           ``<space bits> <replication> <successor-list>``
+``index-add``        ``<node literal> <ident>``
+``storage-add``      ``<node literal> <attach literal or ->``
+``index-fail``       ``<node literal>``
+``index-depart``     ``<node literal>``
+``index-restart``    ``<node literal>``
+``storage-fail``     ``<node literal>``
+``storage-depart``   ``<node literal>``
+``storage-restart``  ``<node literal>``
+===================  ==============================================
+"""
+
+from __future__ import annotations
+
+import pathlib
+import urllib.parse
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .codec import CorruptRecord, PayloadCursor, encode_str
+from .wal import WriteAheadLog
+
+__all__ = ["JournalEvent", "SystemJournal", "node_state_dir"]
+
+_NODE_EVENTS = frozenset({
+    "index-add", "storage-add",
+    "index-fail", "index-depart", "index-restart",
+    "storage-fail", "storage-depart", "storage-restart",
+})
+
+
+def node_state_dir(state_dir, node_id: str) -> pathlib.Path:
+    """The per-node state directory under a system state directory.
+
+    Node ids are free-form strings (the examples use IRIs like peer
+    names), so the path component is percent-encoded to stay filesystem
+    safe and collision-free.
+    """
+    return (
+        pathlib.Path(state_dir) / "nodes"
+        / urllib.parse.quote(node_id, safe="")
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class JournalEvent:
+    """One replayed membership event."""
+
+    lsn: int
+    kind: str
+    node_id: Optional[str] = None
+    ident: Optional[int] = None
+    attach_to: Optional[str] = None
+    #: ``system`` record fields.
+    space_bits: Optional[int] = None
+    replication_factor: Optional[int] = None
+    successor_list_size: Optional[int] = None
+
+
+class SystemJournal:
+    """Membership-event log at ``<state_dir>/membership.wal``."""
+
+    def __init__(self, state_dir, fsync: bool = False, counters=None) -> None:
+        self.state_dir = pathlib.Path(state_dir)
+        self._wal = WriteAheadLog(
+            self.state_dir / "membership.wal", fsync=fsync, counters=counters
+        )
+        #: Events recovered from disk at open, in order.
+        self.events: List[JournalEvent] = [
+            self._decode(record.lsn, record.rtype, record.payload or "")
+            for record in self._wal.replay()
+        ]
+
+    @property
+    def is_fresh(self) -> bool:
+        """True when the journal holds no events (a brand-new directory)."""
+        return not self.events
+
+    # ---------------------------------------------------------------- write
+
+    def log_system(self, space_bits: int, replication_factor: int,
+                   successor_list_size: int) -> None:
+        self._wal.append(
+            "system",
+            f"{space_bits} {replication_factor} {successor_list_size}",
+        )
+
+    def log_index_add(self, node_id: str, ident: int) -> None:
+        self._wal.append("index-add", f"{encode_str(node_id)} {ident}")
+
+    def log_storage_add(self, node_id: str,
+                        attach_to: Optional[str]) -> None:
+        attach = "-" if attach_to is None else encode_str(attach_to)
+        self._wal.append("storage-add", f"{encode_str(node_id)} {attach}")
+
+    def log_event(self, kind: str, node_id: str) -> None:
+        """Log a fail/depart/restart event for one node."""
+        if kind not in _NODE_EVENTS or kind.endswith("-add"):
+            raise ValueError(f"not a node lifecycle event: {kind!r}")
+        self._wal.append(kind, encode_str(node_id))
+
+    def close(self) -> None:
+        self._wal.close()
+
+    # --------------------------------------------------------------- decode
+
+    @staticmethod
+    def _decode(lsn: int, rtype: str, payload: str) -> JournalEvent:
+        cursor = PayloadCursor(payload)
+        if rtype == "system":
+            return JournalEvent(
+                lsn, rtype,
+                space_bits=cursor.integer(),
+                replication_factor=cursor.integer(),
+                successor_list_size=cursor.integer(),
+            )
+        if rtype == "index-add":
+            return JournalEvent(
+                lsn, rtype, node_id=cursor.string(), ident=cursor.integer()
+            )
+        if rtype == "storage-add":
+            node_id = cursor.string()
+            remainder = cursor.rest()
+            attach = (
+                None if remainder == "-"
+                else PayloadCursor(remainder).string()
+            )
+            return JournalEvent(lsn, rtype, node_id=node_id, attach_to=attach)
+        if rtype in _NODE_EVENTS:
+            return JournalEvent(lsn, rtype, node_id=cursor.string())
+        raise CorruptRecord(f"unknown journal record type {rtype!r}")

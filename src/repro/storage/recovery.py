@@ -1,0 +1,116 @@
+"""Whole-system recovery: rebuild a HybridSystem from its state directory.
+
+:func:`recover_system` models a site-wide power cycle: the membership
+journal is replayed to learn the overlay's shape (identifier space,
+replication policy, which index and storage nodes existed and where the
+storage attached), then every surviving node is re-created with its
+durable component — whose own open path replays snapshot + WAL — and the
+ring is rebuilt. Nodes that had *departed* gracefully stay gone; nodes
+that had merely *crashed* come back up, because a whole-site restart
+restarts them too (their state directories were never removed).
+
+The recovered system's location tables are taken verbatim from disk —
+nothing is republished — so the distributed index is exactly what the
+crashed system had acknowledged. Stale cells left by storage nodes that
+failed *before* the crash remain, as in the live system, until lazy
+cleanup removes them (Sect. III-D).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Dict, Optional, Tuple
+
+from .codec import CorruptRecord
+from .journal import SystemJournal
+
+__all__ = ["recover_system"]
+
+
+def _final_membership(events):
+    """Fold journal events into the overlay's final shape."""
+    params: Dict[str, int] = {}
+    index: Dict[str, Dict[str, Any]] = {}
+    storage: Dict[str, Dict[str, Any]] = {}
+    for ev in events:
+        if ev.kind == "system":
+            params = {
+                "space_bits": ev.space_bits,
+                "replication_factor": ev.replication_factor,
+                "successor_list_size": ev.successor_list_size,
+            }
+        elif ev.kind == "index-add":
+            index[ev.node_id] = {"ident": ev.ident}
+        elif ev.kind == "storage-add":
+            storage[ev.node_id] = {"attach_to": ev.attach_to}
+        elif ev.kind == "index-depart":
+            index.pop(ev.node_id, None)
+        elif ev.kind == "storage-depart":
+            storage.pop(ev.node_id, None)
+        # fail / restart events do not change what comes back after a
+        # whole-site restart: a crashed node's state directory is still
+        # there, so the power cycle revives it.
+    return params, index, storage
+
+
+def recover_system(
+    state_dir,
+    link=None,
+    fsync: Optional[bool] = None,
+    snapshot_every: Optional[int] = None,
+) -> Tuple[Any, Dict[str, Any]]:
+    """Bring a whole system back from *state_dir*.
+
+    Returns ``(system, report)`` — the rebuilt
+    :class:`~repro.overlay.system.HybridSystem` plus a report mapping
+    ``"index"``/``"storage"`` to per-node recovery info (snapshot LSN
+    used, WAL records replayed, torn records truncated).
+
+    *fsync* / *snapshot_every* override the recovered system's durability
+    settings going forward (they are per-process policy, not state).
+    """
+    # Local imports: storage is a lower layer than overlay.
+    from ..chord.idspace import IdentifierSpace
+    from ..overlay.system import HybridSystem
+
+    state_dir = pathlib.Path(state_dir)
+    journal = SystemJournal(state_dir)
+    try:
+        if journal.is_fresh:
+            raise CorruptRecord(
+                f"{state_dir} holds no system journal to recover from"
+            )
+        params, index, storage = _final_membership(journal.events)
+    finally:
+        journal.close()
+    if not params:
+        raise CorruptRecord(
+            f"{state_dir}: journal has no system record (torn at birth?)"
+        )
+
+    system = HybridSystem(
+        space=IdentifierSpace(params["space_bits"]),
+        replication_factor=params["replication_factor"],
+        successor_list_size=params["successor_list_size"],
+        link=link,
+        state_dir=state_dir,
+        fsync=bool(fsync),
+        snapshot_every=snapshot_every,
+        _recovering=True,
+    )
+    try:
+        report: Dict[str, Any] = {"index": {}, "storage": {}}
+        for node_id in sorted(index):
+            node = system.add_index_node(node_id, index[node_id]["ident"])
+            report["index"][node_id] = dict(node.table.recovery_info)
+        system.build_ring()
+        for node_id in sorted(storage):
+            node = system.add_storage_node(
+                node_id,
+                attach_to=storage[node_id]["attach_to"],
+                publish=False,  # the recovered location tables are authoritative
+            )
+            report["storage"][node_id] = dict(node.graph.recovery_info)
+    finally:
+        system._recovering = False
+    return system, report

@@ -1,0 +1,154 @@
+"""Append-only write-ahead log with torn-tail repair.
+
+One :class:`WriteAheadLog` owns one file of codec records (see
+:mod:`~repro.storage.codec`). The contract mirrors classic ARIES-style
+logging scaled down to this system's needs:
+
+* **append** — a mutation is encoded, written, flushed (and fsync'd when
+  the log was opened with ``fsync=True``) *before* the caller considers
+  it applied;
+* **replay** — on open, every intact record is yielded in order; the
+  first corrupt or incomplete record marks a *torn tail* (a crash mid
+  write), and the file is truncated back to the last intact record so
+  the log is append-clean again — exactly the recovery behavior the
+  paper's churn model needs from a node that "can eventually recover";
+* **reset** — after a snapshot covers every logged mutation, the log is
+  compacted to empty (LSNs keep counting, so snapshot+log ordering stays
+  total).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Iterator, Optional
+
+from .codec import CorruptRecord, Record, decode_record, encode_record
+
+__all__ = ["WriteAheadLog"]
+
+
+class WriteAheadLog:
+    """One append-only record log backed by a single file."""
+
+    def __init__(
+        self,
+        path,
+        fsync: bool = False,
+        counters=None,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.fsync = fsync
+        self.counters = counters
+        #: LSN the next appended record will carry.
+        self.next_lsn = 1
+        #: Records currently in the file (maintained by replay/append,
+        #: used for snapshot-interval accounting).
+        self.record_count = 0
+        #: Torn records dropped by the last :meth:`replay`.
+        self.torn_truncated = 0
+        self._fh = None
+
+    # --------------------------------------------------------------- replay
+
+    def replay(self) -> Iterator[Record]:
+        """Yield every intact record; truncate a torn tail in place.
+
+        Must be called before the first :meth:`append` (it also seeds
+        ``next_lsn``). A missing file is an empty log.
+        """
+        self.torn_truncated = 0
+        if not self.path.exists():
+            return
+        raw = self.path.read_bytes()
+        good_end = 0
+        torn = 0
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                # Final line has no newline. If it still decodes, only the
+                # terminator was lost — keep the record and repair the
+                # file; otherwise the append was torn mid-write.
+                try:
+                    record = decode_record(raw[offset:].decode("utf-8"))
+                except (CorruptRecord, UnicodeDecodeError):
+                    torn += 1
+                    break
+                with self.path.open("ab") as fh:
+                    fh.write(b"\n")
+                good_end = len(raw) + 1
+                self.record_count += 1
+                self.next_lsn = record.lsn + 1
+                yield record
+                break
+            line_bytes = raw[offset:newline]
+            try:
+                record = decode_record(line_bytes.decode("utf-8"))
+            except (CorruptRecord, UnicodeDecodeError):
+                # First bad record: everything from here on is the torn
+                # tail (records are strictly sequential, so nothing after
+                # a corrupt one can be trusted).
+                torn += raw.count(b"\n", offset) + (
+                    0 if raw.endswith(b"\n") else 1
+                )
+                break
+            good_end = newline + 1
+            offset = newline + 1
+            self.record_count += 1
+            self.next_lsn = record.lsn + 1
+            yield record
+        if good_end < len(raw):
+            with self.path.open("r+b") as fh:
+                fh.truncate(good_end)
+            self.torn_truncated = torn
+            if self.counters is not None:
+                self.counters.wal_torn_records_truncated += torn
+
+    # --------------------------------------------------------------- append
+
+    def append(self, rtype: str, payload: str = "") -> int:
+        """Durably append one record; returns its LSN."""
+        lsn = self.next_lsn
+        line = encode_record(lsn, rtype, payload)
+        fh = self._handle()
+        fh.write(line)
+        fh.flush()
+        if self.fsync:
+            os.fsync(fh.fileno())
+            if self.counters is not None:
+                self.counters.wal_fsyncs += 1
+        self.next_lsn = lsn + 1
+        self.record_count += 1
+        if self.counters is not None:
+            self.counters.wal_records_appended += 1
+        return lsn
+
+    def _handle(self):
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8", newline="")
+        return self._fh
+
+    # ---------------------------------------------------------- compaction
+
+    def reset(self) -> None:
+        """Compact: drop every record (a snapshot now covers them).
+
+        LSNs continue from where they were, so a record appended after a
+        reset still sorts after the snapshot that subsumed its
+        predecessors.
+        """
+        self.close()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("w", encoding="utf-8"):
+            pass
+        self.record_count = 0
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WriteAheadLog({self.path}, next_lsn={self.next_lsn})"

@@ -70,6 +70,9 @@ _METHOD_PHASES: Dict[str, str] = {
     "index_put": PHASE_LOOKUP,
     "replica_put": PHASE_LOOKUP,
     "index_remove_storage": PHASE_LOOKUP,
+    # Key transfer during membership changes (join / restart-rejoin).
+    "export_keys": PHASE_LOOKUP,
+    "import_keys": PHASE_LOOKUP,
     # Sub-query shipping and site-to-site intermediate results.
     "execute_primitive": PHASE_SHIP,
     "chain_step": PHASE_SHIP,

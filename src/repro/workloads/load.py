@@ -123,8 +123,13 @@ class WorkloadReport:
     def per_label(self) -> Dict[str, int]:
         return dict(Counter(j.label for j in self.jobs))
 
-    def as_dict(self) -> Dict[str, Any]:
-        """JSON-friendly summary (drops the per-job objects)."""
+    def as_dict(self, include_jobs: bool = False) -> Dict[str, Any]:
+        """JSON-friendly summary (drops the per-job objects).
+
+        With ``include_jobs`` the full per-job timeline is attached under
+        ``"job_details"`` (``"jobs"`` stays the count, so existing
+        consumers of the summary shape are unaffected).
+        """
         latency = None
         if self.latency is not None:
             latency = {
@@ -134,7 +139,7 @@ class WorkloadReport:
                 "p99": self.latency.p99,
                 "max": self.latency.maximum,
             }
-        return {
+        payload: Dict[str, Any] = {
             "jobs": len(self.jobs),
             "duration": self.duration,
             "completed": self.completed,
@@ -149,6 +154,27 @@ class WorkloadReport:
             "max_admission_queue": self.max_admission_queue,
             "contention": self.contention,
         }
+        if include_jobs:
+            payload["job_details"] = [
+                {
+                    "job_id": j.job_id,
+                    "label": j.label,
+                    "initiator": j.initiator,
+                    "arrival": j.arrival,
+                    "submitted": j.submitted,
+                    "started": j.started,
+                    "finished": j.finished,
+                    "latency": j.latency,
+                    "ok": j.ok,
+                    "shed": j.shed,
+                    "error": j.error,
+                    "results": (
+                        j.report.result_count if j.report is not None else None
+                    ),
+                }
+                for j in self.jobs
+            ]
+        return payload
 
 
 def build_jobs(config: LoadConfig) -> List[QueryJob]:

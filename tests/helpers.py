@@ -12,10 +12,17 @@ def build_system(
     parts=None,
     replication_factor: int = 1,
     space_bits: int = 32,
+    state_dir=None,
+    fsync: bool = False,
+    snapshot_every=None,
 ) -> HybridSystem:
     """A converged hybrid system with the given storage partitions."""
     system = HybridSystem(
-        space=IdentifierSpace(space_bits), replication_factor=replication_factor
+        space=IdentifierSpace(space_bits),
+        replication_factor=replication_factor,
+        state_dir=state_dir,
+        fsync=fsync,
+        snapshot_every=snapshot_every,
     )
     for i in range(num_index):
         system.add_index_node(f"N{i}")

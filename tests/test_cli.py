@@ -1,5 +1,7 @@
 """CLI tests: N-Triples-file providers, query forms, options, errors."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -92,3 +94,66 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["--data", data_files[0], "--query", "ASK { ?s ?p ?o . }",
                   "--strategy", "bogus"])
+
+
+class TestDurabilityCli:
+    QUERY = PREFIXED + "SELECT ?x WHERE { ?x foaf:knows ns:me . }"
+
+    def seed_state(self, capsys, data_files, tmp_path):
+        state = tmp_path / "state"
+        code, out, _ = run_cli(
+            capsys,
+            *[arg for f in data_files for arg in ("--data", f)],
+            "--query", self.QUERY, "--state-dir", str(state),
+        )
+        assert code == 0
+        return state, out
+
+    def test_recover_answers_original_query(self, data_files, tmp_path, capsys):
+        state, original = self.seed_state(capsys, data_files, tmp_path)
+        code, out, _ = run_cli(
+            capsys, "recover", "--state-dir", str(state),
+            "--query", self.QUERY,
+        )
+        assert code == 0
+        assert "# query ok: 2 results" in out
+        assert "# node | snapshot lsn | records replayed | torn truncated" in out
+        # One report row per persisted node (8 index + 4 storage).
+        assert sum(1 for line in out.splitlines()
+                   if line.startswith("# D") or line.startswith("# N")) == 12
+
+    def test_checkpoint_compacts_then_recover_replays_nothing(
+        self, data_files, tmp_path, capsys
+    ):
+        state, _ = self.seed_state(capsys, data_files, tmp_path)
+        code, out, _ = run_cli(capsys, "checkpoint", "--state-dir", str(state))
+        assert code == 0 and out.count("# snapshot") == 12
+
+        code, out, _ = run_cli(capsys, "recover", "--state-dir", str(state))
+        assert code == 0
+        replayed = [
+            int(line.split("|")[2]) for line in out.splitlines()
+            if line.count("|") == 3 and not line.startswith("# node")
+        ]
+        assert replayed and all(n == 0 for n in replayed)
+
+    def test_recover_missing_state_dir_fails(self, tmp_path, capsys):
+        with pytest.raises(Exception):
+            main(["recover", "--state-dir", str(tmp_path / "absent")])
+
+    def test_bench_load_json_report(self, data_files, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code, out, _ = run_cli(
+            capsys, "bench-load",
+            *[arg for f in data_files for arg in ("--data", f)],
+            "--num-queries", "6", "--concurrency", "2",
+            "--json", str(out_path),
+        )
+        assert code == 0
+        assert f"# wrote workload report to {out_path}" in out
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["jobs"] == 6
+        assert len(payload["job_details"]) == 6
+        job = payload["job_details"][0]
+        assert {"job_id", "label", "latency", "ok", "results"} <= set(job)
+        assert all(j["ok"] for j in payload["job_details"])

@@ -1,0 +1,228 @@
+"""System-level durability: crash, restart, rejoin, whole-site recovery.
+
+The acceptance bar for the durable state layer: a system built with
+``state_dir=`` survives kill-and-restart of any index or storage node —
+and a full power cycle via :func:`repro.storage.recover_system` — with
+the paper's Fig. 4-9 queries answering bit-identically to a system that
+never crashed.
+"""
+
+import pytest
+
+from repro.overlay import (
+    HybridSystem,
+    depart_storage_node,
+    fail_index_node,
+    fail_storage_node,
+    key_for_pattern,
+    restart_index_node,
+    restart_storage_node,
+)
+from repro.rdf import FOAF, Graph, TriplePattern, Variable
+from repro.storage import recover_system
+from repro.trace import Tracer
+from repro.workloads import LoadConfig, paper_query_mix, run_workload
+
+from helpers import build_system
+
+X, Y = Variable("x"), Variable("y")
+PAPER_QUERIES = paper_query_mix()
+
+
+def durable_system(tmp_path, **kwargs):
+    return build_system(state_dir=tmp_path / "state", **kwargs)
+
+
+def paper_answers(system):
+    """Fig. 4-9 result rows, label → tuple of rows (deterministic)."""
+    answers = {}
+    for label, text in PAPER_QUERIES:
+        result, _report = system.execute(text)
+        answers[label] = result.rows
+    return answers
+
+
+def knows_owner(system) -> str:
+    _, key = key_for_pattern(TriplePattern(X, FOAF.knows, Y), system.space)
+    return system.ring.owner_of(key).node_id
+
+
+class TestStorageNodeRestart:
+    def test_restart_restores_bit_identical_answers(self, tmp_path):
+        system = durable_system(tmp_path)
+        baseline = paper_answers(system)
+        victim = sorted(system.storage_nodes)[0]
+
+        fail_storage_node(system, victim)
+        restart_storage_node(system, victim)
+
+        assert paper_answers(system) == baseline
+        assert system.durability.recoveries == 1
+
+    def test_republication_does_not_double_count(self, tmp_path):
+        system = durable_system(tmp_path)
+        victim = sorted(system.storage_nodes)[0]
+        before = {
+            node_id: node.table.row_dict(key)
+            for node_id, node in system.index_nodes.items()
+            for key in node.table.keys()
+        }
+        fail_storage_node(system, victim)
+        restart_storage_node(system, victim)
+        after = {
+            node_id: node.table.row_dict(key)
+            for node_id, node in system.index_nodes.items()
+            for key in node.table.keys()
+        }
+        assert after == before
+
+    def test_restart_reattaches_to_previous_parent(self, tmp_path):
+        system = durable_system(tmp_path)
+        victim = sorted(system.storage_nodes)[0]
+        parent = system.storage_nodes[victim].index_node_id
+        fail_storage_node(system, victim)
+        node = restart_storage_node(system, victim)
+        assert node.index_node_id == parent
+        assert system.index_nodes[parent].attached_storage.count(victim) == 1
+
+    def test_restart_of_alive_node_refused(self, tmp_path):
+        system = durable_system(tmp_path)
+        victim = sorted(system.storage_nodes)[0]
+        with pytest.raises(ValueError, match="alive"):
+            restart_storage_node(system, victim)
+
+    def test_restart_without_state_dir_refused(self):
+        system = build_system()
+        victim = sorted(system.storage_nodes)[0]
+        fail_storage_node(system, victim)
+        with pytest.raises(RuntimeError, match="state_dir"):
+            restart_storage_node(system, victim)
+
+
+class TestIndexNodeRestart:
+    def test_restart_restores_bit_identical_answers(self, tmp_path):
+        system = durable_system(tmp_path, replication_factor=2)
+        baseline = paper_answers(system)
+        victim = knows_owner(system)
+
+        fail_index_node(system, victim)
+        restart_index_node(system, victim)
+
+        assert paper_answers(system) == baseline
+
+    def test_restart_emits_recovery_span(self, tmp_path):
+        system = durable_system(tmp_path)
+        victim = knows_owner(system)
+        fail_index_node(system, victim)
+        tracer = Tracer(system.sim)
+        restart_index_node(system, victim, tracer=tracer)
+        spans = [e for e in tracer.events if e.kind == "span_start"
+                 and e.name == "recover"]
+        assert len(spans) == 1 and spans[0].detail["node"] == victim
+
+    def test_stale_entries_dropped_when_epoch_moved(self, tmp_path):
+        """A storage node that departed while the index node was down must
+        not reappear in its recovered table (epoch-gated stale sweep)."""
+        system = durable_system(tmp_path)
+        victim = knows_owner(system)
+        # Pick a storage node whose entries live (in part) on the victim.
+        gone = next(
+            sid for sid in sorted(system.storage_nodes)
+            for key in system.index_nodes[victim].table.keys()
+            if sid in system.index_nodes[victim].table.row_dict(key)
+        )
+        fail_index_node(system, victim)
+        depart_storage_node(system, gone)  # epoch moves past the WAL's view
+
+        node = restart_index_node(system, victim)
+        for key in node.table.keys():
+            assert gone not in node.table.row_dict(key)
+        assert system.durability.stale_entries_dropped > 0
+
+    def test_mid_workload_crash_and_restart_matches_never_crashed_run(
+        self, tmp_path
+    ):
+        """Integration: crash an index node mid-workload, restart it from
+        its snapshot+log, and the subsequent Fig. 4-9 queries are
+        bit-identical to a system that never crashed."""
+        control = build_system(replication_factor=2)
+        baseline = paper_answers(control)
+
+        system = durable_system(tmp_path, replication_factor=2)
+        system.checkpoint()  # snapshot mid-history: restart = snapshot + log
+        victim = knows_owner(system)
+        config = LoadConfig(
+            queries=[("knows", "SELECT ?x ?y WHERE { ?x foaf:knows ?y . }")],
+            mode="closed",
+            concurrency=4,
+            num_queries=12,
+            seed=3,
+        )
+        # Crash mid-workload; the workload drains (some jobs fail — that
+        # is the churn story), then the node restarts from disk.
+        system.sim.timeout(0.05).callbacks.append(
+            lambda _e: system.network.fail_node(victim))
+        report = run_workload(system, config)
+        assert report.completed + report.failed == len(report.jobs)
+        system.ring.stabilize(3)
+        system.journal_event("index-fail", victim)
+
+        restart_index_node(system, victim)
+        assert paper_answers(system) == baseline
+
+    def test_restart_of_alive_node_refused(self, tmp_path):
+        system = durable_system(tmp_path)
+        with pytest.raises(ValueError, match="alive"):
+            restart_index_node(system, knows_owner(system))
+
+
+class TestWholeSystemRecovery:
+    def test_power_cycle_round_trips_answers_and_data(self, tmp_path):
+        system = durable_system(tmp_path)
+        baseline = paper_answers(system)
+        union = Graph(iter(system.union_graph()))
+
+        recovered, report = recover_system(tmp_path / "state")
+        assert paper_answers(recovered) == baseline
+        assert recovered.union_graph() == union
+        assert sorted(report["index"]) == sorted(system.index_nodes)
+        assert sorted(report["storage"]) == sorted(system.storage_nodes)
+
+    def test_checkpoint_bounds_replay(self, tmp_path):
+        system = durable_system(tmp_path)
+        system.checkpoint()
+        _recovered, report = recover_system(tmp_path / "state")
+        assert all(
+            info["records_replayed"] == 0
+            for section in report.values()
+            for info in section.values()
+        )
+
+    def test_departed_node_stays_gone(self, tmp_path):
+        system = durable_system(tmp_path)
+        gone = sorted(system.storage_nodes)[0]
+        depart_storage_node(system, gone)
+        baseline = paper_answers(system)
+
+        recovered, report = recover_system(tmp_path / "state")
+        assert gone not in recovered.storage_nodes
+        assert gone not in report["storage"]
+        assert paper_answers(recovered) == baseline
+
+    def test_crashed_node_comes_back_after_power_cycle(self, tmp_path):
+        system = durable_system(tmp_path)
+        baseline = paper_answers(system)
+        fail_storage_node(system, sorted(system.storage_nodes)[0])
+
+        recovered, _report = recover_system(tmp_path / "state")
+        assert all(n.alive for n in recovered.storage_nodes.values())
+        assert paper_answers(recovered) == baseline
+
+    def test_reusing_a_state_dir_without_recover_refused(self, tmp_path):
+        durable_system(tmp_path)
+        with pytest.raises(ValueError, match="recover_system"):
+            HybridSystem(state_dir=tmp_path / "state")
+
+    def test_recovering_an_empty_dir_refused(self, tmp_path):
+        with pytest.raises(Exception, match="journal"):
+            recover_system(tmp_path / "nothing-here")

@@ -57,6 +57,24 @@ class TestSetSemantics:
         added = g.update([Triple(S[0], P[0], O[0]), Triple(S[3], P[0], O[0])])
         assert added == 1
 
+    def test_update_validates_before_mutating(self):
+        """A non-Triple anywhere in the batch raises before any insert —
+        update is all-or-nothing, like add is for one triple."""
+        g = Graph()
+        bad = [Triple(S[0], P[0], O[0]), Triple(S[1], P[0], O[0]), "oops"]
+        with pytest.raises(TypeError, match="str"):
+            g.update(bad)
+        assert len(g) == 0
+
+        with pytest.raises(TypeError, match="tuple"):
+            g.update([(S[0], P[0], O[0])])
+        assert len(g) == 0
+
+    def test_update_accepts_generators(self):
+        g = Graph()
+        added = g.update(Triple(S[i], P[0], O[0]) for i in range(3))
+        assert added == 3 and len(g) == 3
+
     def test_iteration_yields_all(self):
         g = make_graph()
         assert len(list(g)) == len(g) == 5

@@ -1,0 +1,171 @@
+"""Tests for the durable wrappers: DurableGraph and DurableLocationTable."""
+
+import pytest
+
+from repro.metrics import DurabilityCounters
+from repro.overlay import LocationTable
+from repro.rdf import Graph, IRI, Literal, Triple
+from repro.storage import DurableGraph, DurableLocationTable
+
+
+def make_triples(n, tag="t"):
+    return [
+        Triple(IRI(f"http://x/{tag}/s{i}"), IRI("http://x/p"), Literal(f"v{i}"))
+        for i in range(n)
+    ]
+
+
+class TestDurableGraph:
+    def test_reopen_restores_exact_graph(self, tmp_path):
+        g = DurableGraph(tmp_path, triples=make_triples(5))
+        extra = Triple(IRI("http://x/extra"), IRI("http://x/p"), Literal("e"))
+        g.add(extra)
+        g.discard(make_triples(5)[0])
+        g.close()
+
+        reopened = DurableGraph(tmp_path)
+        assert Graph(iter(reopened)) == Graph(make_triples(5)[1:] + [extra])
+        assert reopened.recovery_info["records_replayed"] == 7  # 6 adds + 1 del
+
+    def test_noop_mutations_not_logged(self, tmp_path):
+        g = DurableGraph(tmp_path, triples=make_triples(2))
+        g.add(make_triples(2)[0])          # already present
+        g.discard(make_triples(3, "x")[0])  # absent
+        g.close()
+        assert DurableGraph(tmp_path).recovery_info["records_replayed"] == 2
+
+    def test_checkpoint_compacts_log(self, tmp_path):
+        g = DurableGraph(tmp_path, triples=make_triples(4))
+        g.checkpoint(epoch=9)
+        g.close()
+
+        reopened = DurableGraph(tmp_path)
+        assert len(reopened) == 4
+        assert reopened.recovery_info["records_replayed"] == 0
+        assert reopened.recovery_info["snapshot_lsn"] == 4
+        assert reopened.recovered_epoch == 9
+
+    def test_mutations_after_checkpoint_replay_on_top(self, tmp_path):
+        g = DurableGraph(tmp_path, triples=make_triples(3))
+        g.checkpoint()
+        post = Triple(IRI("http://x/post"), IRI("http://x/p"), Literal("p"))
+        g.add(post)
+        g.close()
+
+        reopened = DurableGraph(tmp_path)
+        assert post in reopened and len(reopened) == 4
+        assert reopened.recovery_info["records_replayed"] == 1
+
+    def test_snapshot_every_auto_checkpoints(self, tmp_path):
+        counters = DurabilityCounters()
+        g = DurableGraph(tmp_path, snapshot_every=3, counters=counters)
+        for t in make_triples(7):
+            g.add(t)
+        g.close()
+        assert counters.snapshots_written == 2  # after records 3 and 6
+        reopened = DurableGraph(tmp_path)
+        assert len(reopened) == 7
+        assert reopened.recovery_info["records_replayed"] == 1  # 7th add only
+
+    def test_torn_tail_truncated_on_open(self, tmp_path):
+        g = DurableGraph(tmp_path, triples=make_triples(3))
+        g.close()
+        wal = tmp_path / "graph.wal"
+        wal.write_bytes(wal.read_bytes()[:-6])
+
+        reopened = DurableGraph(tmp_path)
+        assert len(reopened) == 2
+        assert reopened.recovery_info["torn_truncated"] == 1
+
+    def test_counters_track_appends_and_replays(self, tmp_path):
+        counters = DurabilityCounters()
+        g = DurableGraph(tmp_path, triples=make_triples(4), counters=counters)
+        g.close()
+        assert counters.wal_records_appended == 4
+        DurableGraph(tmp_path, counters=counters)
+        assert counters.wal_records_replayed == 4
+
+    def test_fsync_counted(self, tmp_path):
+        counters = DurabilityCounters()
+        g = DurableGraph(tmp_path, fsync=True, counters=counters)
+        g.add(make_triples(1)[0])
+        g.close()
+        assert counters.wal_fsyncs == 1
+
+    def test_unicode_terms_survive(self, tmp_path):
+        odd = Triple(
+            IRI("http://x/sé"), IRI("http://x/p"),
+            Literal("line\nbreak \"and\" \t☃"),
+        )
+        g = DurableGraph(tmp_path)
+        g.add(odd)
+        g.close()
+        assert odd in DurableGraph(tmp_path)
+
+
+class TestDurableLocationTable:
+    def plain_copy(self, table):
+        copy = LocationTable()
+        for key, row in table.export_range():
+            copy.import_row(key, row)
+        return copy
+
+    def test_reopen_restores_exact_table(self, tmp_path):
+        t = DurableLocationTable(tmp_path)
+        t.add(10, "D1", 3)
+        t.add(10, "D2", 5)
+        t.add(20, "node with spaces", 1)
+        t.remove(10, "D1", 2)
+        t.import_row(30, {"D3": 7, "D4": 2})
+        t.remove_storage_node("D4")
+        t.drop_row(20)
+        t.close()
+
+        reopened = DurableLocationTable(tmp_path)
+        assert reopened.row_dict(10) == {"D1": 1, "D2": 5}
+        assert reopened.row_dict(30) == {"D3": 7}
+        assert 20 not in reopened
+        assert reopened.cell_count() == 3
+
+    def test_remove_whole_cell_round_trips(self, tmp_path):
+        t = DurableLocationTable(tmp_path)
+        t.add(1, "D1", 4)
+        t.remove(1, "D1")  # count=None: drop the cell entirely
+        t.close()
+        assert 1 not in DurableLocationTable(tmp_path)
+
+    def test_checkpoint_and_suffix_replay(self, tmp_path):
+        t = DurableLocationTable(tmp_path)
+        t.add(1, "D1", 2)
+        t.checkpoint(epoch=4)
+        t.add(2, "D2", 6)
+        t.close()
+
+        reopened = DurableLocationTable(tmp_path)
+        assert reopened.row_dict(1) == {"D1": 2}
+        assert reopened.row_dict(2) == {"D2": 6}
+        assert reopened.recovery_info["records_replayed"] == 1
+        assert reopened.recovered_epoch == 4
+
+    def test_note_epoch_survives_reopen(self, tmp_path):
+        t = DurableLocationTable(tmp_path)
+        t.add(1, "D1", 1)
+        t.note_epoch(17)
+        t.close()
+        assert DurableLocationTable(tmp_path).recovered_epoch == 17
+
+    def test_empty_row_import_not_logged(self, tmp_path):
+        t = DurableLocationTable(tmp_path)
+        t.import_row(5, {})
+        t.close()
+        assert DurableLocationTable(tmp_path).recovery_info["records_replayed"] == 0
+
+    def test_snapshot_every_auto_checkpoints(self, tmp_path):
+        counters = DurabilityCounters()
+        t = DurableLocationTable(tmp_path, snapshot_every=2, counters=counters)
+        for i in range(5):
+            t.add(i, "D1", 1)
+        t.close()
+        assert counters.snapshots_written == 2
+        reopened = DurableLocationTable(tmp_path)
+        assert reopened.cell_count() == 5

@@ -1,0 +1,196 @@
+"""Unit tests for the durability primitives: codec, WAL, snapshots."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Triple
+from repro.storage import (
+    CorruptRecord,
+    PayloadCursor,
+    Record,
+    SnapshotStore,
+    WriteAheadLog,
+    decode_record,
+    encode_record,
+    encode_str,
+)
+
+
+class TestCodec:
+    def test_round_trip(self):
+        line = encode_record(7, "add", "<http://x/s> <http://x/p> \"v\" .")
+        assert line.endswith("\n")
+        record = decode_record(line.rstrip("\n"))
+        assert record == Record(7, "add", "<http://x/s> <http://x/p> \"v\" .")
+
+    def test_empty_payload(self):
+        record = decode_record(encode_record(1, "reset").rstrip("\n"))
+        assert record == Record(1, "reset", "")
+
+    def test_newline_in_payload_rejected(self):
+        with pytest.raises(ValueError, match="newline"):
+            encode_record(1, "add", "two\nlines")
+
+    def test_crc_mismatch_detected(self):
+        line = encode_record(3, "add", "payload").rstrip("\n")
+        tampered = line[:-1] + ("X" if line[-1] != "X" else "Y")
+        with pytest.raises(CorruptRecord, match="CRC"):
+            decode_record(tampered)
+
+    def test_malformed_line_detected(self):
+        with pytest.raises(CorruptRecord, match="malformed"):
+            decode_record("not a record at all")
+
+    def test_encode_str_escapes_spaces_and_quotes(self):
+        encoded = encode_str('a node "with" spaces')
+        cursor = PayloadCursor(encoded)
+        assert cursor.string() == 'a node "with" spaces'
+        assert cursor.at_end()
+
+    def test_cursor_fields(self):
+        payload = f"42 {encode_str('D1')} -7 - 9"
+        cursor = PayloadCursor(payload)
+        assert cursor.integer() == 42
+        assert cursor.string() == "D1"
+        assert cursor.integer() == -7
+        assert cursor.optional_integer() is None
+        assert cursor.optional_integer() == 9
+        assert cursor.at_end()
+
+    def test_cursor_type_errors(self):
+        with pytest.raises(CorruptRecord, match="integer"):
+            PayloadCursor("nope").integer()
+        with pytest.raises(CorruptRecord, match="literal"):
+            PayloadCursor("<http://x/iri>").string()
+
+
+class TestWriteAheadLog:
+    def test_append_then_replay(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "t.wal")
+        assert wal.append("add", "one") == 1
+        assert wal.append("del", "two") == 2
+        wal.close()
+
+        reopened = WriteAheadLog(tmp_path / "t.wal")
+        records = list(reopened.replay())
+        assert [(r.lsn, r.rtype, r.payload) for r in records] == [
+            (1, "add", "one"), (2, "del", "two"),
+        ]
+        assert reopened.next_lsn == 3
+        assert reopened.torn_truncated == 0
+
+    def test_missing_file_is_empty_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "absent.wal")
+        assert list(wal.replay()) == []
+        assert wal.next_lsn == 1
+
+    def test_torn_partial_line_truncated(self, tmp_path):
+        path = tmp_path / "t.wal"
+        wal = WriteAheadLog(path)
+        wal.append("add", "one")
+        wal.append("add", "two")
+        wal.close()
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-4])  # tear the last record mid-write
+
+        reopened = WriteAheadLog(path)
+        records = list(reopened.replay())
+        assert [r.payload for r in records] == ["one"]
+        assert reopened.torn_truncated == 1
+        # The file is append-clean again: a fresh append replays fine.
+        reopened.append("add", "three")
+        reopened.close()
+        final = list(WriteAheadLog(path).replay())
+        assert [r.payload for r in final] == ["one", "three"]
+
+    def test_lost_newline_on_intact_record_is_repaired(self, tmp_path):
+        """An acked record whose terminator was lost must not be dropped."""
+        path = tmp_path / "t.wal"
+        wal = WriteAheadLog(path)
+        wal.append("add", "one")
+        wal.close()
+        path.write_bytes(path.read_bytes().rstrip(b"\n"))
+
+        reopened = WriteAheadLog(path)
+        assert [r.payload for r in reopened.replay()] == ["one"]
+        assert reopened.torn_truncated == 0
+        assert path.read_bytes().endswith(b"\n")
+
+    def test_corruption_mid_file_truncates_suffix(self, tmp_path):
+        path = tmp_path / "t.wal"
+        wal = WriteAheadLog(path)
+        for i in range(4):
+            wal.append("add", f"r{i}")
+        wal.close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b"garbage line\n"
+        path.write_bytes(b"".join(lines))
+
+        reopened = WriteAheadLog(path)
+        records = list(reopened.replay())
+        # Everything from the corrupt record on is untrusted and dropped.
+        assert [r.payload for r in records] == ["r0"]
+        assert reopened.torn_truncated == 3
+        assert path.read_bytes().count(b"\n") == 1
+
+    def test_reset_keeps_lsns_monotonic(self, tmp_path):
+        path = tmp_path / "t.wal"
+        wal = WriteAheadLog(path)
+        wal.append("add", "one")
+        wal.append("add", "two")
+        wal.reset()
+        assert wal.record_count == 0
+        assert wal.append("add", "three") == 3
+        wal.close()
+        records = list(WriteAheadLog(path).replay())
+        assert [(r.lsn, r.payload) for r in records] == [(3, "three")]
+
+
+class TestSnapshotStore:
+    def test_write_load_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path, "graph")
+        store.write(12, "line one\nline two\n", epoch=5)
+        snap = store.load_latest()
+        assert snap is not None
+        assert (snap.lsn, snap.epoch, snap.body) == (12, 5, "line one\nline two\n")
+
+    def test_epoch_none_round_trips(self, tmp_path):
+        store = SnapshotStore(tmp_path, "graph")
+        store.write(1, "body\n")
+        assert store.load_latest().epoch is None
+
+    def test_latest_wins(self, tmp_path):
+        store = SnapshotStore(tmp_path, "graph")
+        store.write(1, "old\n")
+        store.write(9, "new\n")
+        assert store.load_latest().body == "new\n"
+
+    def test_damaged_snapshot_falls_back_to_older(self, tmp_path):
+        store = SnapshotStore(tmp_path, "graph")
+        store.write(1, "good\n")
+        newest = store.write(2, "bad\n")
+        newest.write_text(
+            newest.read_text(encoding="utf-8").replace("bad", "mut"),
+            encoding="utf-8",
+        )  # body no longer matches the header CRC
+        snap = store.load_latest()
+        assert snap.lsn == 1 and snap.body == "good\n"
+
+    def test_compact_keeps_newest(self, tmp_path):
+        store = SnapshotStore(tmp_path, "graph")
+        for lsn in (1, 2, 3):
+            store.write(lsn, f"v{lsn}\n")
+        assert store.compact(keep=1) == 2
+        assert store.load_latest().lsn == 3
+        assert len(list(tmp_path.glob("graph-*.snap"))) == 1
+
+    def test_components_are_namespaced(self, tmp_path):
+        graphs = SnapshotStore(tmp_path, "graph")
+        tables = SnapshotStore(tmp_path, "table")
+        graphs.write(1, "graph body\n")
+        tables.write(2, "table body\n")
+        assert graphs.load_latest().body == "graph body\n"
+        assert tables.load_latest().body == "table body\n"
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        store = SnapshotStore(tmp_path / "absent", "graph")
+        assert store.load_latest() is None
