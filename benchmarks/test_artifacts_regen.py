@@ -13,7 +13,6 @@ can quote them:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.metrics import render_table
 from repro.overlay import LocationTable, fig1_network

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.metrics import render_table
 from repro.query import ConjunctionMode, DistributedExecutor, ExecutionOptions

@@ -10,7 +10,6 @@ crossover from a trap into a planning input.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.metrics import render_table
 from repro.query import DistributedExecutor, ExecutionOptions, PrimitiveStrategy

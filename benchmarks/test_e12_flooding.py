@@ -13,7 +13,6 @@ sacrifices recall.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines import FloodingSystem
 from repro.metrics import render_table

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.baselines import NumericRange, RDFPeersSystem
 from repro.chord import IdentifierSpace

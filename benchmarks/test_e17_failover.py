@@ -1,0 +1,204 @@
+"""E17 — Query success under index-node churn, failover off vs. on (PR 6).
+
+A closed-loop workload (48 queries, 8 clients) over the paper-example
+dataset with rf=2 location-table replication, while a seeded churn
+schedule crashes the two index nodes that own the workload's predicate
+keys mid-run.  Three cells:
+
+* **baseline** — churn-free, classic options: the reference answers and
+  tail latency;
+* **churn / failover off** — the same crashes with the classic fail-fast
+  engine: affected queries fail (cleanly, but they fail);
+* **churn / failover on** — retry budgets + replica failover: ≥99 % of
+  queries complete, every completed answer bit-identical to baseline.
+
+Claims under test:
+
+* **Failover recovers what fail-fast loses**: the off-cell fails at
+  least one query; the on-cell completes ≥99 % (in this deterministic
+  schedule: all) of them.
+* **Recovery is exact**: every completed on-cell answer equals the
+  churn-free answer for its query, row for row.
+* **Recovery is not free**: the on-cell's p99 exceeds the churn-free
+  p99 — timeouts, backoff, and re-dispatch cost latency, which is the
+  honest price of the ≥99 % success rate.
+
+Writes ``BENCH_PR6_failover.json`` next to this file for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter
+
+from repro.metrics import render_table
+from repro.overlay import key_for_pattern
+from repro.query import DistributedExecutor, ExecutionOptions
+from repro.rdf import FOAF, TriplePattern, Variable
+from repro.workloads import LoadConfig, churn_schedule, run_workload
+
+from conftest import build_system, emit, run_once
+
+JSON_PATH = pathlib.Path(__file__).parent / "BENCH_PR6_failover.json"
+
+NUM_QUERIES = 48
+CONCURRENCY = 8
+CHURN_WINDOW = (0.05, 0.45)
+SEED = 17
+
+MIX = [
+    ("knows", "SELECT ?x ?y WHERE { ?x foaf:knows ?y . }"),
+    ("name", 'SELECT ?x WHERE { ?x foaf:name "Smith" . }'),
+    ("conj", "SELECT ?x ?n WHERE { ?x foaf:knows ?y . ?y foaf:name ?n . }"),
+]
+
+FAILOVER_OPTIONS = ExecutionOptions(
+    failover=True, retries=2, backoff=0.05, per_attempt_timeout=0.4)
+
+
+def canon(result):
+    return Counter(
+        tuple(sorted((v.name, t.n3()) for v, t in mu.items()))
+        for mu in result.rows
+    )
+
+
+def fresh_system():
+    from repro.workloads import paper_example_partition
+
+    return build_system(parts=paper_example_partition(),
+                        replication_factor=2)
+
+
+def predicate_owners(system):
+    """The index nodes owning the workload's two predicate keys — the
+    churn victims, so every crash actually matters to the mix."""
+    x, y = Variable("x"), Variable("y")
+    owners = []
+    for pattern in (TriplePattern(x, FOAF.knows, y),
+                    TriplePattern(x, FOAF.name, y)):
+        _kind, key = key_for_pattern(pattern, system.space)
+        owner = system.ring.owner_of(key).node_id
+        if owner not in owners:
+            owners.append(owner)
+    return owners
+
+
+def measure_cell(options, with_churn):
+    system = fresh_system()
+    churn = ()
+    if with_churn:
+        churn = churn_schedule(predicate_owners(system), num_crashes=2,
+                               window=CHURN_WINDOW, seed=SEED)
+    config = LoadConfig(
+        queries=MIX,
+        initiators=tuple(sorted(system.storage_nodes)),
+        mode="closed",
+        concurrency=CONCURRENCY,
+        num_queries=NUM_QUERIES,
+        seed=SEED,
+        churn=churn,
+    )
+    report = run_workload(system, config, options)
+    lat = report.latency
+    return {
+        "report": report,
+        "churn": churn,
+        "completed": report.completed,
+        "failed": report.failed,
+        "success_rate": report.completed / len(report.jobs),
+        "p50_ms": lat.p50 * 1000 if lat else None,
+        "p99_ms": lat.p99 * 1000 if lat else None,
+        "failover": dict(report.failover),
+    }
+
+
+def run_cells():
+    # The churn-free oracle answers, one serial run per mix entry.
+    oracle_system = fresh_system()
+    oracle = {}
+    for label, query in MIX:
+        result, _ = DistributedExecutor(oracle_system).execute(
+            query, initiator=sorted(oracle_system.storage_nodes)[0])
+        oracle[label] = canon(result)
+    cells = {
+        "baseline": measure_cell(ExecutionOptions(), with_churn=False),
+        "churn_failover_off": measure_cell(ExecutionOptions(),
+                                           with_churn=True),
+        "churn_failover_on": measure_cell(FAILOVER_OPTIONS, with_churn=True),
+    }
+    return oracle, cells
+
+
+def test_e17_failover(benchmark):
+    oracle, cells = run_once(benchmark, run_cells)
+
+    rows = []
+    payload = {"num_queries": NUM_QUERIES, "concurrency": CONCURRENCY,
+               "replication_factor": 2, "seed": SEED, "cells": {}}
+    for name, m in cells.items():
+        fo = m["failover"]
+        rows.append([
+            name, m["completed"], m["failed"],
+            f"{m['success_rate'] * 100:.1f}%",
+            f"{m['p50_ms']:.1f}" if m["p50_ms"] is not None else "-",
+            f"{m['p99_ms']:.1f}" if m["p99_ms"] is not None else "-",
+            fo.get("retries", 0),
+            fo.get("lookup_failovers", 0) + fo.get("dispatch_failovers", 0)
+            + fo.get("entry_failovers", 0),
+        ])
+        payload["cells"][name] = {
+            "completed": m["completed"],
+            "failed": m["failed"],
+            "success_rate": round(m["success_rate"], 4),
+            "p50_ms": round(m["p50_ms"], 3) if m["p50_ms"] is not None else None,
+            "p99_ms": round(m["p99_ms"], 3) if m["p99_ms"] is not None else None,
+            "churn": [
+                {"at": round(ev.at, 4), "action": ev.action,
+                 "node": ev.node_id}
+                for ev in m["churn"]
+            ],
+            "failover": fo,
+        }
+    emit(render_table(
+        ["cell", "done", "failed", "success", "p50_ms", "p99_ms",
+         "retries", "failovers"],
+        rows,
+        title=f"E17: {NUM_QUERIES} queries, {CONCURRENCY} clients, rf=2, "
+              "two predicate-owner crashes mid-run",
+    ))
+
+    baseline = cells["baseline"]
+    off = cells["churn_failover_off"]
+    on = cells["churn_failover_on"]
+
+    # 0. The churn-free baseline is healthy and exact.
+    assert baseline["failed"] == 0
+    for job in baseline["report"].jobs:
+        assert canon(job.result) == oracle[job.label]
+
+    # 1. Fail-fast loses queries to the crashes (cleanly, but loses them).
+    assert off["failed"] > 0
+    for job in off["report"].jobs:
+        if job.error is not None:
+            assert "distributed execution failed" in job.error
+
+    # 2. The acceptance bar: failover on completes >= 99 % of the same
+    # workload under the same crash schedule …
+    assert on["success_rate"] >= 0.99, on["success_rate"]
+    # … and every completed answer is bit-identical to the churn-free run.
+    for job in on["report"].jobs:
+        if job.result is not None:
+            assert canon(job.result) == oracle[job.label], job.job_id
+    # The machinery actually ran (the cell didn't pass by luck).
+    fo = on["failover"]
+    assert (fo.get("retries", 0) + fo.get("lookup_failovers", 0)
+            + fo.get("dispatch_failovers", 0)
+            + fo.get("entry_failovers", 0)) >= 1
+
+    # 3. Recovery costs tail latency — the honest trade.
+    assert on["p99_ms"] > baseline["p99_ms"]
+
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                         encoding="utf-8")

@@ -16,11 +16,10 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.metrics import render_table
 from repro.query import ConjunctionMode, DistributedExecutor, ExecutionOptions
-from repro.rdf import COMMON_PREFIXES, FOAF, NS
+from repro.rdf import COMMON_PREFIXES, FOAF
 from repro.sparql import evaluate_query, parse_query
 from repro.workloads import FoafConfig, generate_foaf_triples
 

@@ -20,7 +20,6 @@ Measured findings (recorded in EXPERIMENTS.md):
 
 from __future__ import annotations
 
-import pytest
 
 from repro.metrics import render_table
 from repro.query import DistributedExecutor, ExecutionOptions, JoinSitePolicy

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.baselines import RDFPeersSystem
 from repro.chord import ChordNode, ChordRing, IdentifierSpace, measure_lookups

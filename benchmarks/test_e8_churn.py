@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.metrics import render_table
 from repro.overlay import (

@@ -15,7 +15,6 @@ Measured:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.metrics import render_table
 from repro.overlay import KeyKind

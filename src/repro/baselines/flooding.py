@@ -18,14 +18,14 @@ index for the same query on the same data.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
-from ..net.transport import Network, Node
+from ..net.transport import Network
 from ..overlay.peer import _mapping_sort_key
 from ..overlay.storage_node import StorageNode
 from ..rdf.triple import Triple
 from ..sparql.algebra import Algebra
-from ..sparql.solutions import SolutionMapping, union as omega_union
+from ..sparql.solutions import SolutionMapping
 
 __all__ = ["FloodingNode", "FloodingSystem"]
 

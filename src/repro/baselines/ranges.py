@@ -23,11 +23,10 @@ FILTER over the ⟨p⟩-indexed pattern, evaluated *at the providers*
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..chord.idspace import IdentifierSpace
 from ..rdf.terms import Literal, RDFTerm
-from ..rdf.triple import Triple
 
 __all__ = ["LocalityHash", "NumericRange", "sort_ranges"]
 

@@ -30,7 +30,7 @@ from ..chord.ring import ChordRing
 from ..net.transport import Network
 from ..overlay.peer import QueryPeer, _mapping_sort_key
 from ..rdf.graph import Graph
-from ..rdf.terms import IRI, RDFTerm, Variable, is_concrete
+from ..rdf.terms import IRI, RDFTerm, is_concrete
 from ..rdf.triple import Triple, TriplePattern
 from ..sparql.solutions import SolutionMapping, join as omega_join, match_pattern
 from .ranges import LocalityHash, NumericRange, numeric_value, sort_ranges

@@ -13,11 +13,10 @@ from statistics import mean
 from typing import List, Optional, Sequence
 
 from ..net.transport import Network
-from .idspace import IdentifierSpace
 from .node import LookupResult, NodeRef
 from .ring import ChordRing
 
-__all__ = ["lookup", "LookupSample", "measure_lookups"]
+__all__ = ["lookup", "lookup_avoiding", "LookupSample", "measure_lookups"]
 
 
 def lookup(network: Network, entry: NodeRef, key: int, initiator: str = "client") -> LookupResult:
@@ -36,6 +35,28 @@ def lookup(network: Network, entry: NodeRef, key: int, initiator: str = "client"
 
     result, _completed_at = network.sim.run_process(proc())
     return result
+
+
+def lookup_avoiding(
+    network: Network,
+    entry: NodeRef,
+    key: int,
+    initiator: str = "client",
+    avoid: Sequence[str] = (),
+) -> LookupResult:
+    """Like :func:`lookup`, but carries an ``avoid`` hint so the ring
+    answers with the dead owner's replica holder instead of the owner
+    itself (failover routing; Sect. III-D takeover)."""
+
+    payload = {"key": key}
+    if avoid:
+        payload["avoid"] = list(avoid)
+
+    def proc():
+        result = yield network.call(initiator, entry.node_id, "find_successor", payload)
+        return result
+
+    return network.sim.run_process(proc())
 
 
 @dataclass(frozen=True, slots=True)

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..net.sim import Event
-from ..net.transport import Node, RpcError, RpcTimeout
+from ..net.transport import Node, RpcError
 from .idspace import IdentifierSpace
 
 __all__ = ["NodeRef", "ChordNode", "LookupResult"]
@@ -123,18 +123,31 @@ class ChordNode(Node):
 
         Generator handler: forwarding hops are real messages, so the
         experiment's hop counts come straight from the message log.
+
+        An optional ``avoid`` list in the payload names nodes the caller
+        has observed dead: instead of returning one of them as the owner,
+        we answer with the first other entry of our successor list — in
+        Chord's successor-list replication (Sect. III-D) that is exactly
+        the replica holder about to take over the dead owner's keys.
         """
         key = payload["key"]
         hops = payload.get("hops", 0)
+        avoid = payload.get("avoid") or ()
         if self.space.between_right_closed(key, self.ident, self.successor.ident):
-            return LookupResult(self.successor, hops)
+            owner = self.successor
+            if owner.node_id in avoid:
+                for backup in self.successor_list[1:]:
+                    if backup.node_id not in avoid:
+                        return LookupResult(backup, hops)
+            return LookupResult(owner, hops)
         nxt = self.closest_preceding(key)
         if nxt == self.ref:
             return LookupResult(self.ref, hops)
+        forward = {"key": key, "hops": hops + 1}
+        if avoid:
+            forward["avoid"] = list(avoid)
         try:
-            result = yield self.call(
-                nxt.node_id, "find_successor", {"key": key, "hops": hops + 1}
-            )
+            result = yield self.call(nxt.node_id, "find_successor", forward)
             return result
         except RpcError:
             # The chosen hop is dead: drop it from our tables and route via
@@ -145,7 +158,7 @@ class ChordNode(Node):
                     continue
                 try:
                     result = yield self.call(
-                        backup.node_id, "find_successor", {"key": key, "hops": hops + 1}
+                        backup.node_id, "find_successor", dict(forward)
                     )
                     return result
                 except RpcError:

@@ -18,7 +18,7 @@ number of rounds.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..net.transport import Network
 from .idspace import IdentifierSpace

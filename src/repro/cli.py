@@ -41,7 +41,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .overlay.system import HybridSystem
 from .query.executor import DistributedExecutor
@@ -119,6 +119,38 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "--lookup-cache", type=int, default=128, metavar="N",
         help="per-query LRU capacity for index lookups (0 disables; "
              "default 128)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=1, metavar="R",
+        help="location-table replication factor (Sect. III-D; default 1; "
+             "failover needs R >= 2)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry budget per RPC: N extra attempts after a timeout "
+             "(default 0 = fail fast)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.05, metavar="SECS",
+        help="base exponential backoff between retry attempts, with "
+             "seeded jitter (default 0.05)",
+    )
+    parser.add_argument(
+        "--failover", action="store_true",
+        help="re-route timed-out lookups and primitive dispatches to "
+             "replica holders via the successor list (needs --replicas>=2)",
+    )
+    parser.add_argument(
+        "--hedge", type=float, default=None, metavar="SECS", nargs="?",
+        const=0.0,
+        help="hedged index reads: duplicate a slow lookup to a replica "
+             "after SECS (bare --hedge = auto, the p95 of observed "
+             "lookup RTTs)",
+    )
+    parser.add_argument(
+        "--query-deadline", type=float, default=None, metavar="SECS",
+        help="end-to-end deadline per query, propagated with every "
+             "downstream call (default: none)",
     )
     parser.add_argument(
         "--state-dir", metavar="DIR", default=None,
@@ -396,6 +428,7 @@ def _load_system(args: argparse.Namespace) -> HybridSystem:
     if not args.data:
         raise SystemExit("error: at least one --data file is required")
     system = HybridSystem(
+        replication_factor=getattr(args, "replicas", 1),
         state_dir=getattr(args, "state_dir", None),
         fsync=getattr(args, "fsync", False),
         snapshot_every=getattr(args, "snapshot_every", None),
@@ -434,6 +467,11 @@ def _build_options(args: argparse.Namespace) -> ExecutionOptions:
         projection_pushdown=args.projection_pushdown,
         dictionary_encoding=args.dict_encoding,
         lookup_cache_size=args.lookup_cache,
+        retries=args.retries,
+        backoff=args.backoff,
+        failover=args.failover,
+        hedge_delay=args.hedge,
+        query_deadline=args.query_deadline,
     )
 
 

@@ -1,6 +1,12 @@
 """Measurement utilities (S12): series summaries and table rendering."""
 
-from .counters import DurabilityCounters, Summary, summarize
+from .counters import DurabilityCounters, FailoverCounters, Summary, summarize
 from .tables import render_table
 
-__all__ = ["DurabilityCounters", "Summary", "summarize", "render_table"]
+__all__ = [
+    "DurabilityCounters",
+    "FailoverCounters",
+    "Summary",
+    "summarize",
+    "render_table",
+]

@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from statistics import mean, median
 from typing import Dict, Iterable, List, Sequence
 
-__all__ = ["Summary", "summarize", "DurabilityCounters"]
+__all__ = ["Summary", "summarize", "DurabilityCounters", "FailoverCounters"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,6 +85,63 @@ class DurabilityCounters:
         return DurabilityCounters(**self.as_dict())
 
     def delta(self, since: "DurabilityCounters") -> Dict[str, int]:
+        mine, theirs = self.as_dict(), since.as_dict()
+        return {key: mine[key] - theirs[key] for key in mine}
+
+
+@dataclass
+class FailoverCounters:
+    """Ledger of the fault-tolerance layer's work (one per network).
+
+    Shared by the transport's retry loop and the executor's failover
+    paths, with the same checkpoint/delta discipline as
+    :class:`DurabilityCounters`, so experiments can attribute exactly how
+    much repair work a churn episode caused.
+    """
+
+    #: RPC attempts re-issued after a timeout (transport retry budget).
+    retries: int = 0
+    #: Retried calls that ultimately succeeded within their budget.
+    retries_recovered: int = 0
+    #: Calls abandoned because the query deadline left no room to retry.
+    deadline_exhausted: int = 0
+    #: Index lookups re-resolved around a dead owner via its successors.
+    lookup_failovers: int = 0
+    #: ``execute_primitive`` steps re-dispatched to a replica holder.
+    dispatch_failovers: int = 0
+    #: Ring re-entries after the initiator's entry index node died.
+    entry_failovers: int = 0
+    #: Hedged duplicate lookups launched after the latency threshold.
+    hedges_launched: int = 0
+    #: Hedged lookups where the duplicate answered first.
+    hedges_won: int = 0
+    #: Promoted replica rows re-replicated to the new owner's successors.
+    promotions_rereplicated: int = 0
+    #: Stale third-party replica rows swept on graceful departure.
+    replica_rows_swept: int = 0
+    #: Observed ``index_lookup`` round-trip times (only collected while
+    #: hedging is enabled; feeds the auto hedge-delay percentile).
+    lookup_rtts: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "retries": self.retries,
+            "retries_recovered": self.retries_recovered,
+            "deadline_exhausted": self.deadline_exhausted,
+            "lookup_failovers": self.lookup_failovers,
+            "dispatch_failovers": self.dispatch_failovers,
+            "entry_failovers": self.entry_failovers,
+            "hedges_launched": self.hedges_launched,
+            "hedges_won": self.hedges_won,
+            "promotions_rereplicated": self.promotions_rereplicated,
+            "replica_rows_swept": self.replica_rows_swept,
+        }
+
+    def checkpoint(self) -> "FailoverCounters":
+        """A frozen copy, for before/after deltas."""
+        return FailoverCounters(**self.as_dict())
+
+    def delta(self, since: "FailoverCounters") -> Dict[str, int]:
         mine, theirs = self.as_dict(), since.as_dict()
         return {key: mine[key] - theirs[key] for key in mine}
 

@@ -15,6 +15,7 @@ from .transport import (
     Node,
     NodeUnknown,
     RemoteError,
+    RetryPolicy,
     RpcError,
     RpcTimeout,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "LinkModel",
     "Network",
     "Node",
+    "RetryPolicy",
     "RpcError",
     "RpcTimeout",
     "RemoteError",

@@ -18,7 +18,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_mod
 import uuid
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 __all__ = ["MpCluster", "MpTransportError"]
 

@@ -18,9 +18,11 @@ period").
 from __future__ import annotations
 
 import inspect
+import random
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Dict, Optional
 
+from ..metrics.counters import FailoverCounters
 from ..trace.tracer import phase_for_method
 from .contention import ContentionModel
 from .sim import Event, Simulator, Timeout
@@ -31,6 +33,7 @@ __all__ = [
     "LinkModel",
     "Node",
     "Network",
+    "RetryPolicy",
     "RpcError",
     "RpcTimeout",
     "RemoteError",
@@ -52,6 +55,51 @@ class RemoteError(RpcError):
 
 class NodeUnknown(RpcError):
     """Destination id was never registered."""
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Budget for re-issuing a timed-out RPC.
+
+    The paper's failure detection is the timeout itself (Sect. III-D:
+    "no acknowledgement ... after a timeout period"); a retry policy
+    turns that detection into recovery. ``attempts`` is the *total*
+    attempt count (1 = classic fail-fast). The backoff before attempt
+    ``k`` grows exponentially from ``base_backoff`` and carries
+    deterministic seeded jitter — the schedule is a pure function of
+    (seed, call key, attempt), so runs with the same seed stay
+    byte-identical, the property every experiment relies on. Only
+    :class:`RpcTimeout` is retried: a :class:`RemoteError` or
+    :class:`NodeUnknown` would fail identically on every attempt.
+    """
+
+    attempts: int = 3
+    base_backoff: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 2.0
+    #: Jitter as a +/- fraction of the raw backoff (0 disables it).
+    jitter: float = 0.5
+    seed: int = 0
+    #: Cap on each attempt's individual timeout; None keeps the caller's
+    #: timeout for every attempt.
+    per_attempt_timeout: Optional[float] = None
+
+    def backoff_before(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait before *attempt* (2-based; attempt 1 is free).
+
+        Deterministic: the jitter is drawn from an RNG seeded with
+        (policy seed, *key*, attempt), never from global random state.
+        """
+        if attempt <= 1:
+            return 0.0
+        raw = min(
+            self.max_backoff,
+            self.base_backoff * self.multiplier ** (attempt - 2),
+        )
+        if self.jitter <= 0:
+            return raw
+        u = random.Random(f"{self.seed}|{key}|{attempt}").random()
+        return max(0.0, raw * (1.0 + self.jitter * (2.0 * u - 1.0)))
 
 
 @dataclass(frozen=True, slots=True)
@@ -100,10 +148,12 @@ class Node:
 
     def call(self, dst: str, method: str, payload: Any = None,
              timeout: Optional[float] = None,
-             flow: Optional[str] = None) -> Event:
+             flow: Optional[str] = None,
+             retry: Optional["RetryPolicy"] = None,
+             deadline: Optional[float] = None) -> Event:
         assert self.network is not None
         return self.network.call(self.node_id, dst, method, payload, timeout,
-                                 flow=flow)
+                                 flow=flow, retry=retry, deadline=deadline)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "up" if self.alive else "down"
@@ -124,6 +174,10 @@ class Network:
         self.link = link or LinkModel()
         self.stats = stats or NetworkStats()
         self.default_timeout = default_timeout
+        #: Shared ledger of retry/failover work (see
+        #: :class:`~repro.metrics.counters.FailoverCounters`); stays all
+        #: zeros unless a caller opts into retry, deadline, or failover.
+        self.failover = FailoverCounters()
         self.nodes: Dict[str, Node] = {}
         #: Bumped on every membership change (join/leave/crash/recovery);
         #: cheap staleness check for caches of lookup results.
@@ -190,6 +244,9 @@ class Network:
         payload: Any = None,
         timeout: Optional[float] = None,
         flow: Optional[str] = None,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        deadline: Optional[float] = None,
     ) -> Event:
         """Invoke ``rpc_<method>`` on *dst*, returning an Event.
 
@@ -199,7 +256,104 @@ class Network:
         query this message belongs to for the contention model (sniffed
         from the payload's correlation id when omitted); the reply
         inherits the request's flow.
+
+        *retry* re-issues the call on :class:`RpcTimeout` per the
+        :class:`RetryPolicy`. *deadline* is an absolute simulation time
+        that bounds the whole call including retries: each attempt's
+        timeout is clamped to the remaining budget, and no retry is
+        launched past it. With both omitted (the default) the call takes
+        the classic single-attempt path, byte-identical to before.
         """
+        if retry is None and deadline is None:
+            return self._call_once(src, dst, method, payload, timeout, flow)
+        return self._call_retrying(src, dst, method, payload, timeout, flow,
+                                   retry, deadline)
+
+    def _call_retrying(
+        self,
+        src: str,
+        dst: str,
+        method: str,
+        payload: Any,
+        timeout: Optional[float],
+        flow: Optional[str],
+        retry: Optional[RetryPolicy],
+        deadline: Optional[float],
+    ) -> Event:
+        """Retry loop around :meth:`_call_once` (see :meth:`call`)."""
+        outer = self.sim.event()
+        base_timeout = timeout if timeout is not None else self.default_timeout
+        attempts = retry.attempts if retry is not None else 1
+        key = f"{src}>{dst}.{method}"
+        state = {"attempt": 0}
+
+        def launch() -> None:
+            state["attempt"] += 1
+            state["clamped"] = False
+            per = base_timeout
+            if retry is not None and retry.per_attempt_timeout is not None:
+                per = min(per, retry.per_attempt_timeout)
+            if deadline is not None:
+                remaining = deadline - self.sim.now
+                if remaining <= 0:
+                    self.failover.deadline_exhausted += 1
+                    outer.fail(RpcTimeout(
+                        f"{src} -> {dst}.{method}: query deadline exhausted"))
+                    return
+                if remaining < per:
+                    per = remaining
+                    state["clamped"] = True
+            inner = self._call_once(src, dst, method, payload, per, flow)
+            inner.callbacks.append(settle)
+
+        def settle(event: Event) -> None:
+            failure = event.failure
+            if failure is None:
+                if state["attempt"] > 1:
+                    self.failover.retries_recovered += 1
+                outer.succeed(event.value)
+                return
+            # A timeout on a deadline-clamped attempt is the deadline's
+            # doing, not the peer's — attribute it (and never retry past
+            # it).
+            deadline_hit = isinstance(failure, RpcTimeout) and state["clamped"]
+            exhausted = (
+                retry is None
+                or not isinstance(failure, RpcTimeout)
+                or state["attempt"] >= attempts
+            )
+            if not exhausted and not deadline_hit:
+                delay = retry.backoff_before(state["attempt"] + 1, key=key)
+                if deadline is not None and self.sim.now + delay >= deadline:
+                    deadline_hit = True
+            if exhausted or deadline_hit:
+                if deadline_hit:
+                    self.failover.deadline_exhausted += 1
+                outer.fail(failure)
+                return
+            self.failover.retries += 1
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.record(
+                    "rpc_retry", src=src, dst=dst, name=method,
+                    phase=phase_for_method(method),
+                    detail={"attempt": state["attempt"] + 1, "backoff": delay},
+                )
+            self.sim.timeout(delay).callbacks.append(lambda _e: launch())
+
+        launch()
+        return outer
+
+    def _call_once(
+        self,
+        src: str,
+        dst: str,
+        method: str,
+        payload: Any = None,
+        timeout: Optional[float] = None,
+        flow: Optional[str] = None,
+    ) -> Event:
+        """One attempt of :meth:`call`: the classic fail-fast RPC."""
         result = self.sim.event()
         deadline = timeout if timeout is not None else self.default_timeout
         if flow is None:

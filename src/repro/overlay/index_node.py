@@ -16,7 +16,7 @@ from ..chord.idspace import IdentifierSpace
 from ..chord.node import ChordNode
 from ..net.transport import RpcError
 from ..net.wire import FilteredResult, as_solution_set, encode_solutions
-from ..sparql.solutions import SolutionMapping, union as omega_union
+from ..sparql.solutions import union as omega_union
 from .location_table import LocationEntry, LocationTable
 from .peer import QueryPeer, _mapping_sort_key
 
@@ -142,11 +142,59 @@ class IndexNode(QueryPeer, ChordNode):
         if replica_row:
             self.table.import_row(key, replica_row)
             self.replicas.drop_row(key)
-            return self.table.lookup(key)
+            entries = self.table.lookup(key)
+            # Takeover makes this node the row's primary: push copies to
+            # our *own* successors right away, otherwise the promoted row
+            # exists exactly once and one more failure silently loses it.
+            if self.replication_factor > 1 and self.network is not None:
+                self._replicate(
+                    [(key, e.storage_id, e.frequency) for e in entries]
+                )
+                self.network.failover.promotions_rereplicated += 1
+            return entries
         return []
 
     def rpc_index_lookup(self, payload: Dict[str, Any], src: str) -> List[LocationEntry]:
         return self.locate(payload["key"])
+
+    def rpc_replica_lookup(self, payload: Dict[str, Any], src: str) -> List[LocationEntry]:
+        """Non-promoting row read, for hedged duplicate lookups: serve the
+        primary row if we hold one, else the replica copy *as is* — the
+        real owner may be merely slow, not dead, and a promotion here
+        would fork the row's ownership."""
+        key = payload["key"]
+        entries = self.table.lookup(key)
+        if entries:
+            return entries
+        row = self.replicas.row_dict(key)
+        return [LocationEntry(storage_id, freq)
+                for storage_id, freq in sorted(row.items())]
+
+    def rpc_replica_drop(self, payload: Dict[str, Any], src: str) -> int:
+        """Drop the replica rows we hold for *keys* (graceful-departure
+        sweep: the primary moved to an heir, so copies replicated by the
+        old owner are stale and a later takeover could promote outdated
+        frequencies)."""
+        dropped = 0
+        for key in payload["keys"]:
+            if self.replicas.row_dict(key):
+                self.replicas.drop_row(key)
+                dropped += 1
+        if dropped and self.network is not None:
+            self.network.failover.replica_rows_swept += dropped
+        return dropped
+
+    def rpc_rereplicate(self, payload: Dict[str, Any], src: str) -> int:
+        """Replicate the primary rows for *keys* to our successors — run
+        by an heir after inheriting a departed predecessor's table, so the
+        moved rows regain their full replica count."""
+        entries = []
+        for key in payload["keys"]:
+            for e in self.table.lookup(key):
+                entries.append((key, e.storage_id, e.frequency))
+        if entries:
+            self._replicate(entries)
+        return len(entries)
 
     # ----------------------------------------- primitive query orchestration
 
@@ -207,6 +255,19 @@ class IndexNode(QueryPeer, ChordNode):
         """
         assert self.network is not None
         per_node_timeout = payload.get("storage_timeout")
+        # Deadline propagation: the initiator's remaining budget rides in
+        # the payload; clamp the per-provider wait to it. A timeout under
+        # a clamped wait may just mean the budget is tight — not that the
+        # provider died — so stale-entry cleanup is suppressed then.
+        blame_timeouts = True
+        deadline = payload.get("deadline")
+        if deadline is not None:
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                raise ValueError("query deadline exceeded at the index node")
+            if per_node_timeout is None or remaining < per_node_timeout:
+                per_node_timeout = remaining
+                blame_timeouts = False
         sub_query: Dict[str, Any] = {"algebra": payload["algebra"]}
         for key in ("digest", "project", "encode"):
             if key in payload:
@@ -235,6 +296,9 @@ class IndexNode(QueryPeer, ChordNode):
             try:
                 batch = yield event
             except RpcError:
+                if not blame_timeouts:
+                    raise ValueError(
+                        "query deadline exceeded during storage fan-out")
                 # No acknowledgement within the timeout: the storage node
                 # is gone — drop its stale entries (Sect. III-D).
                 self.table.remove_storage_node(storage_id)

@@ -11,10 +11,9 @@ index key available for it.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
-from ..chord.hashing import hash_term, hash_terms
+from ..chord.hashing import hash_terms
 from ..chord.idspace import IdentifierSpace
 from ..rdf.terms import RDFTerm
 from ..rdf.triple import PatternShape, Triple, TriplePattern

@@ -10,8 +10,8 @@ under publication, unpublication, and node removal.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["LocationEntry", "LocationTable"]
 

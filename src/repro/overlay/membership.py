@@ -75,6 +75,21 @@ def depart_index_node(system: HybridSystem, node_id: str, stabilize_rounds: int 
         def handover():
             rows = {key: row for key, row in node.table.export_range()}
             count = yield node.call(successor.node_id, "import_keys", rows)
+            if system.replication_factor > 1 and rows:
+                # The rows just changed primary: the copies this node
+                # replicated onto *its* successors are now stale (a later
+                # takeover could promote outdated frequencies), and the
+                # heir's own successors don't hold the moved rows yet.
+                # Sweep the old replicas, then have the heir re-replicate.
+                keys = sorted(rows)
+                swept = [
+                    ref.node_id
+                    for ref in node.successor_list[: system.replication_factor - 1]
+                    if ref != node.ref
+                ]
+                for third_party in swept:
+                    yield node.call(third_party, "replica_drop", {"keys": keys})
+                yield node.call(successor.node_id, "rereplicate", {"keys": keys})
             return count
 
         system.sim.run_process(handover())

@@ -17,7 +17,7 @@ selection). This mixin gives every overlay node:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, Optional, Set
 
 from ..net.sim import Event
 from ..net.wire import JoinDigest, as_solution_set, encode_solutions

@@ -18,9 +18,9 @@ from ..net.transport import Node
 from ..net.wire import FilteredResult, as_solution_set, encode_solutions
 from ..rdf.graph import Graph
 from ..rdf.triple import Triple, TriplePattern
-from ..sparql.algebra import Algebra, BGP
+from ..sparql.algebra import Algebra
 from ..sparql.eval import evaluate_algebra
-from ..sparql.solutions import SolutionMapping, union as omega_union
+from ..sparql.solutions import union as omega_union
 from .keys import KeyKind, index_keys
 from .peer import QueryPeer
 

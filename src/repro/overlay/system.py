@@ -23,9 +23,8 @@ topology: index nodes N1, N4, N7, N12, N15 and storage nodes D1..D4 in a
 from __future__ import annotations
 
 import pathlib
-import random
 from collections import Counter
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..chord.hashing import hash_string
 from ..chord.idspace import IdentifierSpace

@@ -15,6 +15,7 @@ from .executor import (
     DistributedExecutor,
     ExecutionContext,
     ExecutionReport,
+    QueryDeadlineExceeded,
     QueryFailed,
 )
 
@@ -31,6 +32,7 @@ __all__ = [
     "ExecutionContext",
     "ExecutionReport",
     "QueryFailed",
+    "QueryDeadlineExceeded",
     "CostModel",
     "StrategyCosts",
     "choose_strategy",

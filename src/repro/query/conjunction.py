@@ -20,13 +20,14 @@ results.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..net.sizes import size_of
 from ..net.wire import PRUNED_COUNTER_BYTES
 from ..rdf.triple import TriplePattern
 from ..sparql import ast
 from ..sparql.algebra import Join
+from .failover import dispatch_primitive
 from .join_site import combine_handles, digest_embed_cost, fetch_digest
 from .plan import PatternInfo, ResultHandle, choose_shared_site, subquery_algebra
 from .primitive import exec_broadcast, exec_pattern_to_site
@@ -141,8 +142,8 @@ def _exec_basic_mode(ctx, infos: List[PatternInfo]):
                         (1 + len(info.entries)) * digest_embed_cost(digest)
                         + len(info.entries) * PRUNED_COUNTER_BYTES
                     )
-        ack = yield ctx.call(info.owner, "execute_primitive", payload,
-                             timeout=ctx.options.delivery_timeout * 4)
+        ack, info, corr = yield from dispatch_primitive(
+            ctx, info, payload, corr, timeout=ctx.options.delivery_timeout * 4)
         if "digest" in payload:
             pruned = ack.get("pruned", 0)
             ctx.report.rows_pruned += pruned

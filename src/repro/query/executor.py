@@ -22,12 +22,13 @@ optimization study trades against each other.
 from __future__ import annotations
 
 import itertools
+import math
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..net.sim import Event
-from ..net.transport import RpcError
+from ..net.transport import RpcError, RpcTimeout
 from ..net.wire import as_solution_set
 from ..trace.tracer import (
     NULL_TRACER, PHASE_FINALIZE, PHASE_LOOKUP, PhaseStats, Tracer,
@@ -51,7 +52,8 @@ from ..rdf.namespaces import COMMON_PREFIXES
 from .plan import PatternInfo, ResultHandle, compute_live_vars
 from .strategies import ExecutionOptions
 
-__all__ = ["DistributedExecutor", "ExecutionReport", "ExecutionContext", "QueryFailed"]
+__all__ = ["DistributedExecutor", "ExecutionReport", "ExecutionContext",
+           "QueryFailed", "QueryDeadlineExceeded"]
 
 
 class QueryFailed(SparqlError):
@@ -60,6 +62,10 @@ class QueryFailed(SparqlError):
 
 class DeliveryTimeout(QueryFailed):
     """An expected one-way delivery never arrived (broken chain)."""
+
+
+class QueryDeadlineExceeded(QueryFailed):
+    """The query's wall-clock budget ran out before completion."""
 
 
 @dataclass
@@ -117,6 +123,15 @@ class ExecutionContext:
         self.initiator = initiator
         self.options = options
         self.report = report
+        #: Absolute simulation time the whole query must finish by
+        #: (None = unbounded). Every RPC — and the retry schedule — is
+        #: clamped to the remaining budget, and the deadline travels with
+        #: dispatched sub-queries so remote fan-outs honor it too.
+        self.deadline_at: Optional[float] = (
+            system.sim.now + options.query_deadline
+            if options.query_deadline is not None else None
+        )
+        self._retry = options.retry_policy()
         #: Observability hook shared by the operator modules; the no-op
         #: tracer by default, so untraced spans cost one method call.
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -185,6 +200,7 @@ class ExecutionContext:
         storage.index_node_id = new_parent.node_id
         if storage.node_id not in new_parent.attached_storage:
             new_parent.attached_storage.append(storage.node_id)
+        self.system.network.failover.entry_failovers += 1
         self.report.merge_note(
             f"re-attached {storage.node_id}: {old} -> {new_parent.node_id}"
         )
@@ -207,8 +223,28 @@ class ExecutionContext:
 
     def call(self, dst: str, method: str, payload: Any = None,
              timeout: Optional[float] = None) -> Event:
+        if self.deadline_at is None and self._retry is None:
+            # The classic fail-fast path, byte-identical to before.
+            return self.network.call(self.initiator, dst, method, payload,
+                                     timeout, flow=self.query_id)
+        if self.deadline_at is not None and self.sim.now >= self.deadline_at:
+            self.network.failover.deadline_exhausted += 1
+            raise QueryDeadlineExceeded(
+                f"query deadline exceeded before calling {dst}.{method}")
         return self.network.call(self.initiator, dst, method, payload, timeout,
-                                 flow=self.query_id)
+                                 flow=self.query_id, retry=self._retry,
+                                 deadline=self.deadline_at)
+
+    def abandon(self, corr: str, site: Optional[str] = None) -> None:
+        """Tombstone *corr* at the initiator (and at *site*, the intended
+        delivery destination) so any late in-flight message under it is
+        dropped on arrival instead of leaking into an unread mailbox."""
+        self.initiator_peer.abandon_corr(corr)
+        if site is not None and site != self.initiator:
+            target = self.network.nodes.get(site)
+            if isinstance(target, QueryPeer):
+                target.abandon_corr(corr)
+        self._abandoned.add(corr)
 
     def wait_delivery(self, corr: str, site: Optional[str] = None):
         """Generator: wait for a `delivered` notification with a timeout.
@@ -220,16 +256,19 @@ class ExecutionContext:
         delivery destination, when given), so a late arrival is dropped
         instead of leaking into a mailbox no one reads.
         """
+        wait = self.options.delivery_timeout
+        if self.deadline_at is not None:
+            wait = min(wait, max(self.deadline_at - self.sim.now, 0.0))
         expected = self.initiator_peer.expect(corr)
-        timer = self.sim.timeout(self.options.delivery_timeout)
+        timer = self.sim.timeout(wait)
         index, value = yield self.sim.any_of([expected, timer])
         if index == 1:
-            self.initiator_peer.abandon_corr(corr)
-            if site is not None and site != self.initiator:
-                target = self.network.nodes.get(site)
-                if isinstance(target, QueryPeer):
-                    target.abandon_corr(corr)
-            self._abandoned.add(corr)
+            self.abandon(corr, site=site)
+            if (self.deadline_at is not None
+                    and self.sim.now >= self.deadline_at):
+                self.network.failover.deadline_exhausted += 1
+                raise QueryDeadlineExceeded(
+                    f"delivery {corr}: query deadline exceeded")
             raise DeliveryTimeout(f"delivery {corr} timed out")
         timer.cancel()
         return value
@@ -308,7 +347,8 @@ class ExecutionContext:
             return PatternInfo(pattern, None, None, None, (), 0, condition)
         kind, key = located
         cache_size = self.options.lookup_cache_size
-        if cache_size > 0:
+        pending: Optional[Event] = None
+        while cache_size > 0:
             # Churn invalidation: any membership change since the last
             # consultation voids every cached row (a departed node may
             # have owned any key; a joiner may have split any range).
@@ -317,61 +357,188 @@ class ExecutionContext:
                 self._lookup_cache.clear()
                 self._lookup_epoch = epoch
             cached = self._lookup_cache.get((kind, key))
-            if cached is not None:
-                if cached[0] == "pending":
-                    # Another process of this query is resolving the same
-                    # key right now (patterns locate in parallel): wait
-                    # for it instead of issuing a duplicate consultation.
-                    owner_id, entries = yield cached[1]
-                else:
-                    owner_id, entries = cached[1], cached[2]
-                if (kind, key) in self._lookup_cache:
-                    self._lookup_cache.move_to_end((kind, key))
-                self.report.lookup_cache_hits += 1
-                cached_span = self.tracer.span(
-                    "lookup", phase=PHASE_LOOKUP, pattern=str(pattern),
-                    cached=True)
-                cached_span.close(hops=0)
-                return PatternInfo(pattern, kind, key, owner_id, entries,
-                                   0, condition)
-            pending = self.sim.event()
-            self._lookup_cache[(kind, key)] = ("pending", pending)
+            if cached is None:
+                pending = self.sim.event()
+                self._lookup_cache[(kind, key)] = ("pending", pending)
+                break
+            if cached[0] == "pending":
+                # Another process of this query is resolving the same
+                # key right now (patterns locate in parallel): wait
+                # for it instead of issuing a duplicate consultation.
+                try:
+                    owner_id, entries, fill_epoch = yield cached[1]
+                except RpcError:
+                    # The filler died (its sentinel is already evicted):
+                    # resolve for ourselves instead of inheriting a loss
+                    # that a retry or failover might still fix.
+                    continue
+                if fill_epoch != self.network.membership_epoch:
+                    # Membership moved while we slept: the row we were
+                    # handed was resolved under the old view; re-resolve
+                    # rather than consume a possibly-stale owner.
+                    continue
+            else:
+                owner_id, entries = cached[1], cached[2]
+            if (kind, key) in self._lookup_cache:
+                self._lookup_cache.move_to_end((kind, key))
+            self.report.lookup_cache_hits += 1
+            cached_span = self.tracer.span(
+                "lookup", phase=PHASE_LOOKUP, pattern=str(pattern),
+                cached=True)
+            cached_span.close(hops=0)
+            return PatternInfo(pattern, kind, key, owner_id, entries,
+                               0, condition)
         span = self.tracer.span("lookup", phase=PHASE_LOOKUP, pattern=str(pattern))
         hops = 0
         try:
-            entry_node = self.system.index_nodes[self.entry_index]
-            if self.initiator == self.entry_index and entry_node.owns(key):
-                owner_id = self.entry_index
-                entries = entry_node.locate(key)
-            else:
-                result = yield self.call(self.entry_index, "find_successor", {"key": key})
-                owner_id = result.ref.node_id
-                hops = result.hops
-                if owner_id == self.initiator and owner_id in self.system.index_nodes:
-                    entries = self.system.index_nodes[owner_id].locate(key)
-                else:
-                    entries = yield self.call(owner_id, "index_lookup", {"key": key})
+            owner_id, entries, hops = yield from self._resolve(key)
             self.report.lookup_hops += hops
         except BaseException as exc:
-            if cache_size > 0:
+            if pending is not None:
                 if self._lookup_cache.get((kind, key)) == ("pending", pending):
                     del self._lookup_cache[(kind, key)]
                 pending.fail(exc)
             raise
         finally:
             span.close(hops=hops)
-        if cache_size > 0:
+        if pending is not None:
             self.report.lookup_cache_misses += 1
-            if self.network.membership_epoch == self._lookup_epoch:
+            fill_epoch = self.network.membership_epoch
+            if fill_epoch == self._lookup_epoch:
                 self._lookup_cache[(kind, key)] = ("done", owner_id,
                                                    tuple(entries))
             elif self._lookup_cache.get((kind, key)) == ("pending", pending):
                 # Membership changed mid-flight: don't install a stale row.
                 del self._lookup_cache[(kind, key)]
-            pending.succeed((owner_id, tuple(entries)))
+            # Waiters get the fill-time epoch so they can re-validate it
+            # against the membership they wake under.
+            pending.succeed((owner_id, tuple(entries), fill_epoch))
             while len(self._lookup_cache) > cache_size:
                 self._lookup_cache.popitem(last=False)
         return PatternInfo(pattern, kind, key, owner_id, tuple(entries), hops, condition)
+
+    def ring_resolve(self, payload: Dict[str, Any]):
+        """Generator: a ``find_successor`` through the ring entry point,
+        failing over to a fresh entry when the current one is dead
+        (``options.failover`` and a storage-node initiator only)."""
+        try:
+            result = yield self.call(self.entry_index, "find_successor",
+                                     payload)
+        except RpcTimeout:
+            storage = self.system.storage_nodes.get(self.initiator)
+            if not self.options.failover or storage is None:
+                raise
+            # The ring entry point died mid-query: re-enter elsewhere,
+            # like a storage node re-joining the system.
+            self.entry_index = self._reattach(storage)
+            result = yield self.call(self.entry_index, "find_successor",
+                                     payload)
+        return result
+
+    def _resolve(self, key: int):
+        """Generator: resolve *key* → ``(owner_id, entries, hops)`` via
+        the two-level index, failing over to the promoted replica row
+        when the owner is dead (``options.failover``)."""
+        entry_node = self.system.index_nodes[self.entry_index]
+        if self.initiator == self.entry_index and entry_node.owns(key):
+            return self.entry_index, entry_node.locate(key), 0
+        result = yield from self.ring_resolve({"key": key})
+        owner_id = result.ref.node_id
+        hops = result.hops
+        if owner_id == self.initiator and owner_id in self.system.index_nodes:
+            return owner_id, self.system.index_nodes[owner_id].locate(key), hops
+        try:
+            entries = yield from self._read_row(owner_id, key)
+            return owner_id, entries, hops
+        except RpcTimeout as exc:
+            if not self.options.failover:
+                raise
+            alt_id, alt_hops = yield from self._failover_lookup(key, owner_id,
+                                                                exc)
+            entries = yield self.call(alt_id, "index_lookup", {"key": key})
+            self.network.failover.lookup_failovers += 1
+            return alt_id, entries, hops + alt_hops
+
+    def _failover_lookup(self, key: int, dead: str, exc: Exception):
+        """Generator: find *key*'s replica holder via an avoid-hint ring
+        lookup — the dead owner's first live successor (Sect. III-D), whose
+        :meth:`IndexNode.locate` promotes the replica row on read."""
+        span = self.tracer.span("failover", phase=PHASE_LOOKUP, dead=dead,
+                                key=key)
+        try:
+            result = yield from self.ring_resolve(
+                {"key": key, "avoid": [dead]})
+            if result.ref.node_id == dead:
+                raise exc  # the ring knows no live alternative
+            return result.ref.node_id, result.hops
+        finally:
+            span.close()
+
+    def _read_row(self, owner_id: str, key: int):
+        """Generator: read the owner's location-table row; with hedging
+        enabled, race a duplicate (non-promoting) replica read once the
+        primary is slower than the hedge threshold."""
+        if self.options.hedge_delay is None:
+            entries = yield self.call(owner_id, "index_lookup", {"key": key})
+            return entries
+        from .failover import guarded
+
+        start = self.sim.now
+        delay = self.options.hedge_delay or self._auto_hedge_delay()
+        primary = guarded(self.sim,
+                          self.call(owner_id, "index_lookup", {"key": key}))
+        timer = self.sim.timeout(delay)
+        index, value = yield self.sim.any_of([primary, timer])
+        if index == 0:
+            timer.cancel()
+            ok, payload = value
+            if not ok:
+                raise payload
+            self.network.failover.lookup_rtts.append(self.sim.now - start)
+            return payload
+        # Primary slower than the threshold: hedge against the replica
+        # holder. The duplicate must not promote the replica row — the
+        # primary may be merely slow, not dead — so it reads via
+        # ``replica_lookup``.
+        self.network.failover.hedges_launched += 1
+        hedge = guarded(self.sim,
+                        self.sim.process(self._hedge_read(owner_id, key)))
+        index, (ok, payload) = yield self.sim.any_of([primary, hedge])
+        if not ok:
+            # The first finisher failed; fall back to the survivor.
+            other = hedge if index == 0 else primary
+            _i, (ok, payload) = yield self.sim.any_of([other])
+            if not ok:
+                raise payload
+            won = other is hedge
+        else:
+            won = index == 1
+        if won:
+            self.network.failover.hedges_won += 1
+        self.network.failover.lookup_rtts.append(self.sim.now - start)
+        return payload
+
+    def _hedge_read(self, owner_id: str, key: int):
+        """Generator: the hedged duplicate — resolve the replica holder
+        and read its copy of the row without promoting it."""
+        result = yield from self.ring_resolve(
+            {"key": key, "avoid": [owner_id]})
+        alt = result.ref.node_id
+        if alt == owner_id:
+            raise QueryFailed(f"no replica holder for key {key}")
+        entries = yield self.call(alt, "replica_lookup", {"key": key})
+        return tuple(entries)
+
+    def _auto_hedge_delay(self) -> float:
+        """p95 of observed lookup RTTs, floored at four link latencies
+        (the cold-start default before enough samples accumulate)."""
+        rtts = self.network.failover.lookup_rtts
+        floor = 4 * self.network.link.latency
+        if len(rtts) < 8:
+            return floor
+        data = sorted(rtts[-256:])
+        p95 = data[min(len(data) - 1, math.ceil(0.95 * len(data)) - 1)]
+        return max(p95, floor)
 
     # ------------------------------------------------------------ finishing
 

@@ -1,0 +1,95 @@
+"""Failover in the distributed query path (PR 6).
+
+Sect. III-D replicates each index node's location table across its
+successor list so the system "can eventually recover" from failure. These
+helpers make in-flight queries exploit that replication *now*: when an
+RPC to a key's owner times out, the key is re-resolved with an ``avoid``
+hint — Chord answers with the first non-avoided successor, which is
+exactly the replica holder taking over the dead owner's keys — and the
+timed-out step is re-dispatched there instead of abandoning the query.
+
+Everything here is gated on ``ExecutionOptions.failover``; the default
+configuration never reaches this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..net.transport import RpcTimeout
+from ..trace.tracer import PHASE_LOOKUP
+
+__all__ = ["guarded", "resolve_avoiding", "dispatch_primitive"]
+
+
+def guarded(sim, event):
+    """Wrap *event* so it always succeeds with ``(ok, value_or_failure)``.
+
+    ``AnyOf`` fails fast when any child fails; racing a fallible RPC
+    against a timer or a sibling therefore needs this adapter — the race
+    sees a clean success either way and the loser stays inert.
+    """
+    out = sim.event()
+
+    def settle(e):
+        if e.failure is None:
+            out.succeed((True, e.value))
+        else:
+            out.succeed((False, e.failure))
+
+    event.callbacks.append(settle)
+    return out
+
+
+def resolve_avoiding(ctx, key: int, avoid):
+    """Generator: re-resolve *key*'s owner routing around *avoid*.
+
+    Returns ``(owner_id, hops)``. Under successor-list replication the
+    first non-avoided successor IS the replica holder about to take over
+    the avoided (dead) owner's keys.
+    """
+    payload = {"key": key, "avoid": sorted(avoid)}
+    result = yield from ctx.ring_resolve(payload)
+    return result.ref.node_id, result.hops
+
+
+def dispatch_primitive(ctx, info, payload: dict, corr: str,
+                       timeout: Optional[float] = None):
+    """Generator: dispatch ``execute_primitive`` to *info.owner*, failing
+    over to the replica holder if the owner times out.
+
+    Returns ``(ack, info, corr)`` — *info* updated to the node that
+    actually served the step, *corr* re-minted on failover so a late
+    reply from a half-dead owner can never collide with the replica's
+    answer (the original id is tombstoned here and at the final site).
+    Without ``options.failover`` this is exactly one plain call.
+    """
+    if ctx.deadline_at is not None:
+        payload = dict(payload, deadline=ctx.deadline_at)
+    try:
+        ack = yield ctx.call(info.owner, "execute_primitive", payload,
+                             timeout=timeout)
+        return ack, info, corr
+    except RpcTimeout as exc:
+        if not ctx.options.failover or info.key is None:
+            raise
+        dead = info.owner
+        span = ctx.tracer.span("failover", phase=PHASE_LOOKUP, dead=dead,
+                               key=info.key, corr=corr)
+        try:
+            # The dead owner may have started the fan-out before dying: a
+            # late delivery under the old id must be dropped on arrival.
+            ctx.abandon(corr, site=payload.get("final"))
+            owner_id, _hops = yield from resolve_avoiding(ctx, info.key, [dead])
+            if owner_id == dead:
+                raise exc
+            corr = ctx.new_corr()
+            retry_payload = dict(payload, corr=corr)
+            ack = yield ctx.call(owner_id, "execute_primitive", retry_payload,
+                                 timeout=timeout)
+        finally:
+            span.close()
+        ctx.network.failover.dispatch_failovers += 1
+        ctx.report.merge_note(f"dispatch failover {dead} -> {owner_id}")
+        return ack, replace(info, owner=owner_id), corr

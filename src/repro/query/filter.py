@@ -17,8 +17,7 @@ from __future__ import annotations
 
 from ..sparql.algebra import BGP, Filter
 from .conjunction import exec_bgp, _apply_post_filter
-from .primitive import exec_broadcast, exec_pattern_to_site, exec_primitive
-from .plan import subquery_algebra
+from .primitive import exec_primitive
 
 __all__ = ["exec_filter"]
 

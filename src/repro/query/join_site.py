@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..net.sizes import HEADER_BYTES, size_of
+from ..net.transport import RpcTimeout
 from ..net.wire import JoinDigest, encode_solutions
 from ..sparql import ast
 from ..trace.tracer import PHASE_JOIN, PHASE_SHIP
@@ -91,7 +92,16 @@ def fetch_digest(ctx, handle: ResultHandle, shared_vars):
         if handle.site == ctx.initiator:
             digest = ctx.initiator_peer.rpc_digest(payload, ctx.initiator)
         else:
-            digest = yield ctx.call(handle.site, "digest", payload)
+            try:
+                digest = yield ctx.call(handle.site, "digest", payload)
+            except RpcTimeout:
+                if not ctx.options.failover:
+                    raise
+                # The digest is an optimization, not a correctness
+                # requirement: with failover on, a dead digest site just
+                # means the operand ships unpruned.
+                ctx.report.merge_note(f"digest skipped ({handle.corr})")
+                return None
             ctx.report.digest_bytes += (
                 2 * HEADER_BYTES + size_of("digest") + size_of(payload)
                 + size_of(digest)

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from ..sparql.algebra import LeftJoin
 from .join_site import combine_handles, pick_join_site
-from .strategies import JoinSitePolicy
 
 __all__ = ["exec_leftjoin"]
 

@@ -10,8 +10,8 @@ three uses the paper assigns to the frequency numbers of Table I.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
 
 from ..overlay.keys import KeyKind
 from ..overlay.location_table import LocationEntry

@@ -26,12 +26,11 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..net.transport import RpcError
 from ..net.wire import DICT_WIRE_SCALE, as_solution_set
 from ..rdf.triple import TriplePattern
 from ..sparql import ast
-from ..sparql.algebra import BGP, Filter
 from ..sparql.solutions import union as omega_union
+from .failover import dispatch_primitive
 from .plan import PatternInfo, ResultHandle, subquery_algebra
 from .strategies import PrimitiveStrategy
 
@@ -127,7 +126,7 @@ def exec_pattern_to_site(ctx, info: PatternInfo, site: str):
         payload["project"] = keep
     if encode:
         payload["encode"] = True
-    ack = yield ctx.call(info.owner, "execute_primitive", payload)
+    ack, info, corr = yield from dispatch_primitive(ctx, info, payload, corr)
     if ack["mode"] == "direct":
         # Empty route: no providers left; materialize the empty result.
         ctx.unexpect(corr)
@@ -167,16 +166,16 @@ def _basic(ctx, info: PatternInfo, algebra, site: str, corr: str,
     if site != ctx.initiator:
         payload["final"] = site
         payload["notify"] = ctx.initiator
-        ack = yield ctx.call(info.owner, "execute_primitive", payload,
-                             timeout=ctx.options.delivery_timeout * 4)
+        ack, info, corr = yield from dispatch_primitive(
+            ctx, info, payload, corr, timeout=ctx.options.delivery_timeout * 4)
         if ack["mode"] == "direct":
             yield ctx.call(site, "deliver", {"corr": corr, "data": ack["data"]})
             return ResultHandle(site, corr, len(as_solution_set(ack["data"])),
                                 result_vars)
         yield from ctx.wait_delivery(corr, site=site)
         return ResultHandle(site, corr, ack["count"], result_vars)
-    response = yield ctx.call(info.owner, "execute_primitive", payload,
-                              timeout=ctx.options.delivery_timeout * 4)
+    response, info, corr = yield from dispatch_primitive(
+        ctx, info, payload, corr, timeout=ctx.options.delivery_timeout * 4)
     return ctx.local_deposit(corr, as_solution_set(response["data"]),
                              vars=result_vars)
 
@@ -199,9 +198,15 @@ def discover_all_storage(ctx):
         attached = yield ctx.call(current, "get_attached")
         storages.extend(attached)
         succ_list = yield ctx.call(current, "get_successor_list")
-        if not succ_list:
+        nxt = None
+        for ref in succ_list:
+            node = ctx.network.nodes.get(ref.node_id)
+            if node is not None and node.alive:
+                nxt = ref.node_id
+                break
+        if nxt is None:
             break
-        current = succ_list[0].node_id
+        current = nxt
     return storages
 
 

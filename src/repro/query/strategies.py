@@ -9,8 +9,10 @@ benchmark harness sweeps them.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
+
+from ..net.transport import RetryPolicy
 
 __all__ = [
     "PrimitiveStrategy",
@@ -121,3 +123,51 @@ class ExecutionOptions:
     #: Per-query LRU cache of index lookups (0 disables). Invalidated on
     #: membership churn; hit/miss counts land in the ExecutionReport.
     lookup_cache_size: int = 128
+
+    # --- fault tolerance (PR 6) ------------------------------------------
+    # All default off/None: a no-fault run with the defaults is
+    # byte-identical to previous releases (no extra payload keys, no extra
+    # messages). ``retries``/``failover`` only change behaviour when an
+    # RPC actually times out.
+
+    #: Extra attempts per RPC after a timeout (0 = classic fail-fast).
+    retries: int = 0
+    #: Backoff before the first retry, in seconds.
+    backoff: float = 0.05
+    #: Multiplier applied to the backoff for each further retry.
+    backoff_multiplier: float = 2.0
+    #: Upper bound on any single backoff interval.
+    backoff_cap: float = 2.0
+    #: Jitter as a +/- fraction of the raw backoff (deterministic, seeded).
+    retry_jitter: float = 0.5
+    #: Seed for the backoff jitter schedule.
+    retry_seed: int = 0
+    #: Cap on each attempt's RPC timeout (None = the call's own timeout).
+    #: Retrying is pointless unless this undercuts the query's patience.
+    per_attempt_timeout: Optional[float] = None
+    #: Re-route around dead index nodes: re-resolve a timed-out owner via
+    #: its successor list and read/dispatch at the promoted replica.
+    #: Requires ``replication_factor >= 2`` to return correct answers.
+    failover: bool = False
+    #: Hedged duplicate lookups: None = off; 0.0 = auto (p95 of observed
+    #: lookup RTTs); > 0 = fixed delay in seconds before the hedge fires.
+    hedge_delay: Optional[float] = None
+    #: Wall-clock budget for the whole query, in simulated seconds; every
+    #: RPC (and retry schedule) is clamped to the remaining budget, which
+    #: travels with dispatched sub-queries. None = unbounded.
+    query_deadline: Optional[float] = None
+
+    def retry_policy(self) -> Optional[RetryPolicy]:
+        """The transport-level policy these options describe (None when
+        retries are disabled)."""
+        if self.retries <= 0:
+            return None
+        return RetryPolicy(
+            attempts=self.retries + 1,
+            base_backoff=self.backoff,
+            multiplier=self.backoff_multiplier,
+            max_backoff=self.backoff_cap,
+            jitter=self.retry_jitter,
+            seed=self.retry_seed,
+            per_attempt_timeout=self.per_attempt_timeout,
+        )

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Tuple
 
-from .terms import IRI, BlankNode, Literal, RDFTerm, Term, Variable, is_concrete
+from .terms import IRI, Literal, RDFTerm, Term, Variable, is_concrete
 
 __all__ = ["Triple", "TriplePattern", "PatternShape"]
 

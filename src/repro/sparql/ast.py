@@ -10,10 +10,10 @@ stage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
-from ..rdf.terms import IRI, Literal, RDFTerm, Variable
+from ..rdf.terms import IRI, Literal, Variable
 from ..rdf.triple import TriplePattern
 
 __all__ = [

@@ -13,8 +13,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..rdf.graph import Graph
-from ..rdf.terms import IRI, BlankNode, Literal, RDFTerm, Variable
-from ..rdf.triple import Triple, TriplePattern
+from ..rdf.terms import IRI, RDFTerm, Variable
+from ..rdf.triple import TriplePattern
 from . import ast
 from .algebra import BGP, Algebra, Filter, GraphNode, Join, LeftJoin, Union, translate_pattern
 from .errors import SparqlError

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 import pathlib
-from typing import Iterator, Optional
+from typing import Iterator
 
 from .codec import CorruptRecord, Record, decode_record, encode_record
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import itertools
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
@@ -69,6 +69,9 @@ _METHOD_PHASES: Dict[str, str] = {
     "publish": PHASE_LOOKUP,
     "index_put": PHASE_LOOKUP,
     "replica_put": PHASE_LOOKUP,
+    "replica_lookup": PHASE_LOOKUP,
+    "replica_drop": PHASE_LOOKUP,
+    "rereplicate": PHASE_LOOKUP,
     "index_remove_storage": PHASE_LOOKUP,
     # Key transfer during membership changes (join / restart-rejoin).
     "export_keys": PHASE_LOOKUP,

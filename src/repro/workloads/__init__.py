@@ -5,7 +5,10 @@ from .zipf import ZipfSampler
 from .foaf import FoafConfig, generate_foaf_triples, partition_triples, person_iri
 from .datasets import paper_example_dataset, paper_example_partition
 from .queries import PAPER_FIG_QUERIES, QueryWorkload, paper_query_mix
-from .load import LoadConfig, QueryJob, WorkloadReport, run_workload
+from .load import (
+    ChurnEvent, LoadConfig, QueryJob, WorkloadReport, churn_schedule,
+    run_workload,
+)
 
 __all__ = [
     "ZipfSampler",
@@ -18,8 +21,10 @@ __all__ = [
     "QueryWorkload",
     "PAPER_FIG_QUERIES",
     "paper_query_mix",
+    "ChurnEvent",
     "LoadConfig",
     "QueryJob",
     "WorkloadReport",
+    "churn_schedule",
     "run_workload",
 ]

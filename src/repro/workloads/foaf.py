@@ -11,8 +11,8 @@ and the lever behind the in-network dedup savings of Sect. IV-C).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..rdf.namespaces import FOAF, NS
 from ..rdf.terms import IRI, Literal

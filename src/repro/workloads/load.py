@@ -40,7 +40,22 @@ from ..sparql.eval import QueryResult
 from ..sparql.parser import parse_query
 from .queries import paper_query_mix
 
-__all__ = ["LoadConfig", "QueryJob", "WorkloadReport", "run_workload"]
+__all__ = ["ChurnEvent", "LoadConfig", "QueryJob", "WorkloadReport",
+           "churn_schedule", "run_workload"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled membership change during a workload.
+
+    ``action`` is ``"crash"`` (``Network.fail_node``) or ``"recover"``
+    (``Network.recover_node``); *at* is the simulated time the event
+    fires, relative to the workload's start.
+    """
+
+    at: float
+    action: str
+    node_id: str
 
 
 @dataclass(frozen=True)
@@ -67,6 +82,10 @@ class LoadConfig:
     #: Bounded defer queue beyond ``max_in_flight``; jobs that find the
     #: queue full are shed.  None = unbounded queue, nothing ever shed.
     queue_limit: Optional[int] = None
+    #: Membership changes applied mid-workload (crash/restart events at
+    #: fixed simulated times).  Empty = the classic churn-free run, whose
+    #: simulation is byte-identical to previous releases.
+    churn: Sequence[ChurnEvent] = ()
 
 
 @dataclass
@@ -119,6 +138,11 @@ class WorkloadReport:
     #: Network contention statistics, when the system ran with a
     #: :class:`~repro.net.contention.ContentionModel` attached.
     contention: Dict[str, Any] = field(default_factory=dict)
+    #: Retry/failover work done during the run (delta of the network's
+    #: :class:`~repro.metrics.counters.FailoverCounters`).
+    failover: Dict[str, int] = field(default_factory=dict)
+    #: Number of scheduled membership changes applied mid-run.
+    churn_events: int = 0
 
     def per_label(self) -> Dict[str, int]:
         return dict(Counter(j.label for j in self.jobs))
@@ -153,6 +177,8 @@ class WorkloadReport:
             "peak_in_flight": self.peak_in_flight,
             "max_admission_queue": self.max_admission_queue,
             "contention": self.contention,
+            "failover": self.failover,
+            "churn_events": self.churn_events,
         }
         if include_jobs:
             payload["job_details"] = [
@@ -200,6 +226,36 @@ def build_jobs(config: LoadConfig) -> List[QueryJob]:
             arrival=t,
         ))
     return jobs
+
+
+def churn_schedule(
+    node_ids: Sequence[str],
+    num_crashes: int,
+    window: Tuple[float, float],
+    seed: int = 0,
+    recover_after: Optional[float] = None,
+) -> Tuple[ChurnEvent, ...]:
+    """A seeded, deterministic crash (and optional recovery) schedule.
+
+    Victims are drawn from *node_ids* without replacement (the pool
+    refills if *num_crashes* exceeds it); crash times are uniform over
+    *window*.  With *recover_after*, each victim comes back that many
+    seconds after its crash.  The same arguments always produce the same
+    schedule, so churn runs are as reproducible as churn-free ones.
+    """
+    rng = random.Random(seed)
+    pool: List[str] = []
+    events: List[ChurnEvent] = []
+    lo, hi = window
+    for _ in range(num_crashes):
+        if not pool:
+            pool = list(node_ids)
+        victim = pool.pop(rng.randrange(len(pool)))
+        at = lo + (hi - lo) * rng.random()
+        events.append(ChurnEvent(at, "crash", victim))
+        if recover_after is not None:
+            events.append(ChurnEvent(at + recover_after, "recover", victim))
+    return tuple(sorted(events, key=lambda e: (e.at, e.node_id, e.action)))
 
 
 def run_workload(
@@ -279,7 +335,19 @@ def run_workload(
             yield done_events[job.job_id]
 
     checkpoint = system.stats.checkpoint()
+    failover_before = system.network.failover.checkpoint()
     t_start = sim.now
+    for churn_event in config.churn:
+        if churn_event.action not in ("crash", "recover"):
+            raise ValueError(f"unknown churn action {churn_event.action!r}")
+
+        def fire(_e, ev=churn_event) -> None:
+            if ev.action == "crash":
+                system.network.fail_node(ev.node_id)
+            else:
+                system.network.recover_node(ev.node_id)
+
+        sim.timeout(max(churn_event.at, 0.0)).callbacks.append(fire)
     if config.mode == "open":
         sim.process(open_driver())
     else:
@@ -315,4 +383,6 @@ def run_workload(
         peak_in_flight=state["peak"],
         max_admission_queue=state["max_queue"],
         contention=contention,
+        failover=system.network.failover.delta(failover_before),
+        churn_events=len(config.churn),
     )

@@ -1,6 +1,5 @@
 """Flooding baseline tests: reachability, recall vs TTL, dedup, cost."""
 
-import pytest
 
 from repro.baselines import FloodingSystem
 from repro.rdf import FOAF, Graph, TriplePattern, Variable

@@ -8,7 +8,6 @@ from repro.rdf import FOAF, NS, Graph, TriplePattern, Variable
 from repro.sparql.solutions import match_pattern
 from repro.workloads import FoafConfig, generate_foaf_triples, paper_example_dataset
 
-from helpers import build_system
 
 X, Y, Z = Variable("x"), Variable("y"), Variable("z")
 

@@ -1,0 +1,101 @@
+"""Queries that survive churn (PR 6 satellite 4): the phase matrix.
+
+One conjunctive query, one index-node crash — repeated with the crash
+landing at every workflow phase boundary the traced healthy run exposes
+(lookup, sub-query dispatch, chain hop, delivery/finalize).  With rf=2
+and failover + retries enabled, every variant must return answers
+bit-identical to the churn-free run, and the simulation must end with
+the usual lifecycle invariants (no leaked mailboxes, no live timers).
+"""
+
+import pytest
+
+from repro.query import DistributedExecutor, ExecutionOptions
+from repro.trace import Tracer
+
+from helpers import build_system
+from test_churn_under_load import knows_owner, fail_at
+from test_lifecycle_leaks import CLEAN, live_heap, peer_state
+
+CONJ_QUERY = """
+SELECT ?x ?n WHERE { ?x foaf:knows ?y . ?y foaf:name ?n . }
+"""
+
+FAILOVER = ExecutionOptions(failover=True, retries=1, backoff=0.02)
+
+
+def _initiator(system, victim):
+    """A storage node not attached beneath the victim (so the only path
+    through the corpse is the query's own use of it)."""
+    return next(
+        sid for sid, node in sorted(system.storage_nodes.items())
+        if node.index_node_id != victim
+    )
+
+
+def _baseline():
+    """Churn-free run (same options as the churn variants): the expected
+    rows, plus the traced phase timeline the matrix derives crash times
+    from."""
+    system = build_system(replication_factor=2)
+    tracer = Tracer()
+    executor = DistributedExecutor(system, FAILOVER, tracer=tracer)
+    victim = knows_owner(system)
+    result, _ = executor.execute(CONJ_QUERY, initiator=_initiator(system, victim))
+    assert result.rows, "the matrix needs a query with non-empty answers"
+    return result.rows, tracer
+
+
+def _phase_boundaries(tracer):
+    """First-event time of every traced workflow phase, in time order.
+
+    Crashing just after each of these lands the failure in a different
+    stage of the Fig. 3 workflow: index lookup, sub-query dispatch and
+    the chain hops (ship), join, and result delivery (finalize).
+    """
+    first = {}
+    for event in tracer.events:
+        if event.phase is not None and event.phase not in first:
+            first[event.phase] = event.time
+    assert "lookup" in first and "finalize" in first
+    return sorted(first.items(), key=lambda kv: kv[1])
+
+
+_ROWS, _TRACE = _baseline()
+_MATRIX = [("pre-start", 0.0005)] + [
+    (phase, t + 1e-4) for phase, t in _phase_boundaries(_TRACE)
+]
+
+
+class TestChurnSurvivalMatrix:
+    @pytest.mark.parametrize("phase,crash_at", _MATRIX,
+                             ids=[p for p, _t in _MATRIX])
+    def test_crash_at_phase_boundary_is_survivable(self, phase, crash_at):
+        system = build_system(replication_factor=2)
+        victim = knows_owner(system)
+        initiator = _initiator(system, victim)
+        fail_at(system, victim, crash_at)  # no stabilization: lazy recovery
+        result, report = DistributedExecutor(system, FAILOVER).execute(
+            CONJ_QUERY, initiator=initiator)
+        assert result.rows == _ROWS, (
+            f"crash during {phase!r} (t={crash_at:.4f}) changed the answer")
+        assert peer_state(system) == CLEAN
+        assert live_heap(system.sim) == []
+
+    def test_without_failover_the_same_crashes_hurt(self):
+        """Control: at least one matrix point actually needed the failover
+        machinery (otherwise the matrix proves nothing)."""
+        from repro.query import QueryFailed
+
+        failures = 0
+        for _phase, crash_at in _MATRIX:
+            system = build_system(replication_factor=2)
+            victim = knows_owner(system)
+            initiator = _initiator(system, victim)
+            fail_at(system, victim, crash_at)
+            try:
+                result, _ = DistributedExecutor(system).execute(
+                    CONJ_QUERY, initiator=initiator)
+            except QueryFailed:
+                failures += 1
+        assert failures >= 1

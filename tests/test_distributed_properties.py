@@ -8,7 +8,6 @@
   results, the property every number in EXPERIMENTS.md rests on.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.query import (

@@ -1,0 +1,212 @@
+"""Replica failover in the query path (PR 6 satellites 1–3).
+
+Covers the three repair mechanisms around Sect. III-D's successor-list
+replication:
+
+* promotion re-replication — a replica row promoted on takeover is
+  pushed to the new owner's *own* successors at once, so a second
+  failure doesn't silently lose it;
+* coalesced-lookup coherence — a waiter on another process's in-flight
+  index consultation re-validates the membership epoch on wake and
+  re-resolves (instead of consuming a stale owner), and a failed filler
+  never strands its sentinel;
+* graceful-departure sweep — handing a location table to the heir also
+  drops the stale third-party replica copies and re-replicates from the
+  heir, so no future takeover can promote outdated rows.
+"""
+
+from collections import Counter
+
+
+from repro.net import RpcError
+from repro.overlay import depart_index_node, fail_index_node, key_for_pattern
+from repro.query import DistributedExecutor, ExecutionOptions
+from repro.query.executor import ExecutionContext, ExecutionReport
+from repro.rdf import FOAF, TriplePattern, Variable
+
+from helpers import build_system
+from test_churn_under_load import KNOWS_QUERY, fail_at, knows_owner
+from test_lifecycle_leaks import CLEAN, live_heap, peer_state
+
+X, Y = Variable("x"), Variable("y")
+KNOWS_PATTERN = TriplePattern(X, FOAF.knows, Y)
+
+FAILOVER = ExecutionOptions(failover=True, retries=1, backoff=0.02)
+
+
+def baseline_rows(initiator="D1"):
+    result, _ = DistributedExecutor(build_system()).execute(
+        KNOWS_QUERY, initiator=initiator)
+    return result.rows
+
+
+class TestPromotionReReplication:
+    """Satellite 1: a promoted replica row regains its replica count."""
+
+    def test_double_failure_still_answers(self):
+        expected = baseline_rows()
+        system = build_system(replication_factor=2)
+        victim = knows_owner(system)
+
+        # First failure: the ring stabilizes, the heir serves the key from
+        # its replica row — and promotion pushes fresh copies downstream.
+        fail_index_node(system, victim)
+        initiator = next(
+            sid for sid, node in sorted(system.storage_nodes.items())
+            if node.alive and system.index_nodes[node.index_node_id].alive
+        )
+        result, _ = DistributedExecutor(system).execute(
+            KNOWS_QUERY, initiator=initiator)
+        assert result.rows == expected
+        assert system.network.failover.promotions_rereplicated >= 1
+
+        # Second failure: the promoted owner dies too.  Only the re-
+        # replication above kept a copy alive — without it this query
+        # would return an empty (wrong) answer.
+        heir = knows_owner(system)
+        assert heir != victim
+        fail_index_node(system, heir)
+        initiator = next(
+            sid for sid, node in sorted(system.storage_nodes.items())
+            if node.alive and system.index_nodes[node.index_node_id].alive
+        )
+        result, _ = DistributedExecutor(system).execute(
+            KNOWS_QUERY, initiator=initiator)
+        assert result.rows == expected
+        assert system.network.failover.promotions_rereplicated >= 2
+
+
+class TestLookupFailover:
+    """Tentpole: a timed-out row read re-routes to the replica holder."""
+
+    def test_lookup_failover_mid_flight(self):
+        expected = baseline_rows()
+        system = build_system(replication_factor=2)
+        victim = knows_owner(system)
+        initiators = [
+            sid for sid, node in sorted(system.storage_nodes.items())
+            if node.index_node_id != victim
+        ]
+        # Crash WITHOUT stabilizing: fingers still route to the corpse, so
+        # recovery must come from the avoid-hint re-resolution.
+        fail_at(system, victim, 0.001)
+        result, report = DistributedExecutor(system, FAILOVER).execute(
+            KNOWS_QUERY, initiator=initiators[0])
+        assert result.rows == expected
+        counters = system.network.failover
+        assert counters.lookup_failovers + counters.dispatch_failovers >= 1
+        assert peer_state(system) == CLEAN
+        assert live_heap(system.sim) == []
+
+
+class TestCoalescedLookups:
+    """Satellite 2: waiters on an in-flight consultation stay coherent."""
+
+    def _context(self, system, options=None, initiator="D1"):
+        return ExecutionContext(
+            system, initiator, options or ExecutionOptions(),
+            ExecutionReport(), Counter())
+
+    def test_waiters_coalesce_on_one_consultation(self):
+        system = build_system(replication_factor=2)
+        ctx = self._context(system)
+        sim = system.sim
+        p1 = sim.process(ctx.locate(KNOWS_PATTERN))
+        p2 = sim.process(ctx.locate(KNOWS_PATTERN))
+        sim.run()
+        info1, info2 = p1.value, p2.value
+        assert info1.owner == info2.owner == knows_owner(system)
+        assert ctx.report.lookup_cache_misses == 1
+        assert ctx.report.lookup_cache_hits == 1
+
+    def test_waiter_revalidates_epoch_on_wake(self):
+        """A waiter handed a result minted under an older membership view
+        must re-resolve instead of consuming the stale owner."""
+        system = build_system(replication_factor=2)
+        ctx = self._context(system)
+        sim = system.sim
+        located = key_for_pattern(KNOWS_PATTERN, system.space)
+        pending = sim.event()
+        ctx._lookup_cache[located] = ("pending", pending)
+        waiter = sim.process(ctx.locate(KNOWS_PATTERN))
+
+        def fill_stale(_e):
+            # What a filler that raced a membership change does: evict the
+            # sentinel, hand waiters a row stamped with the *fill-time*
+            # epoch — here one behind the live view, with a bogus owner.
+            ctx._lookup_cache.pop(located, None)
+            pending.succeed(
+                ("N-bogus", (), system.network.membership_epoch - 1))
+
+        sim.timeout(0.0).callbacks.append(fill_stale)
+        sim.run()
+        info = waiter.value
+        # The bogus coalesced owner was rejected; the waiter resolved for
+        # itself under the live view.
+        assert info.owner == knows_owner(system)
+        assert ctx.report.lookup_cache_misses == 1
+        assert ctx.report.lookup_cache_hits == 0
+
+    def test_failed_filler_does_not_strand_waiters(self):
+        """The filler's lookup dies; the waiter re-resolves on its own
+        and the pending sentinel is evicted, not left to dangle."""
+        system = build_system(replication_factor=1)
+        victim = knows_owner(system)
+        ctx = self._context(system)
+        sim = system.sim
+        sim.timeout(0.001).callbacks.append(
+            lambda _e: system.network.fail_node(victim))
+        p1 = sim.process(ctx.locate(KNOWS_PATTERN))
+        p2 = sim.process(ctx.locate(KNOWS_PATTERN))
+        sim.run()
+        # rf=1, no failover: both consultations fail — but each fails on
+        # its OWN attempt (the waiter retried rather than inheriting).
+        assert isinstance(p1.failure, RpcError)
+        assert isinstance(p2.failure, RpcError)
+        key = key_for_pattern(KNOWS_PATTERN, system.space)
+        assert ctx._lookup_cache.get(key) is None
+
+
+class TestDepartureSweep:
+    """Satellite 3: graceful departure leaves no stale replica copies."""
+
+    def test_depart_sweeps_and_rereplicates(self):
+        system = build_system(replication_factor=2)
+        victim_id = knows_owner(system)
+        victim = system.index_nodes[victim_id]
+        moved = sorted(key for key, _row in victim.table.export_range())
+        assert moved, "the test needs a victim with a non-empty table"
+        heir_id = victim.successor.node_id
+
+        depart_index_node(system, victim_id)
+
+        heir = system.index_nodes[heir_id]
+        assert system.network.failover.replica_rows_swept >= 1
+        # The heir's stale replica copies of the moved rows are gone …
+        for key in moved:
+            assert not heir.replicas.row_dict(key), (
+                f"stale replica row for key {key} survived the sweep")
+        # … and the rows are re-replicated from their new primary, so the
+        # moved keys are exactly as crash-tolerant as they were before.
+        replica_holder = system.index_nodes[heir.successor_list[0].node_id]
+        for key in moved:
+            if heir.owns(key):
+                assert replica_holder.replicas.row_dict(key) or \
+                    replica_holder.table.row_dict(key)
+
+    def test_query_after_departure_and_crash(self):
+        """End to end: depart the owner, then crash the heir — the swept
+        + re-replicated rows still answer the query."""
+        expected = baseline_rows()
+        system = build_system(replication_factor=2)
+        victim = knows_owner(system)
+        depart_index_node(system, victim)
+        heir = knows_owner(system)
+        fail_index_node(system, heir)
+        initiator = next(
+            sid for sid, node in sorted(system.storage_nodes.items())
+            if node.alive and system.index_nodes[node.index_node_id].alive
+        )
+        result, _ = DistributedExecutor(system).execute(
+            KNOWS_QUERY, initiator=initiator)
+        assert result.rows == expected

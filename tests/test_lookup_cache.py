@@ -1,6 +1,5 @@
 """Per-query LRU caching of two-level index consultations."""
 
-from collections import Counter
 
 from repro.net.sizes import HEADER_BYTES
 from repro.query import DistributedExecutor

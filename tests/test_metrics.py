@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics import Summary, render_table, summarize
+from repro.metrics import render_table, summarize
 from repro.net import NetworkStats
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net import AllOf, AnyOf, SimError, Simulator
+from repro.net import SimError, Simulator
 
 
 class TestTimeouts:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.net import size_of
 from repro.overlay import KeyKind, LocationEntry
-from repro.rdf import IRI, BlankNode, Literal, Triple, TriplePattern, Variable
+from repro.rdf import IRI, BlankNode, Literal, Triple, Variable
 from repro.sparql import BGP, parse_query, translate_pattern
 from repro.sparql.solutions import SolutionMapping
 

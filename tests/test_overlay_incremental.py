@@ -4,8 +4,7 @@ and keep the distributed index (frequencies included) exact."""
 import pytest
 
 from repro.overlay import key_for_pattern
-from repro.rdf import FOAF, IRI, Literal, Triple, TriplePattern, Variable
-from repro.workloads import FoafConfig, generate_foaf_triples
+from repro.rdf import FOAF, IRI, Triple, TriplePattern, Variable
 
 from helpers import build_system
 

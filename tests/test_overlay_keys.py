@@ -1,10 +1,9 @@
 """Six-key index scheme tests (Sect. III-B) and pattern→key mapping
 (Sect. IV-C)."""
 
-import pytest
 
 from repro.chord import IdentifierSpace
-from repro.overlay import KeyKind, SHAPE_TO_KEY, index_keys, key_for_pattern, ring_key
+from repro.overlay import KeyKind, SHAPE_TO_KEY, index_keys, key_for_pattern
 from repro.rdf import IRI, Literal, PatternShape, Triple, TriplePattern, Variable
 
 SPACE = IdentifierSpace(32)

@@ -1,7 +1,6 @@
 """Membership tests: Sect. III-C (index join) and III-D (departure,
 failure, replication-backed recovery)."""
 
-import pytest
 
 from repro.overlay import (
     depart_index_node,
@@ -13,7 +12,6 @@ from repro.overlay import (
 )
 from repro.query import DistributedExecutor
 from repro.rdf import FOAF, TriplePattern, Variable
-from repro.workloads import paper_example_partition
 
 from helpers import build_system
 

@@ -1,14 +1,11 @@
 """Storage-node and index-node behaviour: publication, local evaluation,
 chains, primitive orchestration, mailbox peers."""
 
-import pytest
 
-from repro.chord import IdentifierSpace
-from repro.overlay import HybridSystem, KeyKind, key_for_pattern
-from repro.rdf import FOAF, NS, IRI, Literal, Triple, TriplePattern, Variable
+from repro.overlay import KeyKind, key_for_pattern
+from repro.rdf import FOAF, IRI, Literal, TriplePattern, Variable
 from repro.sparql.algebra import BGP
 from repro.sparql.solutions import SolutionMapping
-from repro.workloads import paper_example_dataset, paper_example_partition
 
 from helpers import build_system
 

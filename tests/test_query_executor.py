@@ -15,9 +15,8 @@ from repro.query import (
 )
 from repro.rdf import COMMON_PREFIXES, PatternShape
 from repro.sparql import evaluate_query, parse_query
-from repro.workloads import FoafConfig, QueryWorkload, generate_foaf_triples, partition_triples
+from repro.workloads import QueryWorkload
 
-from helpers import build_system
 
 
 def assert_matches_oracle(system, query_text, initiator="D1", **options):

@@ -1,7 +1,6 @@
 """Join-site selection tests: Move-Small / Query-Site / Third-Site
 behaviour and shipping mechanics."""
 
-import pytest
 
 from repro.query import DistributedExecutor, JoinSitePolicy, ResultHandle
 from repro.query.executor import ExecutionContext, ExecutionReport

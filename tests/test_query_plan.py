@@ -1,6 +1,5 @@
 """Planner tests: PatternInfo, index consultation, shared-site choice."""
 
-import pytest
 
 from repro.overlay import KeyKind, LocationEntry
 from repro.query import DistributedExecutor, choose_shared_site, subquery_algebra
@@ -8,7 +7,6 @@ from repro.query.executor import ExecutionContext, ExecutionReport
 from repro.query.plan import PatternInfo
 from repro.rdf import COMMON_PREFIXES, FOAF, NS, TriplePattern, Variable
 from repro.sparql import BGP, Filter, parse_query
-from collections import Counter
 
 X, Y, Z = Variable("x"), Variable("y"), Variable("z")
 

@@ -1,6 +1,5 @@
 """Unit and property tests for the indexed graph store."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -5,14 +5,12 @@ pin our translation to those expressions, using format_algebra with the
 paper's P1/P2/... labels.
 """
 
-import pytest
 
-from repro.rdf import COMMON_PREFIXES, IRI, Literal, TriplePattern, Variable
+from repro.rdf import COMMON_PREFIXES, IRI, TriplePattern, Variable
 from repro.rdf.namespaces import FOAF, NS
 from repro.sparql import (
     BGP,
     Filter,
-    Join,
     LeftJoin,
     Union,
     format_algebra,

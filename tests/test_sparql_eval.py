@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import COMMON_PREFIXES, Graph, IRI, Literal, Triple, Variable
+from repro.rdf import COMMON_PREFIXES, Graph, IRI, Variable
 from repro.rdf.namespaces import FOAF, NS
 from repro.sparql import evaluate_query, parse_query
 from repro.workloads import paper_example_dataset

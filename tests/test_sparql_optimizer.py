@@ -4,7 +4,7 @@ semantic preservation under rewriting (property-checked on real data)."""
 import pytest
 
 from repro.rdf import COMMON_PREFIXES, Graph, TriplePattern, Variable
-from repro.rdf.namespaces import FOAF, NS
+from repro.rdf.namespaces import FOAF
 from repro.sparql import (
     BGP,
     Filter,
@@ -15,7 +15,6 @@ from repro.sparql import (
     parse_query,
     translate_pattern,
 )
-from repro.sparql import ast
 from repro.sparql.optimizer import decompose_filters, optimize, push_filters, reorder_bgp
 from repro.workloads import paper_example_dataset
 

@@ -1,6 +1,5 @@
 """Tests for the durable wrappers: DurableGraph and DurableLocationTable."""
 
-import pytest
 
 from repro.metrics import DurabilityCounters
 from repro.overlay import LocationTable

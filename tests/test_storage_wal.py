@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.rdf import IRI, Literal, Triple
 from repro.storage import (
     CorruptRecord,
     PayloadCursor,

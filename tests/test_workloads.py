@@ -4,9 +4,8 @@ import random
 from collections import Counter
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
-from repro.rdf import FOAF, NS, Graph, Literal, PatternShape
+from repro.rdf import FOAF, NS, Graph, PatternShape
 from repro.sparql import evaluate_query, parse_query
 from repro.rdf.namespaces import COMMON_PREFIXES
 from repro.workloads import (
