@@ -27,6 +27,13 @@ and prints throughput, latency percentiles, and admission statistics::
     python -m repro bench-load --data ./shared/*.nt \
         --mode closed --concurrency 16 --num-queries 64 --contention
 
+The ``profile`` subcommand runs the same workload under :mod:`cProfile`
+and prints the hottest functions by cumulative time — where the engine
+spends *real* time, for performance work on the engine itself::
+
+    python -m repro profile --data ./shared/*.nt \
+        --concurrency 16 --num-queries 64 --top 25
+
 With ``--state-dir`` every node write-ahead logs its state under the
 given directory; the ``checkpoint`` subcommand snapshots and compacts
 that state, and ``recover`` rebuilds the whole system from it::
@@ -58,6 +65,7 @@ __all__ = [
     "build_parser",
     "build_trace_parser",
     "build_bench_load_parser",
+    "build_profile_parser",
     "build_checkpoint_parser",
     "build_recover_parser",
 ]
@@ -216,14 +224,8 @@ def build_trace_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def build_bench_load_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro bench-load",
-        description="Drive a multi-query workload through one simulation "
-                    "and report throughput, tail latency, and admission "
-                    "statistics.",
-    )
-    _add_common_options(parser)
+def _add_workload_options(parser: argparse.ArgumentParser) -> None:
+    """Workload-shape options shared by ``bench-load`` and ``profile``."""
     parser.add_argument(
         "--mode", choices=["closed", "open"], default="closed",
         help="closed = fixed concurrency, open = Poisson arrivals "
@@ -265,10 +267,47 @@ def build_bench_load_parser() -> argparse.ArgumentParser:
         help="replace the default Fig. 4-9 mix with these queries "
              "(repeatable)",
     )
+
+
+def build_bench_load_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench-load",
+        description="Drive a multi-query workload through one simulation "
+                    "and report throughput, tail latency, and admission "
+                    "statistics.",
+    )
+    _add_common_options(parser)
+    _add_workload_options(parser)
     parser.add_argument(
         "--json", metavar="PATH", default=None,
         help="write the full workload report (summary plus per-job "
              "timeline) to this JSON file",
+    )
+    return parser
+
+
+def build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Run a bench-load workload under cProfile and print "
+                    "the hottest functions — where the engine spends real "
+                    "(wall-clock) time, as opposed to simulated time.",
+    )
+    _add_common_options(parser)
+    _add_workload_options(parser)
+    parser.add_argument(
+        "--top", type=int, default=25, metavar="N",
+        help="print the top N functions (default 25)",
+    )
+    parser.add_argument(
+        "--sort", default="cumulative",
+        choices=["cumulative", "tottime", "calls"],
+        help="pstats sort order (default cumulative)",
+    )
+    parser.add_argument(
+        "--stats-out", metavar="PATH", default=None,
+        help="also dump the raw pstats data to this file (inspect later "
+             "with pstats or snakeviz)",
     )
     return parser
 
@@ -305,11 +344,12 @@ def build_recover_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _bench_load_main(argv: Sequence[str]) -> int:
+def _workload_setup(args: argparse.Namespace):
+    """System + LoadConfig from parsed workload options (bench-load and
+    profile share this)."""
     from .net.contention import ContentionModel
-    from .workloads.load import LoadConfig, run_workload
+    from .workloads.load import LoadConfig
 
-    args = build_bench_load_parser().parse_args(argv)
     system = _load_system(args)
     if not args.no_contention:
         system.network.contention = ContentionModel()
@@ -329,6 +369,14 @@ def _bench_load_main(argv: Sequence[str]) -> int:
         queue_limit=args.queue_limit,
         **kwargs,
     )
+    return system, config
+
+
+def _bench_load_main(argv: Sequence[str]) -> int:
+    from .workloads.load import run_workload
+
+    args = build_bench_load_parser().parse_args(argv)
+    system, config = _workload_setup(args)
     report = run_workload(system, config, _build_options(args))
 
     mix = ", ".join(f"{label}x{n}" for label, n in sorted(report.per_label().items()))
@@ -343,6 +391,10 @@ def _bench_load_main(argv: Sequence[str]) -> int:
         f"# duration={report.duration * 1000:.1f} ms simulated, "
         f"throughput={report.throughput:.1f} q/s, "
         f"{report.messages} messages, {report.bytes_total} bytes"
+    )
+    print(
+        f"# wall clock: {report.wall_clock_s * 1000:.1f} ms real, "
+        f"{report.queries_per_wall_second:.1f} q/s real"
     )
     if report.latency is not None:
         lat = report.latency
@@ -380,6 +432,38 @@ def _bench_load_main(argv: Sequence[str]) -> int:
             encoding="utf-8",
         )
         print(f"# wrote workload report to {path}")
+    return 0
+
+
+def _profile_main(argv: Sequence[str]) -> int:
+    import cProfile
+    import pstats
+
+    from .workloads.load import run_workload
+
+    args = build_profile_parser().parse_args(argv)
+    system, config = _workload_setup(args)
+    options = _build_options(args)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    report = run_workload(system, config, options)
+    profiler.disable()
+
+    print(
+        f"# completed={report.completed} failed={report.failed} "
+        f"shed={report.shed}"
+    )
+    print(
+        f"# wall clock: {report.wall_clock_s * 1000:.1f} ms real, "
+        f"{report.queries_per_wall_second:.1f} q/s real "
+        f"({report.duration * 1000:.1f} ms simulated)"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.stats_out:
+        stats.dump_stats(args.stats_out)
+        print(f"# wrote raw pstats data to {args.stats_out}")
     return 0
 
 
@@ -510,6 +594,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _trace_main(argv[1:])
     if argv and argv[0] == "bench-load":
         return _bench_load_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
     if argv and argv[0] == "checkpoint":
         return _checkpoint_main(argv[1:])
     if argv and argv[0] == "recover":

@@ -63,20 +63,29 @@ class ResourceQueue:
         holds work of the same flow).
         """
         self.admissions += 1
-        stale = [g for g, t in self._until.items() if t <= at]
-        for g in stale:
-            del self._until[g]
+        until = self._until
+        # One pass: collect drained occupancies and the FIFO start time
+        # (drained entries have t <= at and can never raise `start`).
         start = at
-        for g, t in self._until.items():
-            if g != flow and t > start:
+        stale = None
+        for g, t in until.items():
+            if t <= at:
+                if stale is None:
+                    stale = [g]
+                else:
+                    stale.append(g)
+            elif g != flow and t > start:
                 start = t
+        if stale is not None:
+            for g in stale:
+                del until[g]
         wait = start - at
         if duration > 0.0:
             finish = start + duration
-            prev = self._until.get(flow)
+            prev = until.get(flow)
             if prev is None or finish > prev:
-                self._until[flow] = finish
-            depth = len(self._until)
+                until[flow] = finish
+            depth = len(until)
             if depth > self.max_depth:
                 self.max_depth = depth
         if wait > 0.0:

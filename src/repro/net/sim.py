@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from ..trace.tracer import NULL_TRACER
@@ -257,14 +258,23 @@ class Simulator:
     without advancing the clock. ``tracer`` is the observability hook —
     :data:`~repro.trace.tracer.NULL_TRACER` by default, so an untraced
     simulation pays one attribute check per instrumented site.
+
+    Fast path: entries scheduled at the *current* time (event dispatch,
+    process resumption, zero-delay timers) bypass the heap and go on a
+    FIFO deque. Such entries carry ``time == now`` with a monotonically
+    increasing sequence number, so the deque is sorted by construction;
+    ``run()`` merges deque and heap by comparing heads on (time, seq),
+    which reproduces the exact total order the single heap produced —
+    same events, same clock, same traces — without paying heap churn for
+    the majority of entries.
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[list] = []
+        self._now_queue: "deque[list]" = deque()
         self._seq = itertools.count()
         self._proc_ids = itertools.count()
-        self._ready_queue: List[Event] = []
         self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------ factories
@@ -290,11 +300,18 @@ class Simulator:
 
     def _schedule_at(self, time: float, fn: Callable, *args: Any) -> list:
         entry = [time, next(self._seq), fn, args]
-        heapq.heappush(self._heap, entry)
+        if time <= self.now:
+            # Due immediately (zero-delay timer): the deque stays sorted
+            # because seq is monotonic and the clock never runs backward.
+            self._now_queue.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
         return entry
 
     def _schedule_now(self, fn: Callable, *args: Any) -> list:
-        return self._schedule_at(self.now, fn, *args)
+        entry = [self.now, next(self._seq), fn, args]
+        self._now_queue.append(entry)
+        return entry
 
     def _ready(self, event: Event) -> None:
         # Run callbacks via the queue so triggering is never re-entrant.
@@ -313,21 +330,42 @@ class Simulator:
 
         Returns the final simulation time.
         """
-        while self._heap:
-            entry = self._heap[0]
-            if entry[2] is None:
-                # Tombstone left by a cancelled timer: drop it without
-                # touching the clock.
-                heapq.heappop(self._heap)
-                continue
+        heap = self._heap
+        queue = self._now_queue
+        heappop = heapq.heappop
+        while True:
+            entry = None
+            from_heap = False
+            if queue:
+                head = queue[0]
+                if head[2] is None:
+                    # Tombstone left by a cancelled timer: drop it without
+                    # touching the clock.
+                    queue.popleft()
+                    continue
+                entry = head
+            if heap:
+                head = heap[0]
+                if head[2] is None:
+                    heappop(heap)
+                    continue
+                if entry is None or head[0] < entry[0] or (
+                    head[0] == entry[0] and head[1] < entry[1]
+                ):
+                    entry = head
+                    from_heap = True
+            if entry is None:
+                return self.now
             time = entry[0]
             if until is not None and time > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
+            if from_heap:
+                heappop(heap)
+            else:
+                queue.popleft()
             self.now = time
             entry[2](*entry[3])
-        return self.now
 
     def run_process(self, gen: Generator[Event, Any, Any]) -> Any:
         """Convenience: spawn *gen*, run to completion, return its value.

@@ -6,6 +6,14 @@ strategies we therefore need an exact, reproducible byte count for every
 payload that crosses a link. This module assigns each payload a size equal
 to what a compact N-Triples/JSON-ish encoding would occupy, so relative
 comparisons between strategies are meaningful and stable across runs.
+
+Sizing is a wall-clock hot spot: every simulated message charges
+``size_of`` over its whole payload, and solution sets are re-sized each
+time they ship. Dispatch is a ``type() -> handler`` table (falling back to
+the original ``isinstance`` cascade for subclasses), and the per-term /
+per-mapping results are cached on the instances themselves — sound
+because RDF terms are interned and solution mappings are immutable. The
+computed sizes are byte-identical to the original structural recursion.
 """
 
 from __future__ import annotations
@@ -26,6 +34,96 @@ HEADER_BYTES = 48
 _CONTAINER_OVERHEAD = 8
 _PER_ITEM_OVERHEAD = 2
 
+_set = object.__setattr__
+
+
+def _size_iri(payload: IRI) -> int:
+    n = payload._size
+    if n is None:
+        n = len(payload.value) + 2
+        _set(payload, "_size", n)
+    return n
+
+
+def _size_literal(payload: Literal) -> int:
+    n = payload._size
+    if n is None:
+        n = len(payload.lexical) + 2
+        if payload.language:
+            n += len(payload.language) + 1
+        if payload.datatype:
+            n += len(payload.datatype.value) + 4
+        _set(payload, "_size", n)
+    return n
+
+
+def _size_blank(payload: BlankNode) -> int:
+    n = payload._size
+    if n is None:
+        n = len(payload.label) + 2
+        _set(payload, "_size", n)
+    return n
+
+
+def _size_variable(payload: Variable) -> int:
+    n = payload._size
+    if n is None:
+        n = len(payload.name) + 1
+        _set(payload, "_size", n)
+    return n
+
+
+def _size_triple(payload) -> int:
+    return size_of(payload.s) + size_of(payload.p) + size_of(payload.o) + 3
+
+
+def _size_mapping(payload: SolutionMapping) -> int:
+    n = payload._size
+    if n is None:
+        n = _CONTAINER_OVERHEAD
+        for v, t in payload.items():
+            n += size_of(v) + size_of(t) + _PER_ITEM_OVERHEAD
+        payload._size = n
+    return n
+
+
+def _size_dict(payload: dict) -> int:
+    return _CONTAINER_OVERHEAD + sum(
+        size_of(k) + size_of(v) + _PER_ITEM_OVERHEAD for k, v in payload.items()
+    )
+
+
+def _size_sequence(payload) -> int:
+    return _CONTAINER_OVERHEAD + sum(
+        size_of(item) + _PER_ITEM_OVERHEAD for item in payload
+    )
+
+
+def _size_str(payload: str) -> int:
+    return len(payload.encode("utf-8"))
+
+
+_DISPATCH = {
+    type(None): lambda payload: 1,
+    bool: lambda payload: 1,
+    int: lambda payload: 8,
+    float: lambda payload: 8,
+    str: _size_str,
+    bytes: len,
+    IRI: _size_iri,
+    Literal: _size_literal,
+    BlankNode: _size_blank,
+    Variable: _size_variable,
+    Triple: _size_triple,
+    TriplePattern: _size_triple,
+    SolutionMapping: _size_mapping,
+    dict: _size_dict,
+    list: _size_sequence,
+    tuple: _size_sequence,
+    set: _size_sequence,
+    frozenset: _size_sequence,
+}
+
 
 def size_of(payload: Any) -> int:
     """Estimated serialized size of *payload* in bytes.
@@ -33,6 +131,15 @@ def size_of(payload: Any) -> int:
     Deterministic, structural, and additive over containers. Unknown
     objects may implement ``wire_size() -> int``.
     """
+    handler = _DISPATCH.get(type(payload))
+    if handler is not None:
+        return handler(payload)
+    return _size_of_slow(payload)
+
+
+def _size_of_slow(payload: Any) -> int:
+    """The original isinstance cascade, for subclasses of the table types
+    and the open-ended cases (enums, ``wire_size`` objects, dataclasses)."""
     if payload is None:
         return 1
     if isinstance(payload, bool):
@@ -42,36 +149,25 @@ def size_of(payload: Any) -> int:
     if isinstance(payload, float):
         return 8
     if isinstance(payload, str):
-        return len(payload.encode("utf-8"))
+        return _size_str(payload)
     if isinstance(payload, bytes):
         return len(payload)
     if isinstance(payload, IRI):
-        return len(payload.value) + 2
+        return _size_iri(payload)
     if isinstance(payload, Literal):
-        n = len(payload.lexical) + 2
-        if payload.language:
-            n += len(payload.language) + 1
-        if payload.datatype:
-            n += len(payload.datatype.value) + 4
-        return n
+        return _size_literal(payload)
     if isinstance(payload, BlankNode):
-        return len(payload.label) + 2
+        return _size_blank(payload)
     if isinstance(payload, Variable):
-        return len(payload.name) + 1
+        return _size_variable(payload)
     if isinstance(payload, (Triple, TriplePattern)):
-        return size_of(payload.s) + size_of(payload.p) + size_of(payload.o) + 3
+        return _size_triple(payload)
     if isinstance(payload, SolutionMapping):
-        return _CONTAINER_OVERHEAD + sum(
-            size_of(v) + size_of(t) + _PER_ITEM_OVERHEAD for v, t in payload.items()
-        )
+        return _size_mapping(payload)
     if isinstance(payload, dict):
-        return _CONTAINER_OVERHEAD + sum(
-            size_of(k) + size_of(v) + _PER_ITEM_OVERHEAD for k, v in payload.items()
-        )
+        return _size_dict(payload)
     if isinstance(payload, (list, tuple, set, frozenset)):
-        return _CONTAINER_OVERHEAD + sum(
-            size_of(item) + _PER_ITEM_OVERHEAD for item in payload
-        )
+        return _size_sequence(payload)
     if isinstance(payload, enum.Enum):
         return len(payload.name) + 1
     wire_size = getattr(payload, "wire_size", None)

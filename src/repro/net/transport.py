@@ -17,8 +17,8 @@ period").
 
 from __future__ import annotations
 
-import inspect
 import random
+from types import GeneratorType
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
@@ -28,6 +28,17 @@ from .contention import ContentionModel
 from .sim import Event, Simulator, Timeout
 from .sizes import HEADER_BYTES, size_of
 from .stats import NetworkStats
+
+_RPC_ATTRS: Dict[str, str] = {}
+
+
+def _rpc_attr(method: str) -> str:
+    """Memoized ``rpc_<method>`` attribute name (no per-delivery f-string)."""
+    name = _RPC_ATTRS.get(method)
+    if name is None:
+        name = _RPC_ATTRS[method] = "rpc_" + method
+    return name
+
 
 __all__ = [
     "LinkModel",
@@ -426,14 +437,14 @@ class Network:
         target = self.nodes.get(dst)
         if target is None or not target.alive:
             return
-        handler = getattr(target, f"rpc_{method}", None)
+        handler = getattr(target, _rpc_attr(method), None)
         if handler is None:
             return
         try:
             outcome = handler(payload, src)
         except Exception:  # noqa: BLE001 - one-way faults vanish, like UDP
             return
-        if inspect.isgenerator(outcome):
+        if type(outcome) is GeneratorType:
             self.sim.process(outcome)
 
     @staticmethod
@@ -459,7 +470,7 @@ class Network:
         target = self.nodes.get(dst)
         if target is None or not target.alive:
             return  # dropped; the caller's timer will fire
-        handler = getattr(target, f"rpc_{method}", None)
+        handler = getattr(target, _rpc_attr(method), None)
         if handler is None:
             self._respond_failure(src, dst, method, result, state,
                                   RemoteError(f"{dst} has no handler rpc_{method}"))
@@ -470,7 +481,7 @@ class Network:
             self._respond_failure(src, dst, method, result, state,
                                   RemoteError(f"{dst}.{method}: {exc}"))
             return
-        if inspect.isgenerator(outcome):
+        if type(outcome) is GeneratorType:
             proc = self.sim.process(outcome)
             proc.callbacks.append(
                 lambda event: self._respond_event(src, dst, method, event, result, state, target)

@@ -29,7 +29,7 @@ from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from ..chord.hashing import hash_terms_seeded
 from ..rdf.terms import RDFTerm, Variable
-from ..sparql.solutions import SolutionMapping
+from ..sparql.solutions import SolutionMapping, _Schema
 from .sizes import size_of
 
 __all__ = [
@@ -67,8 +67,15 @@ _PER_ITEM_OVERHEAD = 2
 
 
 def mapping_sort_key(mu: SolutionMapping):
-    """Canonical, deterministic ordering of solution mappings."""
-    return tuple((v.name, t.n3()) for v, t in mu.items())
+    """Canonical, deterministic ordering of solution mappings.
+
+    Cached on the mapping: canonical ordering is applied every time a set
+    ships, and the same rows ship repeatedly along an aggregation chain.
+    """
+    key = mu._skey
+    if key is None:
+        key = mu._skey = tuple((v.name, t.n3()) for v, t in mu.items())
+    return key
 
 
 def _index_width(count: int) -> int:
@@ -117,19 +124,33 @@ class SolutionBatch:
         terms: List[RDFTerm] = []
         rows: List[Tuple[Tuple[int, int], ...]] = []
         naive = _CONTAINER_OVERHEAD
+        npairs = 0
+        # Rows sharing a schema share variable indices; resolve the
+        # variable table once per schema instead of once per row. The
+        # tables still fill in first-appearance order over the canonical
+        # row ordering, so the encoding is unchanged.
+        schema_vis: Dict[object, Tuple[int, ...]] = {}
         for mu in ordered:
             naive += size_of(mu) + _PER_ITEM_OVERHEAD
+            schema = mu._schema
+            vis = schema_vis.get(schema)
+            if vis is None:
+                resolved: List[int] = []
+                for var in schema.vars:
+                    vi = var_index.get(var)
+                    if vi is None:
+                        vi = var_index[var] = len(variables)
+                        variables.append(var)
+                    resolved.append(vi)
+                vis = schema_vis[schema] = tuple(resolved)
             row: List[Tuple[int, int]] = []
-            for var, term in mu.items():
-                vi = var_index.get(var)
-                if vi is None:
-                    vi = var_index[var] = len(variables)
-                    variables.append(var)
+            for vi, term in zip(vis, mu._values):
                 ti = term_index.get(term)
                 if ti is None:
                     ti = term_index[term] = len(terms)
                     terms.append(term)
                 row.append((vi, ti))
+            npairs += len(row)
             rows.append(tuple(row))
 
         var_w = _index_width(len(variables))
@@ -140,17 +161,34 @@ class SolutionBatch:
             + _CONTAINER_OVERHEAD
             + sum(size_of(t) + _PER_ITEM_OVERHEAD for t in terms)
             + _CONTAINER_OVERHEAD
-            + sum(_PER_ITEM_OVERHEAD + len(row) * (var_w + term_w) for row in rows)
+            + len(rows) * _PER_ITEM_OVERHEAD
+            + npairs * (var_w + term_w)
         )
         mode = "dict" if dict_size <= naive else "plain"
         wire = BATCH_HEADER_BYTES + min(dict_size, naive)
         return cls(tuple(variables), tuple(terms), tuple(rows), mode, wire)
 
     def decode(self) -> Set[SolutionMapping]:
+        variables = self.variables
+        terms = self.terms
+        # Rows sharing a variable-index signature share a schema; the
+        # (schema, permutation) plan is computed once per signature.
+        plans: Dict[Tuple[int, ...], Tuple[_Schema, Tuple[int, ...]]] = {}
         out: Set[SolutionMapping] = set()
+        add = out.add
         for row in self.rows:
-            out.add(SolutionMapping(
-                {self.variables[vi]: self.terms[ti] for vi, ti in row}
+            signature = tuple([vi for vi, _ in row])
+            plan = plans.get(signature)
+            if plan is None:
+                row_vars = [variables[vi] for vi in signature]
+                order = sorted(range(len(row_vars)),
+                               key=lambda i: row_vars[i].name)
+                schema = _Schema.of(tuple([row_vars[i] for i in order]))
+                plan = plans[signature] = (schema, tuple(order))
+            schema, order = plan
+            row_terms = [terms[ti] for _, ti in row]
+            add(SolutionMapping._make(
+                schema, tuple([row_terms[i] for i in order])
             ))
         return out
 

@@ -57,6 +57,14 @@ def _attr_values(triple_or_pattern, kind: KeyKind) -> Tuple[RDFTerm, ...]:
     return tuple(getattr(triple_or_pattern, pos) for pos in kind.positions)
 
 
+#: (kind, interned term tuple, ring size) → ring identifier. Publishing
+#: hashes six SHA-1 keys per triple and every pattern lookup hashes one
+#: more; the same terms recur constantly (shared subjects/predicates), so
+#: the digests are memoized. Terms are interned, which makes the memo key
+#: cheap to hash.
+_RING_KEYS: Dict[Tuple[KeyKind, Tuple[RDFTerm, ...], int], int] = {}
+
+
 def ring_key(kind: KeyKind, values: Tuple[RDFTerm, ...], space: IdentifierSpace) -> int:
     """The ring identifier for one attribute combination.
 
@@ -64,7 +72,11 @@ def ring_key(kind: KeyKind, values: Tuple[RDFTerm, ...], space: IdentifierSpace)
     term and the ⟨o⟩ key of the same term land on different identifiers,
     as they would with six independent 'globally known hash functions'.
     """
-    return hash_terms((kind.name, *values), space)
+    memo = (kind, values, space.size)
+    key = _RING_KEYS.get(memo)
+    if key is None:
+        key = _RING_KEYS[memo] = hash_terms((kind.name, *values), space)
+    return key
 
 
 def index_keys(triple: Triple, space: IdentifierSpace) -> Iterator[Tuple[KeyKind, int]]:

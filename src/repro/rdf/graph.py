@@ -21,17 +21,12 @@ OSP       o / o,s
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Iterable, Iterator, Optional, Set
 
 from .terms import RDFTerm, Variable, is_concrete
 from .triple import Triple, TriplePattern
 
 __all__ = ["Graph"]
-
-
-def _index3() -> "defaultdict[RDFTerm, defaultdict[RDFTerm, set[RDFTerm]]]":
-    return defaultdict(lambda: defaultdict(set))
 
 
 class Graph:
@@ -44,9 +39,12 @@ class Graph:
     __slots__ = ("_spo", "_pos", "_osp", "_size")
 
     def __init__(self, triples: Optional[Iterable[Triple]] = None) -> None:
-        self._spo = _index3()
-        self._pos = _index3()
-        self._osp = _index3()
+        # Plain nested dicts, not defaultdicts: membership probes must
+        # never materialize empty buckets (a missed defaultdict lookup
+        # would insert one), and the insert path below is explicit.
+        self._spo: Dict[RDFTerm, Dict[RDFTerm, Set[RDFTerm]]] = {}
+        self._pos: Dict[RDFTerm, Dict[RDFTerm, Set[RDFTerm]]] = {}
+        self._osp: Dict[RDFTerm, Dict[RDFTerm, Set[RDFTerm]]] = {}
         self._size = 0
         if triples is not None:
             for t in triples:
@@ -58,26 +56,50 @@ class Graph:
         """Insert *triple*; returns True if it was not already present."""
         if not isinstance(triple, Triple):
             raise TypeError(f"expected Triple, got {type(triple).__name__}")
-        objects = self._spo[triple.s][triple.p]
-        if triple.o in objects:
-            return False
-        objects.add(triple.o)
-        self._pos[triple.p][triple.o].add(triple.s)
-        self._osp[triple.o][triple.s].add(triple.p)
+        s, p, o = triple.s, triple.p, triple.o
+        po = self._spo.get(s)
+        if po is None:
+            po = self._spo[s] = {}
+            objects = po[p] = set()
+        else:
+            objects = po.get(p)
+            if objects is None:
+                objects = po[p] = set()
+            elif o in objects:
+                return False
+        objects.add(o)
+        self._insert(self._pos, p, o, s)
+        self._insert(self._osp, o, s, p)
         self._size += 1
         return True
 
+    @staticmethod
+    def _insert(index, k1, k2, value) -> None:
+        inner = index.get(k1)
+        if inner is None:
+            index[k1] = {k2: {value}}
+            return
+        values = inner.get(k2)
+        if values is None:
+            inner[k2] = {value}
+        else:
+            values.add(value)
+
     def discard(self, triple: Triple) -> bool:
         """Remove *triple* if present; returns True if it was removed."""
-        objects = self._spo.get(triple.s, {}).get(triple.p)
-        if not objects or triple.o not in objects:
+        s, p, o = triple.s, triple.p, triple.o
+        po = self._spo.get(s)
+        objects = po.get(p) if po is not None else None
+        if not objects or o not in objects:
             return False
-        objects.discard(triple.o)
-        self._pos[triple.p][triple.o].discard(triple.s)
-        self._osp[triple.o][triple.s].discard(triple.p)
-        self._prune(self._spo, triple.s, triple.p)
-        self._prune(self._pos, triple.p, triple.o)
-        self._prune(self._osp, triple.o, triple.s)
+        objects.discard(o)
+        # The index invariant guarantees the mirrored buckets exist, so
+        # direct indexing here cannot materialize anything.
+        self._pos[p][o].discard(s)
+        self._osp[o][s].discard(p)
+        self._prune(self._spo, s, p)
+        self._prune(self._pos, p, o)
+        self._prune(self._osp, o, s)
         self._size -= 1
         return True
 

@@ -9,12 +9,20 @@ of a triple pattern.
 Terms are immutable, hashable value objects so they can be used freely as
 dictionary keys in graph indexes, solution mappings, and the distributed
 location tables.
+
+Every term class is **interned**: constructing the same term twice yields
+the same object, so equality is an identity check, the hash is computed
+once per distinct term, and the ``n3()`` serialization is cached on the
+instance. Term construction, hashing, and comparison sit on the hot path
+of graph indexing, solution-mapping joins, and wire encoding — the E15
+load harness executes them millions of times per run. Pickling routes
+through the constructor (``__reduce__``), so unpickled terms re-intern
+and the identity invariant survives snapshot/WAL round-trips.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 __all__ = [
     "Term",
@@ -39,48 +47,130 @@ XSD_BOOLEAN = XSD + "boolean"
 
 _NUMERIC_DATATYPES = frozenset({XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE})
 
+_IRI_FORBIDDEN = frozenset(' <>"{}|^`\\')
 
-@dataclass(frozen=True, slots=True)
-class IRI:
+_set = object.__setattr__
+
+
+class _Interned:
+    """Shared immutability plumbing for the interned term classes."""
+
+    __slots__ = ()
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __copy__(self):
+        return self
+
+    def __deepcopy__(self, memo):
+        return self
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.n3()  # type: ignore[attr-defined]
+
+
+class IRI(_Interned):
     """An Internationalized Resource Identifier (RFC 3987 subset).
 
     The paper treats IRIs as opaque strings that are hashed to place index
     entries on the Chord ring; no resolution ever happens.
     """
 
-    value: str
+    __slots__ = ("value", "_hash", "_n3", "_size")
 
-    def __post_init__(self) -> None:
-        if not self.value:
+    _intern: Dict[str, "IRI"] = {}
+
+    def __new__(cls, value: str) -> "IRI":
+        self = cls._intern.get(value)
+        if self is not None:
+            return self
+        if not value:
             raise ValueError("IRI value must be a non-empty string")
-        if any(c in self.value for c in " <>\"{}|^`\\"):
-            raise ValueError(f"IRI contains forbidden character: {self.value!r}")
+        if not _IRI_FORBIDDEN.isdisjoint(value):
+            raise ValueError(f"IRI contains forbidden character: {value!r}")
+        self = object.__new__(cls)
+        _set(self, "value", value)
+        _set(self, "_hash", hash(("IRI", value)))
+        _set(self, "_n3", None)
+        _set(self, "_size", None)
+        cls._intern[value] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        # Interned: value-equal implies identical.
+        return self is other or (NotImplemented
+                                 if not isinstance(other, IRI) else False)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (IRI, (self.value,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IRI(value={self.value!r})"
 
     def n3(self) -> str:
         """Serialize in N-Triples / SPARQL surface syntax."""
-        return f"<{self.value}>"
+        cached = self._n3
+        if cached is None:
+            cached = f"<{self.value}>"
+            _set(self, "_n3", cached)
+        return cached
 
-    def __str__(self) -> str:  # pragma: no cover - convenience
-        return self.n3()
 
-
-@dataclass(frozen=True, slots=True)
-class Literal:
+class Literal(_Interned):
     """An RDF literal: lexical form plus optional language tag or datatype.
 
     A literal may carry *either* a language tag *or* a datatype IRI, never
     both (RDF 1.0 abstract syntax, which the paper builds on).
     """
 
-    lexical: str
-    language: Optional[str] = None
-    datatype: Optional[IRI] = None
+    __slots__ = ("lexical", "language", "datatype", "_hash", "_n3", "_size")
 
-    def __post_init__(self) -> None:
-        if self.language is not None and self.datatype is not None:
+    _intern: Dict[Tuple[str, Optional[str], Optional[IRI]], "Literal"] = {}
+
+    def __new__(
+        cls,
+        lexical: str,
+        language: Optional[str] = None,
+        datatype: Optional[IRI] = None,
+    ) -> "Literal":
+        key = (lexical, language, datatype)
+        self = cls._intern.get(key)
+        if self is not None:
+            return self
+        if language is not None and datatype is not None:
             raise ValueError("literal cannot have both language tag and datatype")
-        if self.language is not None and not self.language:
+        if language is not None and not language:
             raise ValueError("language tag must be non-empty when present")
+        self = object.__new__(cls)
+        _set(self, "lexical", lexical)
+        _set(self, "language", language)
+        _set(self, "datatype", datatype)
+        _set(self, "_hash", hash(("Literal", key)))
+        _set(self, "_n3", None)
+        _set(self, "_size", None)
+        cls._intern[key] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or (NotImplemented
+                                 if not isinstance(other, Literal) else False)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Literal, (self.lexical, self.language, self.datatype))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Literal(lexical={self.lexical!r}, "
+                f"language={self.language!r}, datatype={self.datatype!r})")
 
     @property
     def is_numeric(self) -> bool:
@@ -100,6 +190,9 @@ class Literal:
         return self.lexical
 
     def n3(self) -> str:
+        cached = self._n3
+        if cached is not None:
+            return cached
         escaped = (
             self.lexical.replace("\\", "\\\\")
             .replace('"', '\\"')
@@ -109,23 +202,23 @@ class Literal:
         )
         # Remaining C0/C1 controls (incl. form feed and line separators that
         # str.splitlines would break on) go out as \uXXXX escapes.
-        escaped = "".join(
-            c if c.isprintable() or c == " "
-            else (f"\\u{ord(c):04X}" if ord(c) <= 0xFFFF else f"\\U{ord(c):08X}")
-            for c in escaped
-        )
+        if not escaped.isprintable():
+            escaped = "".join(
+                c if c.isprintable() or c == " "
+                else (f"\\u{ord(c):04X}" if ord(c) <= 0xFFFF else f"\\U{ord(c):08X}")
+                for c in escaped
+            )
         if self.language:
-            return f'"{escaped}"@{self.language}'
-        if self.datatype:
-            return f'"{escaped}"^^{self.datatype.n3()}'
-        return f'"{escaped}"'
+            cached = f'"{escaped}"@{self.language}'
+        elif self.datatype:
+            cached = f'"{escaped}"^^{self.datatype.n3()}'
+        else:
+            cached = f'"{escaped}"'
+        _set(self, "_n3", cached)
+        return cached
 
-    def __str__(self) -> str:  # pragma: no cover - convenience
-        return self.n3()
 
-
-@dataclass(frozen=True, slots=True)
-class BlankNode:
+class BlankNode(_Interned):
     """A blank node: a unique node with no IRI and an unbound value.
 
     Blank node labels are scoped to the document / storage node that minted
@@ -133,40 +226,91 @@ class BlankNode:
     provider so that the union dataset semantics of the paper stay sound.
     """
 
-    label: str
+    __slots__ = ("label", "_hash", "_n3", "_size")
 
-    def __post_init__(self) -> None:
-        if not self.label:
+    _intern: Dict[str, "BlankNode"] = {}
+
+    def __new__(cls, label: str) -> "BlankNode":
+        self = cls._intern.get(label)
+        if self is not None:
+            return self
+        if not label:
             raise ValueError("blank node label must be non-empty")
+        self = object.__new__(cls)
+        _set(self, "label", label)
+        _set(self, "_hash", hash(("BlankNode", label)))
+        _set(self, "_n3", None)
+        _set(self, "_size", None)
+        cls._intern[label] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or (NotImplemented
+                                 if not isinstance(other, BlankNode) else False)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (BlankNode, (self.label,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BlankNode(label={self.label!r})"
 
     def n3(self) -> str:
-        return f"_:{self.label}"
+        cached = self._n3
+        if cached is None:
+            cached = f"_:{self.label}"
+            _set(self, "_n3", cached)
+        return cached
 
-    def __str__(self) -> str:  # pragma: no cover - convenience
-        return self.n3()
 
-
-@dataclass(frozen=True, slots=True)
-class Variable:
+class Variable(_Interned):
     """A SPARQL query variable (``?name``).
 
     Variables are *not* RDF terms; they may appear in triple patterns but
     never in data triples. ``Graph.add`` enforces that.
     """
 
-    name: str
+    __slots__ = ("name", "_hash", "_n3", "_size")
 
-    def __post_init__(self) -> None:
-        if not self.name:
+    _intern: Dict[str, "Variable"] = {}
+
+    def __new__(cls, name: str) -> "Variable":
+        self = cls._intern.get(name)
+        if self is not None:
+            return self
+        if not name:
             raise ValueError("variable name must be non-empty")
-        if self.name.startswith(("?", "$")):
+        if name.startswith(("?", "$")):
             raise ValueError("variable name must not include the ? / $ sigil")
+        self = object.__new__(cls)
+        _set(self, "name", name)
+        _set(self, "_hash", hash(("Variable", name)))
+        _set(self, "_n3", None)
+        _set(self, "_size", None)
+        cls._intern[name] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or (NotImplemented
+                                 if not isinstance(other, Variable) else False)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Variable, (self.name,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable(name={self.name!r})"
 
     def n3(self) -> str:
-        return f"?{self.name}"
-
-    def __str__(self) -> str:  # pragma: no cover - convenience
-        return self.n3()
+        cached = self._n3
+        if cached is None:
+            cached = f"?{self.name}"
+            _set(self, "_n3", cached)
+        return cached
 
 
 #: A concrete RDF term (anything that may appear in a data triple).
@@ -177,4 +321,4 @@ Term = Union[IRI, Literal, BlankNode, Variable]
 
 def is_concrete(term: Term) -> bool:
     """True when *term* may legally appear in a data triple."""
-    return not isinstance(term, Variable)
+    return type(term) is not Variable

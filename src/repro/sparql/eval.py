@@ -23,9 +23,9 @@ from .solutions import (
     EMPTY_MAPPING,
     SolutionMapping,
     SolutionSet,
+    compile_extractor,
     join,
     left_outer_join,
-    match_pattern,
     merge,
     union,
 )
@@ -48,13 +48,38 @@ def evaluate_bgp(bgp: BGP, graph: Graph) -> SolutionSet:
     """
     solutions: List[SolutionMapping] = [EMPTY_MAPPING]
     for pattern in bgp.patterns:
+        ps, pp, po = pattern.s, pattern.p, pattern.o
+        s_var = isinstance(ps, Variable)
+        p_var = isinstance(pp, Variable)
+        o_var = isinstance(po, Variable)
         next_solutions: List[SolutionMapping] = []
+        append = next_solutions.append
+        # µ(t) leaves exactly the variables outside dom(µ) unbound, so the
+        # extractor for the bound pattern depends only on µ's schema.
+        extractors: Dict[object, object] = {}
         for mu in solutions:
-            bound = pattern.substitute(mu.as_dict())
+            bs, bp, bo = ps, pp, po
+            if s_var:
+                term = mu.get(ps)
+                if term is not None:
+                    bs = term
+            if p_var:
+                term = mu.get(pp)
+                if term is not None:
+                    bp = term
+            if o_var:
+                term = mu.get(po)
+                if term is not None:
+                    bo = term
+            bound = TriplePattern(bs, bp, bo)
+            schema = mu._schema
+            extract = extractors.get(schema)
+            if extract is None:
+                # graph.triples already enforces concrete positions and
+                # repeated-variable equality; extraction is all that remains.
+                extract = extractors[schema] = compile_extractor(bound)
             for triple in graph.triples(bound):
-                nu = match_pattern(bound, triple)
-                if nu is not None:
-                    next_solutions.append(merge(mu, nu))
+                append(merge(mu, extract(triple)))
         if not next_solutions:
             return set()
         solutions = next_solutions

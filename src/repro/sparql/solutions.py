@@ -15,11 +15,19 @@ This module implements those operations with set semantics, exactly as the
 paper states them, and they are exercised by property-based tests for the
 algebraic laws (associativity/commutativity of ⋈ and ∪) that the paper's
 distributed optimizations rely on.
+
+Representation: a mapping is a *schema* (an interned tuple of variables in
+name order) plus a parallel tuple of term values. Schemas are shared
+across every mapping with the same domain, so the hot operations —
+compatibility, merge, projection, join-key extraction — compile down to
+cached index plans over small tuples instead of per-row dict work. RDF
+terms are interned (:mod:`repro.rdf.terms`), which makes every value
+comparison inside those kernels a pointer check.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from ..rdf.terms import RDFTerm, Variable
 from ..rdf.triple import Triple, TriplePattern
@@ -38,6 +46,51 @@ __all__ = [
 ]
 
 
+class _Schema:
+    """An interned domain: variables in name order plus lookup tables.
+
+    Two mappings with equal domains share one schema object, so schema
+    comparison inside the kernels is an identity check and every derived
+    plan (merge / projection / compatibility) can be cached per schema
+    pair instead of recomputed per row.
+    """
+
+    __slots__ = ("vars", "domain", "index", "hash")
+
+    _cache: Dict[Tuple[Variable, ...], "_Schema"] = {}
+
+    @classmethod
+    def of(cls, vars_tuple: Tuple[Variable, ...]) -> "_Schema":
+        schema = cls._cache.get(vars_tuple)
+        if schema is None:
+            schema = object.__new__(cls)
+            schema.vars = vars_tuple
+            schema.domain = frozenset(vars_tuple)
+            schema.index = {v: i for i, v in enumerate(vars_tuple)}
+            schema.hash = hash(vars_tuple)
+            cls._cache[vars_tuple] = schema
+        return schema
+
+
+_EMPTY_SCHEMA = _Schema.of(())
+
+#: (left schema, right schema) → (output schema, ((take_left, index), ...)).
+_MERGE_PLANS: Dict[Tuple[_Schema, _Schema], Tuple[_Schema, Tuple[Tuple[bool, int], ...]]] = {}
+
+#: (schema, kept domain) → (output schema, value indices).
+_PROJECT_PLANS: Dict[Tuple[_Schema, FrozenSet[Variable]], Tuple[_Schema, Tuple[int, ...]]] = {}
+
+#: (schema A, schema B) → index pairs of the variables they share.
+_COMPAT_PLANS: Dict[Tuple[_Schema, _Schema], Tuple[Tuple[int, int], ...]] = {}
+
+#: (row schema, shared-variable schema) → (key sub-schema, value indices).
+_KEY_PLANS: Dict[Tuple[_Schema, _Schema], Tuple[_Schema, Tuple[int, ...]]] = {}
+
+
+def _name_key(pair):
+    return pair[0].name
+
+
 class SolutionMapping:
     """An immutable partial function µ : V → U.
 
@@ -45,47 +98,73 @@ class SolutionMapping:
     the set semantics of the paper.
     """
 
-    __slots__ = ("_bindings", "_hash")
+    __slots__ = ("_schema", "_values", "_hash", "_size", "_skey")
 
     def __init__(self, bindings: Optional[Mapping[Variable, RDFTerm]] = None) -> None:
-        items: Dict[Variable, RDFTerm] = dict(bindings) if bindings else {}
-        for var in items:
-            if not isinstance(var, Variable):
-                raise TypeError(f"mapping keys must be Variables, got {var!r}")
-        self._bindings: Tuple[Tuple[Variable, RDFTerm], ...] = tuple(
-            sorted(items.items(), key=lambda kv: kv[0].name)
-        )
-        self._hash = hash(self._bindings)
+        if bindings:
+            for var in bindings:
+                if not isinstance(var, Variable):
+                    raise TypeError(f"mapping keys must be Variables, got {var!r}")
+            pairs = sorted(bindings.items(), key=_name_key)
+            schema = _Schema.of(tuple([v for v, _ in pairs]))
+            values: Tuple[RDFTerm, ...] = tuple([t for _, t in pairs])
+        else:
+            schema = _EMPTY_SCHEMA
+            values = ()
+        self._schema = schema
+        self._values = values
+        self._hash = schema.hash ^ hash(values)
+        self._size = None  # wire-size cache (repro.net.sizes)
+        self._skey = None  # canonical sort-key cache (repro.net.wire)
+
+    #: (schema, values) → canonical instance. Mappings are immutable, so
+    #: the kernels intern them: the same row decoded or merged twice is
+    #: one object, and its wire-size / sort-key caches survive re-shipping
+    #: along aggregation chains.
+    _intern: Dict[Tuple["_Schema", Tuple[RDFTerm, ...]], "SolutionMapping"] = {}
+
+    @classmethod
+    def _make(cls, schema: _Schema, values: Tuple[RDFTerm, ...]) -> "SolutionMapping":
+        """Internal fast constructor: *values* must align with *schema*."""
+        key = (schema, values)
+        self = cls._intern.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self._schema = schema
+            self._values = values
+            self._hash = schema.hash ^ hash(values)
+            self._size = None
+            self._skey = None
+            cls._intern[key] = self
+        return self
 
     # ------------------------------------------------------------- access
 
     def domain(self) -> FrozenSet[Variable]:
         """dom(µ): the variables on which µ is defined."""
-        return frozenset(v for v, _ in self._bindings)
+        return self._schema.domain
 
     def get(self, var: Variable) -> Optional[RDFTerm]:
-        for v, t in self._bindings:
-            if v == var:
-                return t
-        return None
+        i = self._schema.index.get(var)
+        return None if i is None else self._values[i]
 
     def __getitem__(self, var: Variable) -> RDFTerm:
-        value = self.get(var)
-        if value is None:
+        i = self._schema.index.get(var)
+        if i is None:
             raise KeyError(var)
-        return value
+        return self._values[i]
 
     def __contains__(self, var: Variable) -> bool:
-        return self.get(var) is not None
+        return var in self._schema.index
 
     def items(self) -> Iterator[Tuple[Variable, RDFTerm]]:
-        return iter(self._bindings)
+        return zip(self._schema.vars, self._values)
 
     def as_dict(self) -> Dict[Variable, RDFTerm]:
-        return dict(self._bindings)
+        return dict(zip(self._schema.vars, self._values))
 
     def __len__(self) -> int:
-        return len(self._bindings)
+        return len(self._values)
 
     def __hash__(self) -> int:
         return self._hash
@@ -93,91 +172,189 @@ class SolutionMapping:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SolutionMapping):
             return NotImplemented
-        return self._bindings == other._bindings
+        return self._schema is other._schema and self._values == other._values
+
+    def __reduce__(self):
+        # Re-intern schemas (and terms) on unpickle, e.g. across the
+        # multiprocessing transport.
+        return (SolutionMapping, (self.as_dict(),))
 
     def project(self, variables: Iterable[Variable]) -> "SolutionMapping":
-        keep = set(variables)
-        return SolutionMapping({v: t for v, t in self._bindings if v in keep})
+        schema = self._schema
+        keep = variables if isinstance(variables, frozenset) else frozenset(variables)
+        plan = _PROJECT_PLANS.get((schema, keep))
+        if plan is None:
+            idxs = tuple([i for i, v in enumerate(schema.vars) if v in keep])
+            out_schema = _Schema.of(tuple([schema.vars[i] for i in idxs]))
+            plan = _PROJECT_PLANS[(schema, keep)] = (out_schema, idxs)
+        out_schema, idxs = plan
+        values = self._values
+        return SolutionMapping._make(out_schema, tuple([values[i] for i in idxs]))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        inner = ", ".join(f"?{v.name}={t.n3()}" for v, t in self._bindings)
+        inner = ", ".join(f"?{v.name}={t.n3()}" for v, t in self.items())
         return f"µ{{{inner}}}"
 
 
 EMPTY_MAPPING = SolutionMapping()
+SolutionMapping._intern[(_EMPTY_SCHEMA, ())] = EMPTY_MAPPING
 
 #: A set of solution mappings Ω.
 SolutionSet = Set[SolutionMapping]
 
 
+def _compat_plan(s1: _Schema, s2: _Schema) -> Tuple[Tuple[int, int], ...]:
+    plan = _COMPAT_PLANS.get((s1, s2))
+    if plan is None:
+        index2 = s2.index
+        plan = tuple(
+            (i, index2[v]) for i, v in enumerate(s1.vars) if v in index2
+        )
+        _COMPAT_PLANS[(s1, s2)] = plan
+    return plan
+
+
 def compatible(mu1: SolutionMapping, mu2: SolutionMapping) -> bool:
     """µ1 ~ µ2: every shared variable is bound to the same term."""
-    if len(mu1) > len(mu2):
-        mu1, mu2 = mu2, mu1
-    for var, term in mu1.items():
-        other = mu2.get(var)
-        if other is not None and other != term:
+    s1 = mu1._schema
+    s2 = mu2._schema
+    if s1 is s2:
+        return mu1._values == mu2._values
+    v1 = mu1._values
+    v2 = mu2._values
+    for i, j in _compat_plan(s1, s2):
+        # Terms are interned: equality is identity.
+        if v1[i] is not v2[j]:
             return False
     return True
 
 
+def _merge_plan(s1: _Schema, s2: _Schema):
+    plan = _MERGE_PLANS.get((s1, s2))
+    if plan is None:
+        merged: Dict[Variable, Tuple[bool, int]] = {
+            v: (True, i) for i, v in enumerate(s1.vars)
+        }
+        # Right side wins on shared variables (callers guarantee
+        # compatibility, so the values agree anyway).
+        for j, v in enumerate(s2.vars):
+            merged[v] = (False, j)
+        ordered = sorted(merged, key=lambda v: v.name)
+        out_schema = _Schema.of(tuple(ordered))
+        ops = tuple(merged[v] for v in ordered)
+        plan = _MERGE_PLANS[(s1, s2)] = (out_schema, ops)
+    return plan
+
+
 def merge(mu1: SolutionMapping, mu2: SolutionMapping) -> SolutionMapping:
     """µ1 ∪ µ2 for compatible mappings (caller must ensure compatibility)."""
-    combined = mu1.as_dict()
-    combined.update(mu2.as_dict())
-    return SolutionMapping(combined)
+    s1 = mu1._schema
+    s2 = mu2._schema
+    if s2 is _EMPTY_SCHEMA:
+        return mu1
+    if s1 is _EMPTY_SCHEMA or s1 is s2:
+        return mu2
+    out_schema, ops = _merge_plan(s1, s2)
+    v1 = mu1._values
+    v2 = mu2._values
+    return SolutionMapping._make(
+        out_schema, tuple([v1[i] if left else v2[i] for left, i in ops])
+    )
+
+
+def _key_plan(schema: _Schema, shared_schema: _Schema):
+    """How *schema* projects onto the join key: the sub-schema of shared
+    variables it actually binds, plus the value indices to extract."""
+    plan = _KEY_PLANS.get((schema, shared_schema))
+    if plan is None:
+        index = schema.index
+        bound = [v for v in shared_schema.vars if v in index]
+        sub = _Schema.of(tuple(bound))
+        idxs = tuple(index[v] for v in bound)
+        plan = _KEY_PLANS[(schema, shared_schema)] = (sub, idxs)
+    return plan
 
 
 def join(omega1: Iterable[SolutionMapping], omega2: Iterable[SolutionMapping]) -> SolutionSet:
     """Ω1 ⋈ Ω2 with a hash-join on the shared variables.
 
     Falls back to a nested-loop cross product when the inputs share no
-    variables (every pair is then compatible by definition).
+    variables (every pair is then compatible by definition). Rows that
+    leave some shared variable unbound (partial µ) are grouped by their
+    key sub-schema and probed with cached compatibility plans.
     """
     left = list(omega1)
     right = list(omega2)
     if not left or not right:
         return set()
 
-    shared = _common_domain(left, right)
+    dom1: Set[Variable] = set()
+    for schema in {mu._schema for mu in left}:
+        dom1 |= schema.domain
+    dom2: Set[Variable] = set()
+    for schema in {mu._schema for mu in right}:
+        dom2 |= schema.domain
+    shared = dom1 & dom2
     if not shared:
         return {merge(m1, m2) for m1 in left for m2 in right}
 
     # Hash the smaller side on its projection onto the shared variables.
     if len(right) < len(left):
         left, right = right, left
-    buckets: Dict[SolutionMapping, list[SolutionMapping]] = {}
+    shared_schema = _Schema.of(tuple(sorted(shared, key=lambda v: v.name)))
+
+    # Buckets grouped by key sub-schema: in the common case every row
+    # binds every shared variable and there is exactly one group.
+    groups: Dict[_Schema, Dict[Tuple[RDFTerm, ...], List[SolutionMapping]]] = {}
     for mu in left:
-        buckets.setdefault(mu.project(shared), []).append(mu)
+        sub, idxs = _key_plan(mu._schema, shared_schema)
+        values = mu._values
+        key = tuple([values[i] for i in idxs])
+        group = groups.get(sub)
+        if group is None:
+            group = groups[sub] = {}
+        bucket = group.get(key)
+        if bucket is None:
+            group[key] = [mu]
+        else:
+            bucket.append(mu)
+
+    full_group = groups.get(shared_schema)
+    has_partial = len(groups) > (1 if full_group is not None else 0)
 
     out: SolutionSet = set()
+    add = out.add
     for mu2 in right:
-        key = mu2.project(shared)
-        # A mapping may leave some shared variable unbound (partial µ), so
-        # probe every bucket whose key is compatible with this one.
-        if len(key) == len(shared):
-            for mu1 in buckets.get(key, ()):
-                out.add(merge(mu1, mu2))
-            # Also any bucket with a *smaller* domain that is compatible.
-            if any(len(k) < len(shared) for k in buckets):
-                for k, mus in buckets.items():
-                    if len(k) < len(shared) and compatible(k, key):
-                        out.update(merge(m1, mu2) for m1 in mus)
+        sub2, idxs2 = _key_plan(mu2._schema, shared_schema)
+        values2 = mu2._values
+        key2 = tuple([values2[i] for i in idxs2])
+        if sub2 is shared_schema:
+            if full_group is not None:
+                bucket = full_group.get(key2)
+                if bucket is not None:
+                    for mu1 in bucket:
+                        add(merge(mu1, mu2))
+            if has_partial:
+                # Also any bucket with a *smaller* domain whose bound key
+                # values agree with this row's.
+                for sub, group in groups.items():
+                    if sub is shared_schema:
+                        continue
+                    plan = _compat_plan(sub, sub2)
+                    for key, mus in group.items():
+                        if all(key[i] is key2[j] for i, j in plan):
+                            for mu1 in mus:
+                                add(merge(mu1, mu2))
         else:
-            for k, mus in buckets.items():
-                if compatible(k, key):
-                    out.update(merge(m1, mu2) for m1 in mus)
+            # Partial probe row: every bucket with compatible bound shared
+            # variables may join.
+            for sub, group in groups.items():
+                plan = _compat_plan(sub, sub2)
+                for key, mus in group.items():
+                    if all(key[i] is key2[j] for i, j in plan):
+                        for mu1 in mus:
+                            add(merge(mu1, mu2))
     return out
-
-
-def _common_domain(left: Iterable[SolutionMapping], right: Iterable[SolutionMapping]) -> FrozenSet[Variable]:
-    dom1: Set[Variable] = set()
-    for mu in left:
-        dom1.update(mu.domain())
-    dom2: Set[Variable] = set()
-    for mu in right:
-        dom2.update(mu.domain())
-    return frozenset(dom1 & dom2)
 
 
 def union(omega1: Iterable[SolutionMapping], omega2: Iterable[SolutionMapping]) -> SolutionSet:
@@ -200,6 +377,34 @@ def left_outer_join(
     return join(left, right) | minus(left, right)
 
 
+def compile_extractor(pattern: TriplePattern):
+    """A binding extractor for triples already known to match *pattern*.
+
+    :meth:`repro.rdf.graph.Graph.triples` verifies concrete positions and
+    repeated-variable consistency during the index walk, so per-triple
+    work reduces to picking the variable positions out of the triple. The
+    schema and position plan are computed once per pattern; the returned
+    callable builds each mapping with the fast constructor.
+    """
+    seen: Dict[Variable, int] = {}
+    for i, term in enumerate((pattern.s, pattern.p, pattern.o)):
+        if type(term) is Variable and term not in seen:
+            seen[term] = i
+    if not seen:
+        return lambda triple: EMPTY_MAPPING
+    pairs = sorted(seen.items(), key=_name_key)
+    schema = _Schema.of(tuple([v for v, _ in pairs]))
+    idxs = tuple([i for _, i in pairs])
+
+    make = SolutionMapping._make
+
+    def extract(triple: Triple) -> SolutionMapping:
+        values = (triple.s, triple.p, triple.o)
+        return make(schema, tuple([values[i] for i in idxs]))
+
+    return extract
+
+
 def match_pattern(pattern: TriplePattern, triple: Triple) -> Optional[SolutionMapping]:
     """The µ with dom(µ) = var(t) and µ(t) = triple, or None.
 
@@ -207,13 +412,19 @@ def match_pattern(pattern: TriplePattern, triple: Triple) -> Optional[SolutionMa
     consistent bindings are required when a variable repeats.
     """
     bindings: Dict[Variable, RDFTerm] = {}
-    for pat, val in zip(pattern, triple):
-        if isinstance(pat, Variable):
+    for pat, val in ((pattern.s, triple.s), (pattern.p, triple.p), (pattern.o, triple.o)):
+        if type(pat) is Variable:
             bound = bindings.get(pat)
             if bound is None:
                 bindings[pat] = val
-            elif bound != val:
+            elif bound is not val:  # interned terms: identity is equality
                 return None
-        elif pat != val:
+        elif pat is not val:
             return None
-    return SolutionMapping(bindings)
+    if not bindings:
+        return EMPTY_MAPPING
+    pairs = sorted(bindings.items(), key=_name_key)
+    return SolutionMapping._make(
+        _Schema.of(tuple([v for v, _ in pairs])),
+        tuple([t for _, t in pairs]),
+    )

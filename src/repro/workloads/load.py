@@ -28,6 +28,7 @@ arrival times) is drawn up front from one seeded RNG, so a given
 from __future__ import annotations
 
 import random
+import time
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -143,6 +144,12 @@ class WorkloadReport:
     failover: Dict[str, int] = field(default_factory=dict)
     #: Number of scheduled membership changes applied mid-run.
     churn_events: int = 0
+    #: Real (host) seconds the simulation took to execute.  Unlike every
+    #: other field this is *not* deterministic — it measures the engine,
+    #: not the simulated system — and exists for performance tracking.
+    wall_clock_s: float = 0.0
+    #: Completed queries per real second (``completed / wall_clock_s``).
+    queries_per_wall_second: float = 0.0
 
     def per_label(self) -> Dict[str, int]:
         return dict(Counter(j.label for j in self.jobs))
@@ -179,6 +186,8 @@ class WorkloadReport:
             "contention": self.contention,
             "failover": self.failover,
             "churn_events": self.churn_events,
+            "wall_clock_s": self.wall_clock_s,
+            "queries_per_wall_second": self.queries_per_wall_second,
         }
         if include_jobs:
             payload["job_details"] = [
@@ -336,6 +345,7 @@ def run_workload(
 
     checkpoint = system.stats.checkpoint()
     failover_before = system.network.failover.checkpoint()
+    wall_start = time.perf_counter()
     t_start = sim.now
     for churn_event in config.churn:
         if churn_event.action not in ("crash", "recover"):
@@ -354,6 +364,7 @@ def run_workload(
         for _ in range(max(1, config.concurrency)):
             sim.process(client())
     sim.run()
+    wall_clock_s = time.perf_counter() - wall_start
 
     delta = system.stats.delta(checkpoint)
     finish_times = [j.finished for j in jobs if j.finished is not None]
@@ -385,4 +396,8 @@ def run_workload(
         contention=contention,
         failover=system.network.failover.delta(failover_before),
         churn_events=len(config.churn),
+        wall_clock_s=wall_clock_s,
+        queries_per_wall_second=(
+            completed / wall_clock_s if wall_clock_s > 0 else 0.0
+        ),
     )

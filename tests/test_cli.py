@@ -157,3 +157,31 @@ class TestDurabilityCli:
         job = payload["job_details"][0]
         assert {"job_id", "label", "latency", "ok", "results"} <= set(job)
         assert all(j["ok"] for j in payload["job_details"])
+
+    def test_bench_load_reports_wall_clock(self, data_files, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code, out, _ = run_cli(
+            capsys, "bench-load",
+            *[arg for f in data_files for arg in ("--data", f)],
+            "--num-queries", "4", "--concurrency", "2",
+            "--json", str(out_path),
+        )
+        assert code == 0
+        assert "# wall clock:" in out
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["wall_clock_s"] > 0.0
+        assert payload["queries_per_wall_second"] > 0.0
+
+    def test_profile_prints_hot_functions(self, data_files, tmp_path, capsys):
+        stats_path = tmp_path / "profile.pstats"
+        code, out, _ = run_cli(
+            capsys, "profile",
+            *[arg for f in data_files for arg in ("--data", f)],
+            "--num-queries", "4", "--concurrency", "2",
+            "--top", "5", "--stats-out", str(stats_path),
+        )
+        assert code == 0
+        assert "# wall clock:" in out
+        assert "cumulative" in out  # the pstats table header
+        assert "ncalls" in out
+        assert stats_path.exists() and stats_path.stat().st_size > 0

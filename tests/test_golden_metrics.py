@@ -1,0 +1,138 @@
+"""Golden simulated-metrics regression guard.
+
+Wall-clock performance work (interned terms, tuple-row join kernels, the
+simulator fast path) must never change a *simulated* result: answers,
+inter-site bytes, simulated response times, and lookup hop counts are the
+correctness oracle for engine-level acceleration. This test pins those
+numbers for the paper's Fig. 4-9 queries (plus the DISTINCT/ASK forms)
+across every (primitive strategy x conjunction mode x join-site policy)
+combination, with the shipping optimizations both fully off and fully on,
+against a checked-in golden file.
+
+The golden file was captured from the pre-optimization engine (commit
+42c5621); any drift — a single byte, a single hop, a float ULP of
+simulated time — fails this test. To re-capture after an *intentional*
+metrics change (never for a perf-only PR):
+
+    GOLDEN_REGEN=1 PYTHONPATH=src:tests python -m pytest tests/test_golden_metrics.py
+"""
+
+import hashlib
+import itertools
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.query import (
+    ConjunctionMode,
+    DistributedExecutor,
+    ExecutionOptions,
+    JoinSitePolicy,
+    PrimitiveStrategy,
+)
+
+from helpers import build_system
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "metrics_fig4_9.json"
+
+QUERIES = {
+    "fig4": """SELECT ?x ?y ?z WHERE {
+        ?x foaf:name ?name . ?x foaf:knows ?z .
+        ?x ns:knowsNothingAbout ?y . ?y foaf:knows ?z .
+        FILTER regex(?name, "Smith") } ORDER BY DESC(?x)""",
+    "fig5": "SELECT ?x WHERE { ?x foaf:knows ns:me . }",
+    "fig6": """SELECT ?x ?y ?z WHERE {
+        ?x foaf:knows ?z . ?x ns:knowsNothingAbout ?y . }""",
+    "fig7": """SELECT ?x ?y WHERE {
+        { ?x foaf:name "Smith" . ?x foaf:knows ?y . }
+        OPTIONAL { ?y foaf:nick "Shrek" . } }""",
+    "fig8": """SELECT ?x ?y ?z WHERE {
+        { ?x foaf:name "Smith" . ?x foaf:knows ?y . }
+        UNION
+        { ?x foaf:mbox <mailto:abc@example.org> . ?x foaf:knows ?z . } }""",
+    "fig9": """SELECT ?x ?y ?z WHERE {
+        ?x foaf:name ?name ; ns:knowsNothingAbout ?y .
+        FILTER regex(?name, "Smith")
+        OPTIONAL { ?y foaf:knows ?z . } }""",
+    "distinct": """SELECT DISTINCT ?x WHERE {
+        ?x foaf:knows ?y . ?y foaf:knows ?z . }""",
+    "ask": "ASK { ?x foaf:name ?name . ?x foaf:knows ?y . }",
+}
+
+COMBOS = list(itertools.product(PrimitiveStrategy, ConjunctionMode,
+                                JoinSitePolicy))
+
+TECHNIQUES = [
+    ("off", dict(semijoin=False, projection_pushdown=False,
+                 dictionary_encoding=False)),
+    ("all", dict(semijoin=True, projection_pushdown=True,
+                 dictionary_encoding=True)),
+]
+
+
+def answer_fingerprint(result) -> str:
+    """Exact digest of the answer — row order included (it is part of the
+    simulated output for ordered queries and deterministic otherwise)."""
+    if result.boolean is not None:
+        return f"ask:{result.boolean}"
+    rows = [[(v.name, t.n3()) for v, t in mu.items()] for mu in result.rows]
+    blob = json.dumps(rows, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def capture():
+    """Run every pinned configuration in a fixed order on a fresh system.
+
+    A fresh system + fixed order makes the capture self-consistent: any
+    state the engine carries across queries (e.g. lookup caches) evolves
+    identically at regen time and at check time.
+    """
+    system = build_system()
+    out = {}
+    for name, text in QUERIES.items():
+        for strategy, mode, policy in COMBOS:
+            for tech_name, techniques in TECHNIQUES:
+                options = ExecutionOptions(
+                    primitive_strategy=strategy,
+                    conjunction_mode=mode,
+                    join_site_policy=policy,
+                    semijoin_min_rows=1,
+                    **techniques,
+                )
+                executor = DistributedExecutor(system, options)
+                result, report = executor.execute(text, initiator="D1")
+                key = "|".join((name, strategy.value, mode.value,
+                                policy.value, tech_name))
+                out[key] = {
+                    "response_time": report.response_time,
+                    "bytes_total": report.bytes_total,
+                    "messages": report.messages,
+                    "lookup_hops": report.lookup_hops,
+                    "result_count": report.result_count,
+                    "answers": answer_fingerprint(result),
+                }
+    return out
+
+
+def test_simulated_metrics_match_golden():
+    if os.environ.get("GOLDEN_REGEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(capture(), indent=1, sort_keys=True)
+                               + "\n")
+        pytest.skip(f"golden file regenerated at {GOLDEN_PATH}")
+
+    golden = json.loads(GOLDEN_PATH.read_text())
+    got = capture()
+    assert set(got) == set(golden), "configuration grid changed"
+    drifted = {
+        key: {field: (golden[key][field], got[key][field])
+              for field in golden[key] if golden[key][field] != got[key][field]}
+        for key in golden
+        if golden[key] != got[key]
+    }
+    assert not drifted, (
+        f"{len(drifted)} configurations drifted from golden "
+        f"(golden, got): {dict(itertools.islice(drifted.items(), 5))}"
+    )

@@ -27,7 +27,8 @@ class EchoNode(Node):
 
 
 def live_heap(sim):
-    return [entry for entry in sim._heap if entry[2] is not None]
+    pending = [*sim._heap, *sim._now_queue]
+    return [entry for entry in pending if entry[2] is not None]
 
 
 def peer_state(system):
