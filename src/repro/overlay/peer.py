@@ -23,42 +23,17 @@ from ..net.sim import Event
 from ..net.wire import JoinDigest, as_solution_set, encode_solutions
 from ..sparql import ast
 from ..sparql.expr import filter_passes
-from ..sparql.solutions import (
-    SolutionMapping,
-    join as omega_join,
-    left_outer_join,
-    minus as omega_minus,
-    union as omega_union,
-)
+from ..sparql.solutions import SolutionMapping, combine_sets
 
 __all__ = ["QueryPeer"]
 
 
 def _combine(op: str, left, right, condition: Optional[ast.Expression]):
-    if op == "join":
-        out = omega_join(left, right)
-    elif op == "union":
-        out = omega_union(left, right)
-    elif op == "minus":
-        out = omega_minus(left, right)
-    elif op == "leftjoin":
-        if condition is None:
-            return left_outer_join(left, right)
-        out: Set[SolutionMapping] = set()
-        for mu in left:
-            extended = False
-            for nu in omega_join([mu], right):
-                if filter_passes(condition, nu):
-                    out.add(nu)
-                    extended = True
-            if not extended:
-                out.add(mu)
-        return out
-    else:
-        raise ValueError(f"unknown combine op {op!r}")
+    passes = None
     if condition is not None:
-        out = {mu for mu in out if filter_passes(condition, mu)}
-    return out
+        def passes(mu):
+            return filter_passes(condition, mu)
+    return combine_sets(op, left, right, passes)
 
 
 class QueryPeer:

@@ -24,6 +24,7 @@ from .solutions import (
     SolutionMapping,
     SolutionSet,
     compile_extractor,
+    conditional_left_outer_join,
     join,
     left_outer_join,
     merge,
@@ -109,18 +110,10 @@ def evaluate_algebra(
         right = evaluate_algebra(node.right, graph, named_graphs)
         if node.condition is None:
             return left_outer_join(left, right)
-        # LeftJoin with an embedded condition: joined solutions must pass
-        # the condition; left solutions with no passing partner survive.
-        out: SolutionSet = set()
-        for mu in left:
-            extended = False
-            for nu in join([mu], right):
-                if filter_passes(node.condition, nu):
-                    out.add(nu)
-                    extended = True
-            if not extended:
-                out.add(mu)
-        return out
+        condition = node.condition
+        return conditional_left_outer_join(
+            left, right, lambda nu: filter_passes(condition, nu)
+        )
     if isinstance(node, Filter):
         return {
             mu

@@ -27,7 +27,10 @@ comparison inside those kernels a pointer check.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional,
+    Set, Tuple,
+)
 
 from ..rdf.terms import RDFTerm, Variable
 from ..rdf.triple import Triple, TriplePattern
@@ -42,6 +45,8 @@ __all__ = [
     "union",
     "minus",
     "left_outer_join",
+    "conditional_left_outer_join",
+    "combine_sets",
     "match_pattern",
 ]
 
@@ -375,6 +380,62 @@ def left_outer_join(
     left = list(omega1)
     right = list(omega2)
     return join(left, right) | minus(left, right)
+
+
+def conditional_left_outer_join(
+    omega1: Iterable[SolutionMapping],
+    omega2: Iterable[SolutionMapping],
+    passes: Callable[[SolutionMapping], bool],
+) -> SolutionSet:
+    """Ω1 ⟕_C Ω2: joined solutions must satisfy *passes*; a left solution
+    with no passing partner survives unextended (the spec's LeftJoin with
+    an embedded condition, paper footnote 16).
+
+    *passes* is a plain predicate so this module stays independent of the
+    expression evaluator; callers wrap their condition with
+    :func:`repro.sparql.expr.filter_passes`.
+    """
+    out: SolutionSet = set()
+    right = list(omega2)
+    for mu in omega1:
+        extended = False
+        for nu in join([mu], right):
+            if passes(nu):
+                out.add(nu)
+                extended = True
+        if not extended:
+            out.add(mu)
+    return out
+
+
+def combine_sets(
+    op: str,
+    omega1: Iterable[SolutionMapping],
+    omega2: Iterable[SolutionMapping],
+    passes: Optional[Callable[[SolutionMapping], bool]] = None,
+) -> SolutionSet:
+    """The combine operator every join site runs: op ∈ {join, union,
+    minus, leftjoin} with an optional condition predicate.
+
+    For leftjoin the condition is part of the operator semantics
+    (:func:`conditional_left_outer_join`); for the other ops it is a
+    post-selection over the combined set.
+    """
+    if op == "leftjoin":
+        if passes is None:
+            return left_outer_join(omega1, omega2)
+        return conditional_left_outer_join(omega1, omega2, passes)
+    if op == "join":
+        out = join(omega1, omega2)
+    elif op == "union":
+        out = union(omega1, omega2)
+    elif op == "minus":
+        out = minus(omega1, omega2)
+    else:
+        raise ValueError(f"unknown combine op {op!r}")
+    if passes is not None:
+        out = {mu for mu in out if passes(mu)}
+    return out
 
 
 def compile_extractor(pattern: TriplePattern):

@@ -7,10 +7,14 @@ correctness oracle for engine-level acceleration. This test pins those
 numbers for the paper's Fig. 4-9 queries (plus the DISTINCT/ASK forms)
 across every (primitive strategy x conjunction mode x join-site policy)
 combination, with the shipping optimizations both fully off and fully on,
-against a checked-in golden file.
+against a checked-in golden file. Beyond the figure queries this also pins
+pure OPTIONAL / UNION / FILTER forms (optcond / unionfilter / optchain),
+so every algebra operator — not just conjunctions — is guarded through
+the physical-plan layer.
 
 The golden file was captured from the pre-optimization engine (commit
-42c5621); any drift — a single byte, a single hop, a float ULP of
+42c5621; the optcond/unionfilter/optchain rows from the pre-plan-layer
+engine of PR 8); any drift — a single byte, a single hop, a float ULP of
 simulated time — fails this test. To re-capture after an *intentional*
 metrics change (never for a perf-only PR):
 
@@ -59,6 +63,20 @@ QUERIES = {
     "distinct": """SELECT DISTINCT ?x WHERE {
         ?x foaf:knows ?y . ?y foaf:knows ?z . }""",
     "ask": "ASK { ?x foaf:name ?name . ?x foaf:knows ?y . }",
+    # Non-conjunction forms pinned explicitly so the plan layer cannot
+    # drift on OPTIONAL / UNION / FILTER shapes that the Fig. 4-9 set
+    # only exercises in combination: a LeftJoin carrying an embedded
+    # condition, a FILTER over a UNION, and a chain of OPTIONALs.
+    "optcond": """SELECT ?x ?y WHERE {
+        ?x foaf:knows ?y .
+        OPTIONAL { ?y foaf:name ?n . FILTER regex(?n, "Smith") } }""",
+    "unionfilter": """SELECT ?x ?n WHERE {
+        { ?x foaf:name ?n . } UNION { ?x foaf:nick ?n . }
+        FILTER regex(?n, "S") }""",
+    "optchain": """SELECT ?x ?y ?z ?w WHERE {
+        ?x ns:knowsNothingAbout ?y .
+        OPTIONAL { ?y foaf:knows ?z . }
+        OPTIONAL { ?x foaf:name ?w . } }""",
 }
 
 COMBOS = list(itertools.product(PrimitiveStrategy, ConjunctionMode,
