@@ -1,0 +1,128 @@
+"""E19 — The cost-based physical planner (PR 8).
+
+Sect. V poses the open problem of producing "good query plans" under a
+mixture of transmission and response-time objectives. PR 8 answers it
+with an explicit physical-operator plan (``repro.query.physical``) and a
+frequency-driven planner (``repro.query.cost``, ``--plan cost``): one
+parallel round of location-table statistics lookups seeds leaf
+cardinalities, and a pure bottom-up estimation pass pins join order, the
+conjunction walk mode, per-leaf chain strategies, and byte-weighted
+combine sites before the first data byte moves.
+
+Claims under test, on the paper's own Fig. 4-9 query mix:
+
+* **Answers are invariant**: the cost planner returns exactly the rows
+  the BASIC bundle returns, query for query.
+* **Bytes go down**: with the pure-transmission objective
+  (``time_weight=0``), the planner ships fewer total inter-site bytes
+  than the BASIC bundle on at least half of the Fig. 4-9 queries, and
+  in aggregate over the whole mix.
+* **The estimates are live**: every cost-mode plan carries non-None
+  ``est_rows`` on its execution root — the numbers ``repro explain``
+  prints are the numbers the decisions were made from.
+
+The full per-query grid (BASIC bundle / default optimized bundle / cost
+planner) is recorded in ``BENCH_PR8_planner.json`` for CI to archive.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.metrics import render_table
+from repro.query import DistributedExecutor, ExecutionOptions
+from repro.query.physical import execution_root
+from repro.query.strategies import (
+    ConjunctionMode,
+    JoinSitePolicy,
+    PrimitiveStrategy,
+)
+from repro.workloads import PAPER_FIG_QUERIES, paper_example_partition
+
+from conftest import build_system, emit, run_once
+
+JSON_PATH = pathlib.Path(__file__).parent / "BENCH_PR8_planner.json"
+
+#: The paper's unoptimized configuration: plain fan-out primitives, the
+#: index-node-to-index-node conjunction walk, all combines at the
+#: initiator.
+BASIC_BUNDLE = dict(
+    primitive_strategy=PrimitiveStrategy.BASIC,
+    conjunction_mode=ConjunctionMode.BASIC,
+    join_site_policy=JoinSitePolicy.QUERY_SITE,
+)
+
+
+def _measure(query_text, **options):
+    system = build_system(num_index=8, parts=paper_example_partition())
+    executor = DistributedExecutor(system, ExecutionOptions(**options))
+    result, report = executor.execute(query_text, initiator="D1")
+    return result, report
+
+
+def run_grid():
+    cells = {}
+    rows = []
+    for name, query_text in PAPER_FIG_QUERIES.items():
+        basic_result, basic_report = _measure(query_text, **BASIC_BUNDLE)
+        default_result, default_report = _measure(query_text)
+        cost_result, cost_report = _measure(
+            query_text, **BASIC_BUNDLE, plan_mode="cost", time_weight=0.0)
+        cells[name] = {
+            "rows": basic_report.result_count,
+            "basic_bytes": basic_report.bytes_total,
+            "default_bytes": default_report.bytes_total,
+            "cost_bytes": cost_report.bytes_total,
+            "basic_messages": basic_report.messages,
+            "cost_messages": cost_report.messages,
+            "answers_equal": (
+                sorted(map(str, basic_result.rows))
+                == sorted(map(str, cost_result.rows))
+                == sorted(map(str, default_result.rows))
+            ),
+            "root_estimated": execution_root(
+                cost_report.plan).est_rows is not None,
+        }
+        rows.append([
+            name, basic_report.result_count,
+            basic_report.bytes_total, default_report.bytes_total,
+            cost_report.bytes_total,
+            "yes" if cells[name]["cost_bytes"] < cells[name]["basic_bytes"]
+            else "no",
+        ])
+    return cells, rows
+
+
+def test_e19_cost_planner_beats_basic(benchmark):
+    cells, rows = run_once(benchmark, run_grid)
+    emit(render_table(
+        ["query", "rows", "basic_bytes", "default_bytes", "cost_bytes",
+         "cost<basic"],
+        rows,
+        title="E19: frequency-driven cost planner vs fixed bundles "
+              "(Fig. 4-9 mix, time_weight=0)",
+    ))
+
+    for name, cell in cells.items():
+        # Plan choices must never change the answer.
+        assert cell["answers_equal"], name
+        # The decisions were made from real estimates.
+        assert cell["root_estimated"], name
+
+    wins = sum(cell["cost_bytes"] < cell["basic_bytes"]
+               for cell in cells.values())
+    assert wins * 2 >= len(cells), (
+        f"cost planner reduced bytes on only {wins}/{len(cells)} queries")
+    assert (sum(c["cost_bytes"] for c in cells.values())
+            < sum(c["basic_bytes"] for c in cells.values()))
+
+    payload = {
+        "workload": "PAPER_FIG_QUERIES over paper_example_partition",
+        "objective": "time_weight=0.0 (pure transmission)",
+        "wins_vs_basic": wins,
+        "queries": len(cells),
+        "cells": cells,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                         encoding="utf-8")

@@ -20,6 +20,14 @@ The ``trace`` subcommand executes the query with the tracer enabled and
 prints the Fig. 3-style message sequence diagram, the per-phase cost
 table, and (optionally) a JSONL event dump.
 
+The ``explain`` subcommand executes the query and prints its annotated
+physical operator plan — per-operator placement, estimated vs actual
+rows, estimated vs actual bytes. With ``--plan cost`` the estimates come
+from the frequency-driven planner's statistics prefetch::
+
+    python -m repro explain 'SELECT ?x WHERE { ?x foaf:knows ?y . }' \
+        --data alice.nt --data bob.nt --plan cost
+
 The ``bench-load`` subcommand drives a multi-query workload (closed-loop
 fixed concurrency or open-loop Poisson arrivals) through one simulation
 and prints throughput, latency percentiles, and admission statistics::
@@ -64,6 +72,7 @@ __all__ = [
     "main",
     "build_parser",
     "build_trace_parser",
+    "build_explain_parser",
     "build_bench_load_parser",
     "build_profile_parser",
     "build_checkpoint_parser",
@@ -100,6 +109,13 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--time-weight", type=float, default=0.5,
         help="adaptive objective mixture: 0=min bytes, 1=min time",
+    )
+    parser.add_argument(
+        "--plan", choices=["legacy", "cost"], default="legacy",
+        help="physical-plan mode: legacy follows the per-step strategy "
+             "flags exactly; cost lets the frequency-driven planner pin "
+             "join order, walk mode, chain strategies, and combine sites "
+             "at plan time",
     )
     parser.add_argument(
         "--initiator", default=None,
@@ -222,6 +238,44 @@ def build_trace_parser() -> argparse.ArgumentParser:
         help="skip the sequence diagram (phase table and spans only)",
     )
     return parser
+
+
+def build_explain_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description="Execute one query and print its annotated physical "
+                    "operator plan: per-operator placement, estimated vs "
+                    "actual rows, and estimated vs actual wire bytes.",
+    )
+    parser.add_argument(
+        "query", nargs="?", default=None,
+        help="SPARQL query text (or use --query-file)",
+    )
+    parser.add_argument(
+        "--query-file", metavar="FILE.rq", help="file containing the query"
+    )
+    _add_common_options(parser)
+    return parser
+
+
+def _explain_main(argv: Sequence[str]) -> int:
+    from .query.physical import format_plan
+
+    args = build_explain_parser().parse_args(argv)
+    if args.query is not None and args.query_file is not None:
+        raise SystemExit("error: give either a positional query or "
+                         "--query-file, not both")
+    system = _load_system(args)
+    executor = DistributedExecutor(system, _build_options(args))
+    _, report = executor.execute(_query_text(args), initiator=args.initiator)
+    print(format_plan(report.plan))
+    print(
+        f"# totals: {report.result_count} results, {report.messages} "
+        f"messages, {report.bytes_total} bytes, "
+        f"{report.response_time * 1000:.1f} ms simulated "
+        f"(plan={args.plan})"
+    )
+    return 0
 
 
 def _add_workload_options(parser: argparse.ArgumentParser) -> None:
@@ -546,6 +600,7 @@ def _build_options(args: argparse.Namespace) -> ExecutionOptions:
         conjunction_mode=ConjunctionMode(args.conjunction),
         join_site_policy=JoinSitePolicy(args.join_site),
         time_weight=args.time_weight,
+        plan_mode=args.plan,
         optimize=not args.no_optimize,
         semijoin=args.semijoin,
         projection_pushdown=args.projection_pushdown,
@@ -592,6 +647,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv)
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "explain":
+        return _explain_main(argv[1:])
     if argv and argv[0] == "bench-load":
         return _bench_load_main(argv[1:])
     if argv and argv[0] == "profile":

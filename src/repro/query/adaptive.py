@@ -1,146 +1,9 @@
-"""Cost-based strategy selection — the paper's stated future work.
-
-Sect. V: "We have yet to investigate, in a fully-distributed context, how
-to process and optimize SPARQL queries in the face of a mixture of such
-objectives [transmission cost vs response time] and come up with 'good'
-query plans."
-
-This module implements that investigation's natural first step: an
-analytic cost model over the information the initiator already has — the
-location-table row (provider frequencies) and the link model — used to
-pick, per primitive sub-query, whichever of BASIC / FREQ-chain minimizes a
-weighted mixture of the two objectives.
-
-Model (fan-out to n providers with estimated result sizes s_1..s_n bytes,
-link latency L, bandwidth B, assembly/initiator transfers included):
-
-* BASIC:  bytes ≈ Σ s_i + U               (each provider → assembly, then
-          time  ≈ 4L + (max_i s_i + U)/B   the union U → initiator; the
-                                            fan-out legs run in parallel)
-* FREQ:   bytes ≈ Σ_k prefix_k + U         (ascending chain: hop k ships
-          time  ≈ (n+1)L + that/B           the union of the k smallest)
-
-U, the deduplicated union, is unknowable a priori; it is estimated as
-``dedup_ratio x Σ s_i`` with a configurable prior (1.0 = no duplication,
-the conservative default).
-
-The mixture knob ``time_weight`` ∈ [0, 1]: 0 minimizes transmission, 1
-minimizes response time; intermediate values scalarize the bi-objective
-the way Sect. V asks for. Both objectives are normalized by the BASIC
-plan's cost so the weight is scale-free.
-"""
+"""Compatibility shim — the adaptive strategy model moved to
+:mod:`repro.query.cost` when the PR 8 plan layer generalized it from
+per-primitive choices to whole-plan annotation. Import from there."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
-
-from ..net.transport import LinkModel
-from ..overlay.location_table import LocationEntry
-from .strategies import PrimitiveStrategy
+from .cost import BYTES_PER_SOLUTION, CostModel, StrategyCosts, choose_strategy
 
 __all__ = ["CostModel", "StrategyCosts", "choose_strategy", "BYTES_PER_SOLUTION"]
-
-#: Prior estimate of the wire size of one solution mapping. Only relative
-#: costs matter for the decision, but the latency/bandwidth mix depends on
-#: absolute scale, so this is calibrated to the FOAF workloads' mean
-#: (two IRI bindings plus envelope).
-BYTES_PER_SOLUTION = 90
-
-
-@dataclass(frozen=True, slots=True)
-class StrategyCosts:
-    """Predicted cost of one strategy for one primitive sub-query."""
-
-    strategy: PrimitiveStrategy
-    bytes: float
-    time: float
-
-    def scalarized(self, time_weight: float, bytes_norm: float, time_norm: float) -> float:
-        wb = (1.0 - time_weight) * (self.bytes / bytes_norm if bytes_norm else 0.0)
-        wt = time_weight * (self.time / time_norm if time_norm else 0.0)
-        return wb + wt
-
-
-@dataclass(frozen=True, slots=True)
-class CostModel:
-    """Analytic cost model over a location-table row."""
-
-    link: LinkModel
-    bytes_per_solution: float = BYTES_PER_SOLUTION
-    #: Expected |union| / Σ|locals| — 1.0 means no cross-provider
-    #: duplication; lower values model shared/replicated data.
-    dedup_ratio: float = 1.0
-
-    def _sizes(self, entries: Sequence[LocationEntry]) -> List[float]:
-        return sorted(e.frequency * self.bytes_per_solution for e in entries)
-
-    def predict(self, entries: Sequence[LocationEntry]) -> List[StrategyCosts]:
-        sizes = self._sizes(entries)
-        if not sizes:
-            return [StrategyCosts(PrimitiveStrategy.BASIC, 0.0, 0.0)]
-        total = sum(sizes)
-        union = self.dedup_ratio * total
-        latency = self.link.latency
-        bandwidth = self.link.bandwidth
-
-        # BASIC: parallel fan-out (request+reply per provider, replies in
-        # parallel so the slowest dominates), then assembly -> initiator.
-        basic_bytes = total + union
-        basic_time = 4 * latency + (max(sizes) + union) / bandwidth
-
-        # FREQ: ascending chain; hop k ships the union of the k smallest
-        # local results (dedup applied progressively), the final node
-        # sends the full union straight to the initiator.
-        raw_prefix = 0.0
-        chain_bytes = 0.0
-        chain_time = (len(sizes) + 1) * latency
-        for size in sizes[:-1]:
-            raw_prefix += size
-            shipped = min(union, self.dedup_ratio * raw_prefix)
-            chain_bytes += shipped
-            chain_time += shipped / bandwidth
-        chain_bytes += union
-        chain_time += union / bandwidth
-
-        return [
-            StrategyCosts(PrimitiveStrategy.BASIC, basic_bytes, basic_time),
-            StrategyCosts(PrimitiveStrategy.FREQ, chain_bytes, chain_time),
-        ]
-
-
-def choose_strategy(
-    entries: Sequence[LocationEntry],
-    link: LinkModel,
-    time_weight: float,
-    dedup_ratio: float = 1.0,
-    wire_scale: float = 1.0,
-) -> Tuple[PrimitiveStrategy, List[StrategyCosts]]:
-    """Pick the strategy minimizing the scalarized objective.
-
-    Returns (choice, predicted costs) — the predictions are surfaced in
-    the execution report so experiments can audit the model.
-
-    ``wire_scale`` shrinks the per-solution byte prior when shipping
-    optimizations (projection pushdown, dictionary encoding) make each
-    solution cheaper on the wire; latency terms are unaffected, so the
-    model shifts toward the latency-optimal plan exactly when the
-    payloads stop dominating.
-    """
-    if not 0.0 <= time_weight <= 1.0:
-        raise ValueError("time_weight must lie in [0, 1]")
-    if wire_scale <= 0.0:
-        raise ValueError("wire_scale must be positive")
-    model = CostModel(link=link, dedup_ratio=dedup_ratio,
-                      bytes_per_solution=BYTES_PER_SOLUTION * wire_scale)
-    costs = model.predict(entries)
-    if len(costs) == 1:
-        return costs[0].strategy, costs
-    bytes_norm = costs[0].bytes or 1.0
-    time_norm = costs[0].time or 1.0
-    best = min(
-        costs,
-        key=lambda c: (c.scalarized(time_weight, bytes_norm, time_norm),
-                       c.strategy.value),
-    )
-    return best.strategy, costs

@@ -20,77 +20,98 @@ results.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Tuple
 
 from ..net.sizes import size_of
 from ..net.wire import PRUNED_COUNTER_BYTES
-from ..rdf.triple import TriplePattern
 from ..sparql import ast
-from ..sparql.algebra import Join
 from .failover import dispatch_primitive
 from .join_site import combine_handles, digest_embed_cost, fetch_digest
+from .physical import BGPWalk, ChainShip, HashJoin, note_lookup
 from .plan import PatternInfo, ResultHandle, choose_shared_site, subquery_algebra
 from .primitive import exec_broadcast, exec_pattern_to_site
 from .strategies import ConjunctionMode, JoinSitePolicy
 
-__all__ = ["exec_bgp", "exec_join", "locate_all"]
+__all__ = ["exec_bgp", "exec_join"]
+
+#: One conjunction step: the plan leaf and its located index row.
+Step = Tuple[ChainShip, PatternInfo]
 
 
-def locate_all(ctx, patterns: Sequence[TriplePattern],
-               conditions: Optional[Sequence] = None):
-    """Generator: consult the index for every pattern in parallel."""
-    conditions = conditions or [None] * len(patterns)
-    processes = [
-        ctx.sim.process(ctx.locate(p, c)) for p, c in zip(patterns, conditions)
-    ]
-    infos = yield ctx.sim.all_of(processes)
-    return list(infos)
-
-
-def exec_bgp(ctx, patterns: Sequence[TriplePattern],
-             post_filter: Optional[ast.Expression]):
-    """Generator: execute a conjunction BGP → ResultHandle."""
-    span = ctx.tracer.span("conjunction", patterns=len(patterns),
+def exec_bgp(ctx, walk: BGPWalk):
+    """Generator: execute a conjunction walk operator → ResultHandle."""
+    span = ctx.tracer.span("conjunction", patterns=len(walk.children),
                            mode=ctx.options.conjunction_mode.value)
     try:
-        return (yield from _exec_bgp(ctx, patterns, post_filter))
+        return (yield from _exec_bgp(ctx, walk))
     finally:
         span.close()
 
 
-def _exec_bgp(ctx, patterns: Sequence[TriplePattern],
-              post_filter: Optional[ast.Expression]):
-    infos = yield from locate_all(ctx, patterns)
+def _locate_leaves(ctx, leaves: List[ChainShip]):
+    """Generator: the location-table row for every leaf, in parallel.
 
-    broadcast_infos = [i for i in infos if i.owner is None]
-    indexed_infos = [i for i in infos if i.owner is not None]
-    if ctx.options.reorder_joins:
+    Leaves the cost planner already resolved (``lookup.info``) cost
+    nothing; in legacy mode every leaf is consulted here, exactly as the
+    pre-plan engine did.
+    """
+    pending = [leaf for leaf in leaves if leaf.lookup.info is None]
+    located = {}
+    if pending:
+        processes = [
+            ctx.sim.process(ctx.locate(leaf.lookup.pattern,
+                                       leaf.lookup.condition))
+            for leaf in pending
+        ]
+        infos = yield ctx.sim.all_of(processes)
+        for leaf, info in zip(pending, infos):
+            located[id(leaf)] = info
+            note_lookup(leaf.lookup, info)
+    return [(leaf, located.get(id(leaf), leaf.lookup.info))
+            for leaf in leaves]
+
+
+def _exec_bgp(ctx, walk: BGPWalk):
+    steps: List[Step] = yield from _locate_leaves(ctx, walk.children)
+    post_filter = walk.post_filter
+
+    broadcast_steps = [s for s in steps if s[1].owner is None]
+    indexed_steps = [s for s in steps if s[1].owner is not None]
+    if walk.plan_order is not None:
+        # The cost planner pinned the join order at plan time.
+        position = {id(leaf): i for i, leaf in enumerate(walk.plan_order)}
+        indexed_steps.sort(key=lambda s: position[id(s[0])])
+    elif ctx.options.reorder_joins:
         # Smallest estimated cardinality first (frequency statistics).
-        indexed_infos.sort(key=lambda i: (i.total_frequency, str(i.pattern)))
+        indexed_steps.sort(key=lambda s: (s[1].total_frequency,
+                                          str(s[1].pattern)))
 
-    if not indexed_infos:
+    if not indexed_steps:
         # Degenerate: every pattern is fully unbound.
         handle = None
-        for info in broadcast_infos:
+        for _leaf, info in broadcast_steps:
             h = yield from exec_broadcast(ctx, subquery_algebra(info))
             handle = h if handle is None else (
                 yield from combine_handles(ctx, "join", handle, h)
             )
         return _apply_post_filter_done(ctx, handle, post_filter)
 
-    if ctx.options.conjunction_mode is ConjunctionMode.BASIC:
-        handle = yield from _exec_basic_mode(ctx, indexed_infos)
+    mode = (ConjunctionMode(walk.plan_mode) if walk.plan_mode is not None
+            else ctx.options.conjunction_mode)
+    walk.detail["mode"] = mode.value
+    if mode is ConjunctionMode.BASIC:
+        handle = yield from _exec_basic_mode(ctx, indexed_steps)
     else:
-        handle = yield from _exec_optimized_mode(ctx, indexed_infos)
+        handle = yield from _exec_optimized_mode(ctx, walk, indexed_steps)
 
-    for info in broadcast_infos:
+    for _leaf, info in broadcast_steps:
         h = yield from exec_broadcast(ctx, subquery_algebra(info))
         handle = yield from combine_handles(ctx, "join", handle, h)
 
     return (yield from _apply_post_filter(ctx, handle, post_filter))
 
 
-def _exec_basic_mode(ctx, infos: List[PatternInfo]):
+def _exec_basic_mode(ctx, steps: List[Step]):
     """The paper's basic conjunction walk over index nodes.
 
     With the shipping optimizations on, each step also (a) pushes the
@@ -102,6 +123,7 @@ def _exec_basic_mode(ctx, infos: List[PatternInfo]):
     set for the walk's middle hops).
     """
     opts = ctx.options
+    infos = [info for _leaf, info in steps]
     pattern_vars = [frozenset(info.pattern.variables()) for info in infos]
     # suffix[i] = vars appearing in patterns i.. (suffix[len] = empty).
     suffix: List[frozenset] = [frozenset()] * (len(infos) + 1)
@@ -109,7 +131,7 @@ def _exec_basic_mode(ctx, infos: List[PatternInfo]):
         suffix[i] = suffix[i + 1] | pattern_vars[i]
 
     handle: Optional[ResultHandle] = None
-    for i, info in enumerate(infos):
+    for i, (leaf, info) in enumerate(steps):
         corr = ctx.new_corr()
         keep = ctx.keep_vars(pattern_vars[i])
         payload = {
@@ -151,6 +173,8 @@ def _exec_basic_mode(ctx, infos: List[PatternInfo]):
             ctx.report.digest_bytes += size_of("pruned") + size_of(pruned) + 2
         hvars = frozenset(keep) if keep is not None else pattern_vars[i]
         mine = ResultHandle(info.owner, corr, ack["count"], hvars)
+        leaf.placement = mine.site
+        leaf.actual_rows = mine.count
         if handle is None:
             handle = mine
         else:
@@ -167,17 +191,24 @@ def _exec_basic_mode(ctx, infos: List[PatternInfo]):
     return handle
 
 
-def _exec_optimized_mode(ctx, infos: List[PatternInfo]):
+def _exec_optimized_mode(ctx, walk: BGPWalk, steps: List[Step]):
     """Overlap-aware parallel chains ending at a shared storage node."""
-    site = choose_shared_site(infos)
+    infos = [info for _leaf, info in steps]
+    site = walk.plan_site
+    if site is None:
+        site = choose_shared_site(infos)
     if site is None:
         site = _fallback_site(ctx, infos)
     ctx.report.merge_note(f"conjunction site {site}")
 
     processes = [
-        ctx.sim.process(exec_pattern_to_site(ctx, info, site)) for info in infos
+        ctx.sim.process(exec_pattern_to_site(ctx, info, site, leaf=leaf))
+        for leaf, info in steps
     ]
     handles: List[ResultHandle] = yield ctx.sim.all_of(processes)
+    for (leaf, _info), h in zip(steps, handles):
+        leaf.placement = h.site
+        leaf.actual_rows = h.count
 
     # Pairwise joins at the site, smallest first to keep intermediates low.
     handles.sort(key=lambda h: (h.count, h.corr))
@@ -234,14 +265,16 @@ def _apply_post_filter_done(ctx, handle, post_filter):
     return ctx.local_deposit(ctx.new_corr(), filtered, vars=handle.vars)
 
 
-def exec_join(ctx, node: Join):
-    """Generator: a general Join of two subtrees (produced e.g. by the
+def exec_join(ctx, node: HashJoin):
+    """Generator: a general Join of two sub-plans (produced e.g. by the
     optimizer splitting a filtered BGP)."""
     from .executor import exec_subtrees_parallel
 
     span = ctx.tracer.span("join")
     try:
-        left, right = yield from exec_subtrees_parallel(ctx, [node.left, node.right])
-        return (yield from combine_handles(ctx, "join", left, right))
+        left, right = yield from exec_subtrees_parallel(
+            ctx, [node.left, node.right])
+        return (yield from combine_handles(ctx, "join", left, right,
+                                           edges=node.edges))
     finally:
         span.close()

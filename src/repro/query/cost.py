@@ -1,0 +1,436 @@
+"""Frequency-driven cost model and plan-time optimization.
+
+Sect. V: "We have yet to investigate, in a fully-distributed context, how
+to process and optimize SPARQL queries in the face of a mixture of such
+objectives [transmission cost vs response time] and come up with 'good'
+query plans."
+
+Two layers live here:
+
+1. The **per-primitive strategy model** (:class:`CostModel`,
+   :func:`choose_strategy`) — an analytic model over the information the
+   initiator already has (the location-table row's provider frequencies
+   and the link model) picking whichever of BASIC / FREQ-chain minimizes
+   a weighted mixture of transmission and response time. This is the
+   model the ``adaptive`` primitive strategy has used per sub-query since
+   E11; :mod:`repro.query.adaptive` re-exports it for compatibility.
+
+2. The **whole-plan annotator** (:func:`annotate_plan`) — the
+   ``--plan cost`` mode. It consults the two-level index once for every
+   leaf pattern of the physical plan (a real, parallel round of lookups,
+   charged to the query's byte ledger like any other traffic), then runs
+   a pure bottom-up estimation pass over the operator tree: triple
+   frequencies seed leaf cardinalities, joins/optionals/unions/filters
+   propagate them upward, and the estimates drive join order (greedy
+   connected smallest-first, reusing the optimizer's reorder), the
+   conjunction walk mode (basic chain vs shared-site), the per-leaf
+   chain strategy, and byte-weighted combine-site choice
+   (:func:`choose_combine_site`).
+
+Model for one primitive (fan-out to n providers with estimated result
+sizes s_1..s_n bytes, link latency L, bandwidth B, assembly/initiator
+transfers included):
+
+* BASIC:  bytes ≈ Σ s_i + U               (each provider → assembly, then
+          time  ≈ 4L + (max_i s_i + U)/B   the union U → initiator; the
+                                            fan-out legs run in parallel)
+* FREQ:   bytes ≈ Σ_k prefix_k + U         (ascending chain: hop k ships
+          time  ≈ (n+1)L + that/B           the union of the k smallest)
+
+U, the deduplicated union, is unknowable a priori; it is estimated as
+``dedup_ratio x Σ s_i`` with a configurable prior (1.0 = no duplication,
+the conservative default).
+
+The mixture knob ``time_weight`` ∈ [0, 1]: 0 minimizes transmission, 1
+minimizes response time; intermediate values scalarize the bi-objective
+the way Sect. V asks for. Both objectives are normalized by the BASIC
+plan's cost so the weight is scale-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..net.transport import LinkModel
+from ..overlay.location_table import LocationEntry
+from ..sparql.algebra import BGP
+from ..sparql.optimizer import reorder_bgp
+from .physical import (
+    BGPWalk, ChainShip, EmptyScan, FilterOp, GraphScope, HashJoin,
+    IndexLookup, LeftJoinOp, LocalBGPScan, PhysOp, Ship, UnionOp,
+    note_lookup, walk_plan,
+)
+from .strategies import PrimitiveStrategy
+
+__all__ = [
+    "CostModel", "StrategyCosts", "choose_strategy", "BYTES_PER_SOLUTION",
+    "est_row_bytes", "estimate_join_rows", "FILTER_SELECTIVITY",
+    "annotate_plan", "choose_combine_site",
+]
+
+#: Prior estimate of the wire size of one solution mapping. Only relative
+#: costs matter for the decision, but the latency/bandwidth mix depends on
+#: absolute scale, so this is calibrated to the FOAF workloads' mean
+#: (two IRI bindings plus envelope).
+BYTES_PER_SOLUTION = 90
+
+#: Prior selectivity of a FILTER whose effect the planner cannot see
+#: (regex/arithmetic over unbound data). One-third keeps filtered branches
+#: cheaper than their inputs without pretending they vanish.
+FILTER_SELECTIVITY = 1.0 / 3.0
+
+
+def est_row_bytes(n_vars: int) -> float:
+    """Wire-size prior for a solution row with *n_vars* bindings.
+
+    Calibrated so the 2-variable FOAF mean lands on
+    :data:`BYTES_PER_SOLUTION` (30-byte envelope + ~30 bytes/binding).
+    """
+    return 30.0 + 30.0 * max(n_vars, 1)
+
+
+@dataclass(frozen=True, slots=True)
+class StrategyCosts:
+    """Predicted cost of one strategy for one primitive sub-query."""
+
+    strategy: PrimitiveStrategy
+    bytes: float
+    time: float
+
+    def scalarized(self, time_weight: float, bytes_norm: float, time_norm: float) -> float:
+        wb = (1.0 - time_weight) * (self.bytes / bytes_norm if bytes_norm else 0.0)
+        wt = time_weight * (self.time / time_norm if time_norm else 0.0)
+        return wb + wt
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Analytic cost model over a location-table row."""
+
+    link: LinkModel
+    bytes_per_solution: float = BYTES_PER_SOLUTION
+    #: Expected |union| / Σ|locals| — 1.0 means no cross-provider
+    #: duplication; lower values model shared/replicated data.
+    dedup_ratio: float = 1.0
+
+    def _sizes(self, entries: Sequence[LocationEntry]) -> List[float]:
+        return sorted(e.frequency * self.bytes_per_solution for e in entries)
+
+    def predict(self, entries: Sequence[LocationEntry]) -> List[StrategyCosts]:
+        sizes = self._sizes(entries)
+        if not sizes:
+            return [StrategyCosts(PrimitiveStrategy.BASIC, 0.0, 0.0)]
+        total = sum(sizes)
+        union = self.dedup_ratio * total
+        latency = self.link.latency
+        bandwidth = self.link.bandwidth
+
+        # BASIC: parallel fan-out (request+reply per provider, replies in
+        # parallel so the slowest dominates), then assembly -> initiator.
+        basic_bytes = total + union
+        basic_time = 4 * latency + (max(sizes) + union) / bandwidth
+
+        # FREQ: ascending chain; hop k ships the union of the k smallest
+        # local results (dedup applied progressively), the final node
+        # sends the full union straight to the initiator.
+        raw_prefix = 0.0
+        chain_bytes = 0.0
+        chain_time = (len(sizes) + 1) * latency
+        for size in sizes[:-1]:
+            raw_prefix += size
+            shipped = min(union, self.dedup_ratio * raw_prefix)
+            chain_bytes += shipped
+            chain_time += shipped / bandwidth
+        chain_bytes += union
+        chain_time += union / bandwidth
+
+        return [
+            StrategyCosts(PrimitiveStrategy.BASIC, basic_bytes, basic_time),
+            StrategyCosts(PrimitiveStrategy.FREQ, chain_bytes, chain_time),
+        ]
+
+
+def choose_strategy(
+    entries: Sequence[LocationEntry],
+    link: LinkModel,
+    time_weight: float,
+    dedup_ratio: float = 1.0,
+    wire_scale: float = 1.0,
+) -> Tuple[PrimitiveStrategy, List[StrategyCosts]]:
+    """Pick the strategy minimizing the scalarized objective.
+
+    Returns (choice, predicted costs) — the predictions are surfaced in
+    the execution report so experiments can audit the model.
+
+    ``wire_scale`` shrinks the per-solution byte prior when shipping
+    optimizations (projection pushdown, dictionary encoding) make each
+    solution cheaper on the wire; latency terms are unaffected, so the
+    model shifts toward the latency-optimal plan exactly when the
+    payloads stop dominating.
+    """
+    if not 0.0 <= time_weight <= 1.0:
+        raise ValueError("time_weight must lie in [0, 1]")
+    if wire_scale <= 0.0:
+        raise ValueError("wire_scale must be positive")
+    model = CostModel(link=link, dedup_ratio=dedup_ratio,
+                      bytes_per_solution=BYTES_PER_SOLUTION * wire_scale)
+    costs = model.predict(entries)
+    if len(costs) == 1:
+        return costs[0].strategy, costs
+    bytes_norm = costs[0].bytes or 1.0
+    time_norm = costs[0].time or 1.0
+    best = min(
+        costs,
+        key=lambda c: (c.scalarized(time_weight, bytes_norm, time_norm),
+                       c.strategy.value),
+    )
+    return best.strategy, costs
+
+
+# ------------------------------------------------- cardinality propagation
+
+
+def estimate_join_rows(left_rows: float, right_rows: float,
+                       shared_vars: bool) -> float:
+    """|Ω1 ⋈ Ω2| prior: with a shared variable the smaller side bounds
+    the match count (foreign-key-style prior); without one the join is a
+    Cartesian product."""
+    if shared_vars:
+        return min(left_rows, right_rows)
+    return left_rows * right_rows
+
+
+def _leaf_vars(leaf: ChainShip) -> frozenset:
+    return frozenset(leaf.lookup.pattern.variables())
+
+
+def _op_vars(node: PhysOp) -> frozenset:
+    """Certain variables produced by a sub-plan (for sharing tests)."""
+    if isinstance(node, ChainShip):
+        return _leaf_vars(node)
+    if isinstance(node, BGPWalk):
+        out: frozenset = frozenset()
+        for leaf in node.children:
+            out |= _leaf_vars(leaf)
+        return out
+    if isinstance(node, (HashJoin, UnionOp, LeftJoinOp)):
+        left, right = node.left, node.right
+        if isinstance(node, UnionOp):
+            return _op_vars(left) & _op_vars(right)
+        if isinstance(node, LeftJoinOp):
+            return _op_vars(left)
+        return _op_vars(left) | _op_vars(right)
+    if isinstance(node, (FilterOp, GraphScope, Ship)):
+        return _op_vars(node.children[0])
+    if isinstance(node, LocalBGPScan):
+        out = frozenset()
+        for p in node.bgp.patterns:
+            out |= frozenset(p.variables())
+        return out
+    return frozenset()
+
+
+# ------------------------------------------------------ walk-level choices
+
+
+def order_walk_leaves(walk: BGPWalk) -> List[ChainShip]:
+    """Frequency-driven join order for a conjunction walk.
+
+    Reuses the optimizer's greedy connected smallest-first reorder
+    (start from the rarest pattern, always extend through a shared
+    variable to avoid Cartesian products) with the location-table
+    frequencies as the estimator, then maps the reordered patterns back
+    to their leaves.
+    """
+    frequency = {id(leaf): leaf.lookup.info.total_frequency
+                 for leaf in walk.children}
+    by_pattern: Dict[object, List[ChainShip]] = {}
+    for leaf in walk.children:
+        by_pattern.setdefault(leaf.lookup.pattern, []).append(leaf)
+
+    def estimate(pattern) -> tuple:
+        candidates = by_pattern[pattern]
+        return (min(frequency[id(leaf)] for leaf in candidates), str(pattern))
+
+    bgp = BGP(tuple(leaf.lookup.pattern for leaf in walk.children))
+    reordered = reorder_bgp(bgp, estimate)
+    ordered: List[ChainShip] = []
+    for pattern in reordered.patterns:
+        ordered.append(by_pattern[pattern].pop(0))
+    return ordered
+
+
+def _walk_mode(ordered: List[ChainShip],
+               row_bytes: float) -> Tuple[str, float]:
+    """Choose basic-chain vs shared-site for a conjunction walk by
+    estimated shipped bytes; returns (mode, estimated result rows).
+
+    * basic: each step ships the accumulated intermediate to the next
+      pattern's site, plus every pattern's own provider fan-in;
+    * optimized: every pattern's chain lands once at a shared site (the
+      heaviest pattern's rows stay resident), then pairwise combines are
+      local and only the final result travels home.
+    """
+    sizes = []
+    bound: frozenset = frozenset()
+    inter: Optional[float] = None
+    basic_bytes = 0.0
+    for leaf in ordered:
+        rows = float(leaf.lookup.info.total_frequency)
+        sizes.append(rows)
+        basic_bytes += rows * row_bytes  # providers -> the step's site
+        if inter is None:
+            inter = rows
+        else:
+            shared = bool(bound & _leaf_vars(leaf))
+            inter = estimate_join_rows(inter, rows, shared)
+            basic_bytes += inter * row_bytes  # step result travels onward
+        bound |= _leaf_vars(leaf)
+    result_rows = inter if inter is not None else 0.0
+    basic_bytes += result_rows * row_bytes  # final -> initiator
+
+    resident = max(sizes) if sizes else 0.0
+    optimized_bytes = (sum(sizes) - resident + result_rows) * row_bytes
+
+    mode = "optimized" if optimized_bytes < basic_bytes else "basic"
+    return mode, result_rows
+
+
+# ----------------------------------------------------------- the annotator
+
+
+def annotate_plan(ctx, plan: PhysOp):
+    """Plan-time optimization pass for ``--plan cost`` (a sim process).
+
+    Phase 1 — **statistics**: locate every :class:`IndexLookup` leaf in
+    parallel through the two-level index. These are real lookups, charged
+    to the query's byte/message ledger; their results are pinned on the
+    leaves so execution never has to re-locate.
+
+    Phase 2 — **pure estimation & decisions**: bottom-up cardinality and
+    wire-cost estimates over the tree; conjunction walks get a
+    frequency-driven join order, a mode, and per-leaf chain strategies;
+    combine edges get byte estimates that :func:`choose_combine_site`
+    reads at execution time.
+    """
+    lookups = [op for op in walk_plan(plan) if isinstance(op, IndexLookup)]
+    processes = [
+        ctx.sim.process(_locate_leaf(ctx, lookup)) for lookup in lookups
+    ]
+    if processes:
+        yield ctx.sim.all_of(processes)
+    ctx.report.merge_note(f"cost plan: {len(lookups)} statistics lookups")
+    _estimate(ctx, plan)
+
+
+def _locate_leaf(ctx, lookup: IndexLookup):
+    info = yield from ctx.locate(lookup.pattern, lookup.condition)
+    lookup.info = info
+    note_lookup(lookup, info)
+
+
+def _pin_leaf_strategy(ctx, leaf: ChainShip) -> None:
+    """Freeze the BASIC/FREQ choice for one leaf from the statistics.
+
+    Plan-time has no per-edge liveness, so the model runs at wire scale
+    1.0 — the deterministic, audit-friendly choice the explain output
+    shows before execution starts.
+    """
+    info = leaf.lookup.info
+    if info.owner is None or not info.entries:
+        leaf.plan_strategy = PrimitiveStrategy.BASIC
+        return
+    strategy, _costs = choose_strategy(
+        info.entries, ctx.network.link,
+        ctx.options.time_weight, ctx.options.dedup_prior,
+    )
+    leaf.plan_strategy = strategy
+
+
+def _estimate(ctx, node: PhysOp) -> float:
+    """Bottom-up row estimation; writes est_rows/est_bytes and the plan
+    decisions as a side effect. Returns the node's estimated rows."""
+    row_bytes = est_row_bytes(len(_op_vars(node)))
+
+    if isinstance(node, EmptyScan):
+        node.est_rows, node.est_bytes = 1.0, 0.0
+        return 1.0
+
+    if isinstance(node, ChainShip):
+        info = node.lookup.info
+        rows = float(info.total_frequency)
+        _pin_leaf_strategy(ctx, node)
+        node.est_rows = rows
+        node.est_bytes = rows * row_bytes
+        return rows
+
+    if isinstance(node, BGPWalk):
+        for leaf in node.children:
+            _estimate(ctx, leaf)
+        ordered = order_walk_leaves(node)
+        mode, rows = _walk_mode(ordered, row_bytes)
+        node.plan_order = ordered
+        node.plan_mode = mode
+        node.est_rows = rows
+        node.est_bytes = rows * row_bytes
+        if node.post_filter is not None:
+            node.est_rows = rows = rows * FILTER_SELECTIVITY
+            node.est_bytes = rows * row_bytes
+        return rows
+
+    if isinstance(node, (HashJoin, UnionOp, LeftJoinOp)):
+        edges = node.edges
+        left_rows = _estimate(ctx, node.left)
+        right_rows = _estimate(ctx, node.right)
+        shared = bool(_op_vars(node.left) & _op_vars(node.right))
+        if isinstance(node, UnionOp):
+            rows = left_rows + right_rows
+        elif isinstance(node, LeftJoinOp):
+            matched = estimate_join_rows(left_rows, right_rows, shared)
+            rows = max(left_rows, matched)  # unmatched rows survive
+        else:
+            rows = estimate_join_rows(left_rows, right_rows, shared)
+        if edges is not None:
+            for edge, operand_rows, operand in (
+                (edges[0], left_rows, node.left),
+                (edges[1], right_rows, node.right),
+            ):
+                edge.est_rows = operand_rows
+                edge.est_bytes = operand_rows * est_row_bytes(
+                    len(_op_vars(operand)))
+        node.est_rows = rows
+        node.est_bytes = rows * row_bytes
+        return rows
+
+    if isinstance(node, FilterOp):
+        rows = _estimate(ctx, node.operand) * FILTER_SELECTIVITY
+        node.est_rows = rows
+        node.est_bytes = rows * row_bytes
+        return rows
+
+    if isinstance(node, GraphScope):
+        rows = _estimate(ctx, node.operand)
+        node.est_rows = rows
+        node.est_bytes = rows * row_bytes
+        return rows
+
+    # Post-processing wrappers and anything unestimated: pass through.
+    rows = 0.0
+    for child in node.children:
+        rows = _estimate(ctx, child)
+    node.est_rows = rows if node.children else None
+    return rows
+
+
+# -------------------------------------------------------- combine placement
+
+
+def choose_combine_site(left, right) -> str:
+    """Byte-weighted move-small: keep the side that is more expensive to
+    move resident, ship the other. Costs come from the handles' actual
+    counts and their schemas' wire prior; ties keep the left operand
+    resident (the deterministic choice)."""
+    left_bytes = left.count * est_row_bytes(len(left.vars or ()))
+    right_bytes = right.count * est_row_bytes(len(right.vars or ()))
+    return left.site if left_bytes >= right_bytes else right.site

@@ -40,15 +40,18 @@ from ..rdf.graph import Graph
 from ..rdf.terms import IRI, Variable
 from ..rdf.triple import TriplePattern
 from ..sparql import ast
-from ..sparql.algebra import (
-    Algebra, BGP, Filter, GraphNode, Join, LeftJoin, Union, translate_pattern,
-)
+from ..sparql.algebra import Algebra, translate_pattern
 from ..sparql.errors import SparqlError
 from ..sparql.eval import QueryResult, apply_modifiers
 from ..sparql.optimizer import optimize as optimize_algebra
 from ..sparql.parser import parse_query
 from ..sparql.solutions import EMPTY_MAPPING, SolutionMapping
 from ..rdf.namespaces import COMMON_PREFIXES
+from .physical import (
+    BGPWalk, ChainShip, EmptyScan, FilterOp, GraphScope, HashJoin,
+    LeftJoinOp, PhysOp, UnionOp, compile_query_plan, execution_root,
+    pattern_leaf, record_postprocess,
+)
 from .plan import PatternInfo, ResultHandle, compute_live_vars
 from .strategies import ExecutionOptions
 
@@ -98,6 +101,10 @@ class ExecutionReport:
     phases: Dict[str, PhaseStats] = field(default_factory=dict)
     #: The tracer that recorded this execution (None when tracing is off).
     trace: Optional[Tracer] = None
+    #: The physical operator plan the query compiled to, annotated with
+    #: placements, estimates (cost mode), and per-operator actuals after
+    #: execution — what ``repro explain`` renders.
+    plan: Optional[Any] = None
 
     def merge_note(self, note: str) -> None:
         self.notes.append(note)
@@ -559,54 +566,60 @@ class ExecutionContext:
             span.close()
 
 
-def exec_algebra(ctx: ExecutionContext, node: Algebra, at_home: bool = False):
-    """Generator: execute an algebra tree distributedly → ResultHandle.
+def exec_plan(ctx: ExecutionContext, node: PhysOp, at_home: bool = False):
+    """Generator: execute a physical operator distributedly → ResultHandle.
 
     Dispatches to the per-operator modules; subtrees of binary operators
     run as parallel simulation processes (the paper's "in parallel" for
     union branches and conjunction chains). ``at_home`` asks primitive
     leaves to leave their results at a data site rather than dragging them
     to the initiator — see :func:`repro.query.primitive.exec_primitive`.
+
+    Every dispatch records the operator's observations — where its result
+    landed, how many rows it produced, and the network-stats byte delta
+    across its execution window — onto the plan node for explain renders.
+    The recording is pure reads of existing counters: zero effect on the
+    simulated metrics.
     """
     from . import conjunction, filter as filter_mod, optional, primitive, union
 
-    if isinstance(node, BGP):
-        if not node.patterns:
-            return ctx.local_deposit(ctx.new_corr(), {EMPTY_MAPPING},
-                                     vars=frozenset())
-        if len(node.patterns) == 1:
-            return (yield from primitive.exec_primitive(
-                ctx, node.patterns[0], None, at_home=at_home))
-        return (yield from conjunction.exec_bgp(ctx, node.patterns, None))
-
-    if isinstance(node, Filter):
-        return (yield from filter_mod.exec_filter(ctx, node, at_home=at_home))
-
-    if isinstance(node, Join):
-        return (yield from conjunction.exec_join(ctx, node))
-
-    if isinstance(node, Union):
-        return (yield from union.exec_union(ctx, node))
-
-    if isinstance(node, LeftJoin):
-        return (yield from optional.exec_leftjoin(ctx, node))
-
-    if isinstance(node, GraphNode):
+    before = ctx.system.stats.checkpoint()
+    if isinstance(node, EmptyScan):
+        handle = ctx.local_deposit(ctx.new_corr(), {EMPTY_MAPPING},
+                                   vars=frozenset())
+    elif isinstance(node, ChainShip):
+        handle = yield from primitive.exec_primitive(ctx, node, at_home=at_home)
+    elif isinstance(node, BGPWalk):
+        handle = yield from conjunction.exec_bgp(ctx, node)
+    elif isinstance(node, FilterOp):
+        handle = yield from filter_mod.exec_filter(ctx, node, at_home=at_home)
+    elif isinstance(node, HashJoin):
+        handle = yield from conjunction.exec_join(ctx, node)
+    elif isinstance(node, UnionOp):
+        handle = yield from union.exec_union(ctx, node)
+    elif isinstance(node, LeftJoinOp):
+        handle = yield from optional.exec_leftjoin(ctx, node)
+    elif isinstance(node, GraphScope):
         raise QueryFailed(
             "GRAPH patterns address named graphs; the ad-hoc system's dataset "
             "is the union of all providers (Sect. IV-A) and has no named graphs"
         )
+    else:
+        raise QueryFailed(
+            f"cannot execute physical operator {type(node).__name__}")
+    node.placement = handle.site
+    node.actual_rows = handle.count
+    node.actual_bytes = ctx.system.stats.delta(before).bytes
+    return handle
 
-    raise QueryFailed(f"cannot execute algebra node {type(node).__name__}")
 
-
-def exec_subtrees_parallel(ctx: ExecutionContext, nodes: List[Algebra]):
-    """Generator: run several subtrees as concurrent processes.
+def exec_subtrees_parallel(ctx: ExecutionContext, nodes: List[PhysOp]):
+    """Generator: run several sub-plans as concurrent processes.
 
     Subtree results stay at their home sites (``at_home=True``) so that
     the caller's join-site policy decides what moves where.
     """
-    processes = [ctx.sim.process(exec_algebra(ctx, n, at_home=True)) for n in nodes]
+    processes = [ctx.sim.process(exec_plan(ctx, n, at_home=True)) for n in nodes]
     handles = yield ctx.sim.all_of(processes)
     return handles
 
@@ -723,6 +736,13 @@ class DistributedExecutor:
         if self.options.projection_pushdown:
             ctx.live_vars = compute_live_vars(query, algebra)
 
+        # Both engines now run off the compiled physical plan: this walk
+        # is a pure 1:1 image of the algebra under the legacy flags, and
+        # the surface `repro explain` renders after execution.
+        plan = compile_query_plan(query, algebra, self.options)
+        report.plan = plan
+        root = execution_root(plan)
+
         checkpoint = self.system.stats.checkpoint()
         t0 = self.sim_now()
         trace_checkpoint = tracer.checkpoint() if tracer is not None else None
@@ -730,7 +750,14 @@ class DistributedExecutor:
                                      form=type(query).__name__)
         try:
             try:
-                handle = yield from exec_algebra(ctx, algebra)
+                if self.options.plan_mode == "cost":
+                    # Frequency-driven planning: fetch leaf statistics
+                    # (real lookups, inside the measured window) and pin
+                    # join order / walk modes / strategies / sites.
+                    from .cost import annotate_plan
+
+                    yield from annotate_plan(ctx, root)
+                handle = yield from exec_plan(ctx, root)
                 solutions = yield from ctx.finalize(handle)
                 t_done = self.sim_now()
                 delta = self.system.stats.delta(checkpoint)
@@ -761,6 +788,8 @@ class DistributedExecutor:
             # tests/test_lifecycle_leaks.py.
             ctx.release()
         report.result_count = self._count_results(query, result)
+        record_postprocess(plan, root.actual_rows, report.result_count,
+                           initiator)
         return result, report
 
     @staticmethod
@@ -850,7 +879,7 @@ class DistributedExecutor:
             if not isinstance(target, IRI):
                 continue
             pattern = TriplePattern(target, var_p, var_o)
-            handle = yield from exec_primitive(ctx, pattern, None)
+            handle = yield from exec_primitive(ctx, pattern_leaf(pattern))
             data = yield from ctx.finalize(handle)
             for mu in data:
                 p, o = mu.get(var_p), mu.get(var_o)

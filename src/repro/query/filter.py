@@ -1,41 +1,31 @@
-"""Filter graph patterns (Sect. IV-G).
+"""Filter operators (Sect. IV-G).
 
-After the algebraic optimizer has pushed what can be pushed (a filter
-whose variables are covered by a single pattern travels *with that
-pattern's sub-query* and runs at the storage nodes), whatever Filter
-nodes remain must run where their operand's solutions are collected:
-
-* ``Filter(C, BGP(single))`` — the condition ships inside the primitive
-  sub-query; providers filter before transmitting (maximum saving).
-* ``Filter(C, BGP(multi))`` — the conjunction evaluates first; C runs at
-  the join site before the result moves to the initiator.
-* ``Filter(C, anything else)`` — evaluate the operand, then filter at the
-  site holding the result.
+Filter placement happens at compile time now
+(:func:`repro.query.physical.compile_distributed`): a condition covered
+by a single pattern travels *with that pattern's sub-query* and runs at
+the storage nodes (a :class:`~repro.query.physical.ChainShip` leaf with a
+condition); one covering a multi-pattern BGP rides the conjunction walk
+as its ``post_filter``. What reaches this module is the residual case — a
+:class:`~repro.query.physical.FilterOp` over an arbitrary sub-plan —
+which evaluates its operand and then filters at the site holding the
+result.
 """
 
 from __future__ import annotations
 
-from ..sparql.algebra import BGP, Filter
-from .conjunction import exec_bgp, _apply_post_filter
-from .primitive import exec_primitive
+from .conjunction import _apply_post_filter
+from .physical import FilterOp
 
 __all__ = ["exec_filter"]
 
 
-def exec_filter(ctx, node: Filter, at_home: bool = False):
-    """Generator: execute Filter(condition, pattern) → ResultHandle."""
-    from .executor import exec_algebra
+def exec_filter(ctx, node: FilterOp, at_home: bool = False):
+    """Generator: execute FilterOp(condition, operand) → ResultHandle."""
+    from .executor import exec_plan
 
     span = ctx.tracer.span("filter")
     try:
-        target = node.pattern
-        if isinstance(target, BGP) and len(target.patterns) == 1:
-            # The filter travels with the sub-query to the providers.
-            return (yield from exec_primitive(
-                ctx, target.patterns[0], node.condition, at_home=at_home))
-        if isinstance(target, BGP) and target.patterns:
-            return (yield from exec_bgp(ctx, target.patterns, node.condition))
-        handle = yield from exec_algebra(ctx, target, at_home=at_home)
+        handle = yield from exec_plan(ctx, node.operand, at_home=at_home)
         return (yield from _apply_post_filter(ctx, handle, node.condition))
     finally:
         span.close()

@@ -42,6 +42,12 @@ _PER_ITEM_OVERHEAD = 2
 
 def pick_join_site(ctx, left: ResultHandle, right: ResultHandle) -> str:
     """Choose the combine site under the executor's policy."""
+    if ctx.options.plan_mode == "cost":
+        # Byte-weighted move-small: the operand that is cheaper to move
+        # (by the cost model's wire prior) is the one that travels.
+        from .cost import choose_combine_site
+
+        return choose_combine_site(left, right)
     policy = ctx.options.join_site_policy
     if policy is JoinSitePolicy.QUERY_SITE:
         return ctx.initiator
@@ -192,6 +198,22 @@ def _digest_may_prune(op: str, role: str) -> bool:
     return op == "leftjoin" and role == "right"
 
 
+def _record_edge(edge, before: ResultHandle, after: ResultHandle,
+                 site: str, pruned: Optional[int] = None) -> None:
+    """Annotate a plan Ship/SemijoinShip edge with what the transfer did
+    (display only — pure attribute writes on the plan tree)."""
+    if edge is None:
+        return
+    edge.placement = site
+    edge.actual_rows = after.count
+    if before.site == site:
+        edge.detail["resident"] = True
+    else:
+        edge.detail["shipped_from"] = before.site
+    if pruned is not None:
+        edge.detail["pruned"] = pruned
+
+
 def combine_handles(
     ctx,
     op: str,
@@ -200,6 +222,7 @@ def combine_handles(
     condition: Optional[ast.Expression] = None,
     site: Optional[str] = None,
     live=None,
+    edges=None,
 ):
     """Generator: bring both operands to one site and combine them there.
 
@@ -208,12 +231,17 @@ def combine_handles(
     sets of Sect. IV-A). With the semijoin option on, the operand that is
     (or arrives) resident at the join site digests its join keys so the
     other side can shed non-joining rows before it moves.
+
+    ``edges`` (optional) is the plan's ``(left_edge, right_edge)`` pair
+    of Ship operators; each gets annotated with where its operand moved
+    from and how many rows crossed the wire.
     """
     if site is None:
         site = pick_join_site(ctx, left, right)
     span = ctx.tracer.span("combine", phase=PHASE_JOIN, op=op, site=site)
     try:
         opts = ctx.options
+        edge_for = {"left": edges[0], "right": edges[1]} if edges else {}
         order = [("left", left), ("right", right)]
         use_semijoin = opts.semijoin and op in ("join", "leftjoin")
         if use_semijoin:
@@ -224,8 +252,10 @@ def combine_handles(
                 0 if item[1].site == site else 1, item[1].count, item[0]))
         first_role, first = order[0]
         second_role, second = order[1]
+        first_before, second_before = first, second
 
         first = yield from ship_handle(ctx, first, site, live=live)
+        _record_edge(edge_for.get(first_role), first_before, first, site)
         digest = None
         if (
             use_semijoin
@@ -240,6 +270,9 @@ def combine_handles(
                 digest = yield from fetch_digest(ctx, first, shared)
         second = yield from ship_handle(ctx, second, site, live=live,
                                         digest=digest)
+        _record_edge(edge_for.get(second_role), second_before, second, site,
+                     pruned=(second_before.count - second.count
+                             if digest is not None else None))
 
         left, right = ((first, second) if first_role == "left"
                        else (second, first))

@@ -10,24 +10,26 @@ operator order — chains of OPTIONALs evaluate left to right.
 
 from __future__ import annotations
 
-from ..sparql.algebra import LeftJoin
 from .join_site import combine_handles, pick_join_site
+from .physical import LeftJoinOp
 
 __all__ = ["exec_leftjoin"]
 
 
-def exec_leftjoin(ctx, node: LeftJoin):
-    """Generator: execute LeftJoin(P1, P2, condition) → ResultHandle."""
+def exec_leftjoin(ctx, node: LeftJoinOp):
+    """Generator: execute LeftJoinOp(P1, P2, condition) → ResultHandle."""
     from .executor import exec_subtrees_parallel
 
     span = ctx.tracer.span("optional")
     try:
-        left, right = yield from exec_subtrees_parallel(ctx, [node.left, node.right])
+        left, right = yield from exec_subtrees_parallel(
+            ctx, [node.left, node.right])
         # Move-small is the paper's stated choice for OPTIONAL; other policies
         # remain available for the join-site experiment (E3/E4).
         site = pick_join_site(ctx, left, right)
         handle = yield from combine_handles(
-            ctx, "leftjoin", left, right, condition=node.condition, site=site
+            ctx, "leftjoin", left, right, condition=node.condition, site=site,
+            edges=node.edges,
         )
         return handle
     finally:

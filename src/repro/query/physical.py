@@ -1,0 +1,731 @@
+"""The physical-operator plan: one explainable DAG for both engines.
+
+The paper's workflow (Fig. 3) compiles a query into SPARQL algebra and
+then *executes the algebra directly* — locally at storage nodes, and
+distributedly at the initiator. This module inserts the layer every
+database engine has between the two: an explicit tree of **physical
+operators**, each carrying its placement and its estimated and actual
+cardinality/wire cost.
+
+Both execution paths interpret the same node classes:
+
+* :func:`compile_local` + :func:`interpret_local` — the single-graph
+  evaluation ⟦P⟧_D of Sect. IV-B (what every storage node runs on an
+  arriving sub-query, and what the test oracle runs on the union graph);
+* :func:`compile_distributed` — the distributed plan the executor's
+  ``exec_plan`` walks: :class:`IndexLookup` leaves under
+  :class:`ChainShip` primitives, multi-pattern :class:`BGPWalk`
+  composites, and :class:`HashJoin` / :class:`LeftJoinOp` /
+  :class:`UnionOp` combines whose operands hang off explicit
+  :class:`Ship` / :class:`SemijoinShip` edges.
+
+Compilation is **pure** — no messages, no correlation ids — so the
+legacy strategy flags stay bit-identical: the compiled tree is a 1:1
+structural image of the old per-operator dispatch, and the runtime
+modules execute the same calls in the same order. The ``cost`` plan
+mode (:mod:`repro.query.cost`) then *annotates* this tree — join order,
+walk mode, chain strategy, combine sites — before execution instead of
+re-deciding per step.
+
+``repro explain`` renders the tree via :func:`format_plan` with the
+estimate-vs-actual columns filled in after execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI
+from ..rdf.triple import TriplePattern
+from ..sparql import ast
+from ..sparql.algebra import (
+    Algebra, BGP, Filter, GraphNode, Join, LeftJoin, Union,
+)
+from ..sparql.errors import SparqlError
+from ..sparql.expr import filter_passes
+from ..sparql.solutions import (
+    SolutionMapping,
+    SolutionSet,
+    conditional_left_outer_join,
+    join as omega_join,
+    left_outer_join,
+    union as omega_union,
+)
+
+__all__ = [
+    "PhysOp",
+    "IndexLookup", "ChainShip", "BGPWalk", "EmptyScan",
+    "Ship", "SemijoinShip",
+    "HashJoin", "UnionOp", "LeftJoinOp", "FilterOp",
+    "LocalBGPScan", "GraphScope",
+    "OrderBy", "Project", "Distinct", "Slice", "FormOp",
+    "compile_local", "interpret_local",
+    "compile_distributed", "compile_query_plan",
+    "pattern_leaf", "note_lookup",
+    "walk_plan", "count_ops", "format_plan",
+]
+
+
+# ------------------------------------------------------------- node classes
+
+
+class PhysOp:
+    """Base physical operator.
+
+    Mutable on purpose: the planner writes estimates (``est_rows`` /
+    ``est_bytes``) before execution and the runtime writes observations
+    (``placement``, ``actual_rows``, ``actual_bytes``, ``detail``)
+    during it — one compiled tree is executed exactly once per query.
+    ``actual_bytes`` is the network-stats delta observed across the
+    operator's execution window; sibling operators run as parallel
+    simulation processes, so overlapping windows may attribute the same
+    message to more than one operator (per-operator attribution, not a
+    partition of the query total).
+    """
+
+    __slots__ = ("op_id", "children", "placement", "est_rows", "est_bytes",
+                 "actual_rows", "actual_bytes", "detail")
+
+    kind = "Op"
+
+    def __init__(self, children: Sequence["PhysOp"] = ()) -> None:
+        self.op_id = -1
+        self.children: List[PhysOp] = list(children)
+        self.placement: Optional[str] = None
+        self.est_rows: Optional[float] = None
+        self.est_bytes: Optional[float] = None
+        self.actual_rows: Optional[int] = None
+        self.actual_bytes: Optional[int] = None
+        self.detail: Dict[str, object] = {}
+
+    def describe(self) -> str:
+        """Operator-specific annotation appended to the kind in renders."""
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = self.describe()
+        return f"<{self.kind}#{self.op_id}{' ' + extra if extra else ''}>"
+
+
+def _pattern_text(pattern: TriplePattern) -> str:
+    return pattern.n3().rstrip(" .")
+
+
+class IndexLookup(PhysOp):
+    """Consult the two-level index for one triple pattern (Fig. 2).
+
+    ``info`` is filled by the cost planner's once-per-query prefetch
+    (:func:`repro.query.cost.annotate_plan`); when present, execution
+    reuses it instead of re-consulting the index. In legacy mode it
+    stays None and the runtime locates exactly as before.
+    """
+
+    __slots__ = ("pattern", "condition", "info")
+    kind = "IndexLookup"
+
+    def __init__(self, pattern: TriplePattern,
+                 condition: Optional[ast.Expression] = None) -> None:
+        super().__init__()
+        self.pattern = pattern
+        self.condition = condition
+        self.info = None
+
+    def describe(self) -> str:
+        text = _pattern_text(self.pattern)
+        if self.condition is not None:
+            text += " +filter"
+        return text
+
+
+class ChainShip(PhysOp):
+    """Resolve one primitive pattern and ship its solutions to a site.
+
+    The operator behind Sect. IV-C's basic / chained / freq schemes: the
+    owner index node either fans out (basic) or threads the sub-query
+    along the provider chain, and the union lands where the plan needs
+    it. ``plan_strategy`` (cost mode) pins the scheme per leaf.
+    """
+
+    __slots__ = ("lookup", "plan_strategy")
+    kind = "ChainShip"
+
+    def __init__(self, lookup: IndexLookup) -> None:
+        super().__init__((lookup,))
+        self.lookup = lookup
+        self.plan_strategy = None
+
+    def describe(self) -> str:
+        strategy = self.detail.get("strategy")
+        if strategy is None and self.plan_strategy is not None:
+            strategy = self.plan_strategy.value
+        return f"[{strategy}]" if strategy else ""
+
+
+class BGPWalk(PhysOp):
+    """A multi-pattern conjunction walk (Sect. IV-D).
+
+    Children are the per-pattern :class:`ChainShip` leaves. The walk is
+    a composite operator: the BASIC mode ships accumulated solutions
+    index-node to index-node; the OPTIMIZED mode routes every pattern's
+    chain to one shared site. ``plan_mode`` / ``plan_site`` /
+    ``plan_order`` are the cost planner's pinned decisions (None =
+    decide at runtime from the live options, the legacy behaviour).
+    """
+
+    __slots__ = ("post_filter", "plan_mode", "plan_site", "plan_order")
+    kind = "BGPWalk"
+
+    def __init__(self, leaves: Sequence[ChainShip],
+                 post_filter: Optional[ast.Expression] = None) -> None:
+        super().__init__(leaves)
+        self.post_filter = post_filter
+        self.plan_mode: Optional[str] = None
+        self.plan_site: Optional[str] = None
+        self.plan_order: Optional[List[ChainShip]] = None
+
+    def describe(self) -> str:
+        mode = self.detail.get("mode") or self.plan_mode
+        text = f"[{mode}]" if mode else ""
+        if self.post_filter is not None:
+            text += " +filter"
+        return text
+
+
+class EmptyScan(PhysOp):
+    """The unit solution set {µ∅} (an empty BGP)."""
+
+    kind = "EmptyScan"
+
+
+class Ship(PhysOp):
+    """Edge operator: move one combine operand to the join site.
+
+    A no-op at runtime when the operand is already resident; otherwise
+    the one-way data shipping of Fig. 3. The combine layer records what
+    actually moved (or that the operand stayed put) on this node.
+    """
+
+    __slots__ = ()
+    kind = "Ship"
+
+    def __init__(self, child: PhysOp) -> None:
+        super().__init__((child,))
+
+    @property
+    def operand(self) -> PhysOp:
+        return self.children[0]
+
+    def describe(self) -> str:
+        if self.detail.get("resident"):
+            return "(resident)"
+        src = self.detail.get("shipped_from")
+        return f"from {src}" if src else ""
+
+
+class SemijoinShip(Ship):
+    """A ship edge that may be pre-filtered by the resident side's
+    semijoin digest before the rows travel (PR 2's technique, now a
+    first-class plan operator)."""
+
+    __slots__ = ()
+    kind = "SemijoinShip"
+
+    def describe(self) -> str:
+        text = super().describe()
+        pruned = self.detail.get("pruned")
+        if pruned is not None:
+            text = (text + f" pruned={pruned}").strip()
+        return text
+
+
+class _Binary(PhysOp):
+    """Shared shape of the two-operand combines.
+
+    Distributed compilation wraps each operand in a :class:`Ship` edge
+    (``children`` are the edges); local compilation holds the operands
+    directly. ``left`` / ``right`` always reference the operand plans.
+    """
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: PhysOp, right: PhysOp,
+                 edges: Optional[Sequence[Ship]] = None) -> None:
+        super().__init__(edges if edges is not None else (left, right))
+        self.left = left
+        self.right = right
+
+    @property
+    def edges(self):
+        """(left_edge, right_edge) when operands hang off ship edges."""
+        if self.children and isinstance(self.children[0], Ship):
+            return self.children[0], self.children[1]
+        return None
+
+
+class HashJoin(_Binary):
+    """Ω1 ⋈ Ω2 — locally a schema-grouped hash join, distributedly a
+    combine at the join site the policy (or cost model) picks."""
+
+    __slots__ = ()
+    kind = "HashJoin"
+
+
+class UnionOp(_Binary):
+    """Ω1 ∪ Ω2 (Sect. IV-F)."""
+
+    __slots__ = ()
+    kind = "Union"
+
+
+class LeftJoinOp(_Binary):
+    """Ω1 ⟕ Ω2 — OPTIONAL (Sect. IV-E), with an optional embedded
+    condition (paper footnote 16)."""
+
+    __slots__ = ("condition",)
+    kind = "LeftJoin"
+
+    def __init__(self, left: PhysOp, right: PhysOp,
+                 condition: Optional[ast.Expression] = None,
+                 edges: Optional[Sequence[Ship]] = None) -> None:
+        super().__init__(left, right, edges)
+        self.condition = condition
+
+    def describe(self) -> str:
+        return "+cond" if self.condition is not None else ""
+
+
+class FilterOp(PhysOp):
+    """σ_C over a sub-plan whose condition could not be pushed into a
+    leaf; runs where the operand's solutions sit."""
+
+    __slots__ = ("condition",)
+    kind = "Filter"
+
+    def __init__(self, condition: ast.Expression, child: PhysOp) -> None:
+        super().__init__((child,))
+        self.condition = condition
+
+    @property
+    def operand(self) -> PhysOp:
+        return self.children[0]
+
+
+class LocalBGPScan(PhysOp):
+    """Index nested-loop scan of a BGP over one local graph — the leaf
+    of the local interpreter (what a storage node's sub-query runs)."""
+
+    __slots__ = ("bgp",)
+    kind = "LocalBGPScan"
+
+    def __init__(self, bgp: BGP) -> None:
+        super().__init__()
+        self.bgp = bgp
+
+    def describe(self) -> str:
+        return ". ".join(_pattern_text(p) for p in self.bgp.patterns)
+
+
+class GraphScope(PhysOp):
+    """GRAPH <g> { P } — local evaluation against a named graph. The
+    distributed engine refuses it (the ad-hoc dataset has no named
+    graphs, Sect. IV-A)."""
+
+    __slots__ = ("graph",)
+    kind = "Graph"
+
+    def __init__(self, graph, child: PhysOp) -> None:
+        super().__init__((child,))
+        self.graph = graph
+
+    @property
+    def operand(self) -> PhysOp:
+        return self.children[0]
+
+
+class OrderBy(PhysOp):
+    """ORDER BY at the initiator (post-processing stage)."""
+
+    __slots__ = ("conditions",)
+    kind = "OrderBy"
+
+    def __init__(self, conditions, child: PhysOp) -> None:
+        super().__init__((child,))
+        self.conditions = tuple(conditions)
+
+    def describe(self) -> str:
+        return f"({len(self.conditions)} keys)"
+
+
+class Project(PhysOp):
+    """Projection at the initiator."""
+
+    __slots__ = ("variables",)
+    kind = "Project"
+
+    def __init__(self, variables, child: PhysOp) -> None:
+        super().__init__((child,))
+        self.variables = tuple(variables)
+
+    def describe(self) -> str:
+        return "(" + ", ".join(f"?{v.name}" for v in self.variables) + ")"
+
+
+class Distinct(PhysOp):
+    """DISTINCT / REDUCED dedup at the initiator."""
+
+    __slots__ = ()
+    kind = "Distinct"
+
+    def __init__(self, child: PhysOp) -> None:
+        super().__init__((child,))
+
+
+class Slice(PhysOp):
+    """OFFSET / LIMIT at the initiator."""
+
+    __slots__ = ("offset", "limit")
+    kind = "Slice"
+
+    def __init__(self, offset: int, limit: Optional[int], child: PhysOp) -> None:
+        super().__init__((child,))
+        self.offset = offset
+        self.limit = limit
+
+    def describe(self) -> str:
+        parts = []
+        if self.offset:
+            parts.append(f"offset={self.offset}")
+        if self.limit is not None:
+            parts.append(f"limit={self.limit}")
+        return " ".join(parts)
+
+
+class FormOp(PhysOp):
+    """Non-SELECT result forms (ASK / CONSTRUCT / DESCRIBE) applied at
+    the initiator over the final solution set."""
+
+    __slots__ = ("form",)
+    kind = "Form"
+
+    def __init__(self, form: str, child: PhysOp) -> None:
+        super().__init__((child,))
+        self.form = form
+
+    def describe(self) -> str:
+        return self.form
+
+
+# --------------------------------------------------------------- utilities
+
+
+def pattern_leaf(pattern: TriplePattern,
+                 condition: Optional[ast.Expression] = None) -> ChainShip:
+    """A standalone primitive leaf (used e.g. by DESCRIBE's follow-ups)."""
+    return ChainShip(IndexLookup(pattern, condition))
+
+
+def note_lookup(lookup: IndexLookup, info) -> None:
+    """Record what the index said about a leaf (display annotations only;
+    never feeds back into execution decisions)."""
+    lookup.est_rows = info.total_frequency
+    lookup.placement = info.owner
+    lookup.detail["providers"] = len(info.entries)
+    if info.key_kind is not None:
+        lookup.detail["key"] = info.key_kind.value
+
+
+def walk_plan(node: PhysOp) -> Iterator[PhysOp]:
+    """Pre-order walk over every operator in the tree."""
+    yield node
+    for child in node.children:
+        yield from walk_plan(child)
+
+
+def number_plan(node: PhysOp) -> int:
+    """Assign pre-order op ids; returns the operator count."""
+    count = 0
+    for op in walk_plan(node):
+        op.op_id = count
+        count += 1
+    return count
+
+
+def count_ops(node: PhysOp) -> int:
+    return sum(1 for _ in walk_plan(node))
+
+
+# ------------------------------------------------------- local compilation
+
+
+def compile_local(node: Algebra) -> PhysOp:
+    """Compile an algebra tree for single-graph interpretation.
+
+    A 1:1 structural mapping — the physical tree *is* the algebra tree,
+    with BGPs as scan leaves — so :func:`interpret_local` replaces the
+    old isinstance walk of ``sparql.eval`` without changing semantics.
+    """
+    if isinstance(node, BGP):
+        return LocalBGPScan(node)
+    if isinstance(node, Join):
+        return HashJoin(compile_local(node.left), compile_local(node.right))
+    if isinstance(node, Union):
+        return UnionOp(compile_local(node.left), compile_local(node.right))
+    if isinstance(node, LeftJoin):
+        return LeftJoinOp(compile_local(node.left), compile_local(node.right),
+                          node.condition)
+    if isinstance(node, Filter):
+        return FilterOp(node.condition, compile_local(node.pattern))
+    if isinstance(node, GraphNode):
+        return GraphScope(node.graph, compile_local(node.pattern))
+    raise SparqlError(f"cannot compile algebra node {type(node).__name__}")
+
+
+def interpret_local(
+    node: PhysOp,
+    graph: Graph,
+    named_graphs: Optional[Dict[IRI, Graph]] = None,
+) -> SolutionSet:
+    """⟦P⟧_D by interpreting the physical tree over one graph.
+
+    Implements exactly the Sect. IV-B semantics the old algebra walk
+    implemented; additionally records each operator's output cardinality
+    (``actual_rows``) for explain renders of local plans.
+    """
+    from ..sparql.eval import evaluate_bgp  # deferred: eval imports us lazily
+
+    out = _interpret_local(node, graph, named_graphs or {}, evaluate_bgp)
+    return out
+
+
+def _interpret_local(node, graph, named_graphs, evaluate_bgp) -> SolutionSet:
+    def rec(child: PhysOp, g: Graph = graph) -> SolutionSet:
+        return _interpret_local(child, g, named_graphs, evaluate_bgp)
+
+    if isinstance(node, LocalBGPScan):
+        out = evaluate_bgp(node.bgp, graph)
+    elif isinstance(node, HashJoin):
+        out = omega_join(rec(node.left), rec(node.right))
+    elif isinstance(node, UnionOp):
+        out = omega_union(rec(node.left), rec(node.right))
+    elif isinstance(node, LeftJoinOp):
+        left, right = rec(node.left), rec(node.right)
+        if node.condition is None:
+            out = left_outer_join(left, right)
+        else:
+            condition = node.condition
+            out = conditional_left_outer_join(
+                left, right, lambda nu: filter_passes(condition, nu)
+            )
+    elif isinstance(node, FilterOp):
+        out = {mu for mu in rec(node.operand)
+               if filter_passes(node.condition, mu)}
+    elif isinstance(node, GraphScope):
+        out = _interpret_graph_scope(node, named_graphs, rec)
+    else:
+        raise SparqlError(
+            f"cannot interpret physical operator {type(node).__name__} locally"
+        )
+    node.actual_rows = len(out)
+    return out
+
+
+def _interpret_graph_scope(node: GraphScope, named_graphs, rec) -> SolutionSet:
+    if isinstance(node.graph, IRI):
+        target = named_graphs.get(node.graph)
+        if target is None:
+            return set()
+        return rec(node.operand, target)
+    # Variable: union over all named graphs, binding the variable.
+    out: SolutionSet = set()
+    var = node.graph
+    for name, g in named_graphs.items():
+        binding = SolutionMapping({var: name})
+        for mu in rec(node.operand, g):
+            out.update(omega_join([binding], [mu]))
+    return out
+
+
+# -------------------------------------------------- distributed compilation
+
+
+def _may_prune(op: str, role: str) -> bool:
+    """May the *role* operand of *op* ship behind a semijoin digest?
+    Mirrors the combine layer's soundness rule (join: either side;
+    leftjoin: right only; union: neither)."""
+    if op == "join":
+        return True
+    return op == "leftjoin" and role == "right"
+
+
+def _edge(op: str, role: str, child: PhysOp, options) -> Ship:
+    if options.semijoin and _may_prune(op, role):
+        return SemijoinShip(child)
+    return Ship(child)
+
+
+def _binary(cls, op: str, node, options,
+            condition: Optional[ast.Expression] = None) -> PhysOp:
+    left = compile_distributed(node.left, options)
+    right = compile_distributed(node.right, options)
+    edges = (_edge(op, "left", left, options), _edge(op, "right", right, options))
+    if condition is not None:
+        return cls(left, right, condition, edges=edges)
+    return cls(left, right, edges=edges)
+
+
+def compile_distributed(node: Algebra, options) -> PhysOp:
+    """Compile an algebra tree into the distributed physical plan.
+
+    The case analysis is exactly the one the executor and the filter
+    module used to perform at runtime — moved to compile time, where it
+    is pure — so legacy execution visits the same operator functions
+    with the same arguments in the same order (the golden-metrics grid
+    pins this bit-for-bit).
+    """
+    if isinstance(node, BGP):
+        if not node.patterns:
+            return EmptyScan()
+        if len(node.patterns) == 1:
+            return pattern_leaf(node.patterns[0])
+        return BGPWalk([pattern_leaf(p) for p in node.patterns])
+
+    if isinstance(node, Filter):
+        target = node.pattern
+        if isinstance(target, BGP) and len(target.patterns) == 1:
+            # The condition travels with the sub-query to the providers.
+            return pattern_leaf(target.patterns[0], node.condition)
+        if isinstance(target, BGP) and target.patterns:
+            return BGPWalk([pattern_leaf(p) for p in target.patterns],
+                           post_filter=node.condition)
+        return FilterOp(node.condition, compile_distributed(target, options))
+
+    if isinstance(node, Join):
+        return _binary(HashJoin, "join", node, options)
+
+    if isinstance(node, Union):
+        return _binary(UnionOp, "union", node, options)
+
+    if isinstance(node, LeftJoin):
+        return _binary(LeftJoinOp, "leftjoin", node, options,
+                       condition=node.condition)
+
+    if isinstance(node, GraphNode):
+        return GraphScope(node.graph, compile_distributed(node.pattern, options))
+
+    raise SparqlError(f"cannot compile algebra node {type(node).__name__}")
+
+
+def compile_query_plan(query: ast.Query, algebra: Algebra, options) -> PhysOp:
+    """The full per-query plan: the distributed root wrapped in the
+    initiator's post-processing operators (Order → Project → Distinct →
+    Slice, the spec's modifier order), numbered for explain renders.
+
+    Returns the wrapper tree; :func:`execution_root` recovers the node
+    the distributed engine actually runs.
+    """
+    plan = compile_distributed(algebra, options)
+
+    if isinstance(query, ast.SelectQuery):
+        modifiers = query.modifiers
+        if modifiers.order:
+            plan = OrderBy(modifiers.order, plan)
+        projection = list(query.projection)
+        if not projection:
+            projection = sorted(algebra.in_scope_vars(), key=lambda v: v.name)
+        plan = Project(projection, plan)
+        if modifiers.distinct or modifiers.reduced:
+            plan = Distinct(plan)
+        if modifiers.offset or modifiers.limit is not None:
+            plan = Slice(modifiers.offset, modifiers.limit, plan)
+    elif isinstance(query, ast.AskQuery):
+        plan = FormOp("Ask", plan)
+    elif isinstance(query, ast.ConstructQuery):
+        plan = FormOp("Construct", plan)
+    elif isinstance(query, ast.DescribeQuery):
+        plan = FormOp("Describe", plan)
+
+    number_plan(plan)
+    return plan
+
+
+_POST_OPS = (OrderBy, Project, Distinct, Slice, FormOp)
+
+
+def execution_root(plan: PhysOp) -> PhysOp:
+    """Strip the initiator post-processing wrappers off a query plan."""
+    while isinstance(plan, _POST_OPS):
+        plan = plan.children[0]
+    return plan
+
+
+def record_postprocess(plan: PhysOp, root_rows: Optional[int],
+                       final_rows: int, initiator: str) -> None:
+    """Fill the post-processing wrappers' observations after execution.
+
+    Order/Project preserve cardinality (they see the root's row count);
+    Distinct/Slice/Form report the final result count.
+    """
+    node = plan
+    while isinstance(node, _POST_OPS):
+        node.placement = initiator
+        if isinstance(node, (OrderBy, Project)):
+            node.actual_rows = root_rows
+        else:
+            node.actual_rows = final_rows
+        node = node.children[0]
+
+
+# --------------------------------------------------------------- rendering
+
+
+_COLUMNS = ("site", "est rows", "actual rows", "est bytes", "actual bytes")
+
+
+def _fmt_num(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.0f}"
+    return str(value)
+
+
+def format_plan(plan: PhysOp) -> str:
+    """Render the annotated operator tree as an aligned table.
+
+    One row per operator: the tree-drawn label, the placement actually
+    observed, and the estimate-vs-actual row/byte columns (``-`` where a
+    quantity does not apply or was never estimated, e.g. legacy mode
+    plans estimate nothing).
+    """
+    rows: List[tuple] = []
+
+    def emit(node: PhysOp, prefix: str, tail: str) -> None:
+        extra = node.describe()
+        label = f"{prefix}{tail}{node.kind}" + (f" {extra}" if extra else "")
+        rows.append((
+            label,
+            node.placement if node.placement is not None else "-",
+            _fmt_num(node.est_rows),
+            _fmt_num(node.actual_rows),
+            _fmt_num(node.est_bytes),
+            _fmt_num(node.actual_bytes),
+        ))
+        child_prefix = prefix
+        if tail:
+            child_prefix += "   " if tail == "└─ " else "│  "
+        for i, child in enumerate(node.children):
+            last = i == len(node.children) - 1
+            emit(child, child_prefix, "└─ " if last else "├─ ")
+
+    emit(plan, "", "")
+    header = ("operator",) + _COLUMNS
+    widths = [max(len(str(row[i])) for row in rows + [header])
+              for i in range(len(header))]
+    lines = [f"# physical plan: {count_ops(plan)} operators"]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in rows:
+        lines.append("  ".join(str(row[i]).ljust(widths[i])
+                               for i in range(len(header))).rstrip())
+    return "\n".join(lines)

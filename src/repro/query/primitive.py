@@ -27,20 +27,22 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..net.wire import DICT_WIRE_SCALE, as_solution_set
-from ..rdf.triple import TriplePattern
-from ..sparql import ast
 from ..sparql.solutions import union as omega_union
 from .failover import dispatch_primitive
+from .physical import ChainShip, note_lookup
 from .plan import PatternInfo, ResultHandle, subquery_algebra
 from .strategies import PrimitiveStrategy
 
 __all__ = ["exec_primitive", "exec_pattern_to_site", "exec_broadcast", "discover_all_storage"]
 
 
-def exec_primitive(ctx, pattern: TriplePattern,
-                   condition: Optional[ast.Expression],
-                   at_home: bool = False):
-    """Generator: resolve a primitive query. Returns a ResultHandle.
+def exec_primitive(ctx, leaf: ChainShip, at_home: bool = False):
+    """Generator: resolve a primitive leaf operator. Returns a ResultHandle.
+
+    The leaf's :class:`~repro.query.physical.IndexLookup` carries the
+    pattern and any pushed-down condition; when the cost planner already
+    fetched its location-table row (``lookup.info``), the consultation is
+    skipped — otherwise the index is consulted here, exactly as before.
 
     ``at_home=False`` materializes at the initiator (the right choice for
     a top-level primitive query). ``at_home=True`` leaves the result at
@@ -49,21 +51,26 @@ def exec_primitive(ctx, pattern: TriplePattern,
     decision to make (otherwise everything would already sit at the query
     site and every policy would degenerate to Query-Site).
     """
-    span = ctx.tracer.span("primitive", pattern=str(pattern))
+    lookup = leaf.lookup
+    span = ctx.tracer.span("primitive", pattern=str(lookup.pattern))
     try:
-        info = yield from ctx.locate(pattern, condition)
+        info = lookup.info
+        if info is None:
+            info = yield from ctx.locate(lookup.pattern, lookup.condition)
+            note_lookup(lookup, info)
         if info.owner is None:
             return (yield from exec_broadcast(ctx, subquery_algebra(info)))
         site = ctx.initiator
         if at_home and info.entries:
             heaviest = max(info.entries, key=lambda e: (e.frequency, e.storage_id))
             site = heaviest.storage_id
-        return (yield from exec_pattern_to_site(ctx, info, site))
+        return (yield from exec_pattern_to_site(ctx, info, site, leaf=leaf))
     finally:
         span.close()
 
 
-def exec_pattern_to_site(ctx, info: PatternInfo, site: str):
+def exec_pattern_to_site(ctx, info: PatternInfo, site: str,
+                         leaf: Optional[ChainShip] = None):
     """Generator: evaluate one located pattern, delivering the union of
     provider matches into *site*'s mailbox. Returns a ResultHandle.
 
@@ -88,12 +95,15 @@ def exec_pattern_to_site(ctx, info: PatternInfo, site: str):
     strategy = ctx.options.primitive_strategy
     encode = ctx.options.dictionary_encoding
 
-    if strategy is PrimitiveStrategy.ADAPTIVE:
+    if leaf is not None and leaf.plan_strategy is not None:
+        # The cost planner pinned this leaf's scheme at plan time.
+        strategy = leaf.plan_strategy
+    elif strategy is PrimitiveStrategy.ADAPTIVE:
         # Sect. V future work: pick per sub-query from the frequency
         # statistics, under the executor's objective mixture. The wire
         # scale folds the active shipping optimizations into the model's
         # per-solution byte prior, so the choice sees the real costs.
-        from .adaptive import choose_strategy
+        from .cost import choose_strategy
 
         wire_scale = 1.0
         if encode:
@@ -108,6 +118,9 @@ def exec_pattern_to_site(ctx, info: PatternInfo, site: str):
             wire_scale=wire_scale,
         )
         ctx.report.merge_note(f"adaptive -> {strategy.value} ({corr})")
+
+    if leaf is not None:
+        leaf.detail["strategy"] = strategy.wire_name
 
     if strategy is PrimitiveStrategy.BASIC:
         return (yield from _basic(ctx, info, algebra, site, corr,

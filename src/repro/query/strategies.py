@@ -96,6 +96,12 @@ class ExecutionOptions:
     #: Prior on cross-provider duplication for the adaptive cost model
     #: (expected |union| / Σ|local results|; 1.0 = no duplication).
     dedup_prior: float = 1.0
+    #: Physical-plan mode. ``legacy`` executes the compiled operator tree
+    #: exactly as the per-step strategy flags above dictate (bit-identical
+    #: to previous releases); ``cost`` lets the frequency-driven planner
+    #: (:mod:`repro.query.cost`) pre-fetch leaf statistics and pin join
+    #: order, walk mode, chain strategies, and combine sites at plan time.
+    plan_mode: str = "legacy"
 
     # --- transmission-minimizing shipping optimizations ------------------
     # Each technique is independently toggleable so benchmarks can
@@ -156,6 +162,12 @@ class ExecutionOptions:
     #: RPC (and retry schedule) is clamped to the remaining budget, which
     #: travels with dispatched sub-queries. None = unbounded.
     query_deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.plan_mode not in ("legacy", "cost"):
+            raise ValueError(
+                f"plan_mode must be 'legacy' or 'cost', not {self.plan_mode!r}"
+            )
 
     def retry_policy(self) -> Optional[RetryPolicy]:
         """The transport-level policy these options describe (None when

@@ -14,31 +14,23 @@ run at their home sites and the smaller result moves (move-small).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from ..sparql.algebra import Algebra, BGP, Filter, Union
 from .join_site import combine_handles
+from .physical import ChainShip, PhysOp, UnionOp, note_lookup
 from .plan import PatternInfo, choose_shared_site
 
 __all__ = ["exec_union"]
 
 
-def _leaf_pattern(node: Algebra) -> Optional[Tuple]:
-    """(pattern, condition) if *node* is a single-pattern BGP, possibly
-    wrapped in a pushed-down Filter; else None."""
-    if isinstance(node, BGP) and len(node.patterns) == 1:
-        return node.patterns[0], None
-    if (
-        isinstance(node, Filter)
-        and isinstance(node.pattern, BGP)
-        and len(node.pattern.patterns) == 1
-    ):
-        return node.pattern.patterns[0], node.condition
-    return None
+def _leaf(node: PhysOp) -> Optional[ChainShip]:
+    """The operand itself when it is a primitive leaf (a single-pattern
+    BGP, possibly carrying a pushed-down condition); else None."""
+    return node if isinstance(node, ChainShip) else None
 
 
-def exec_union(ctx, node: Union):
-    """Generator: execute Union(P1, P2) → ResultHandle."""
+def exec_union(ctx, node: UnionOp):
+    """Generator: execute UnionOp(P1, P2) → ResultHandle."""
     span = ctx.tracer.span("union")
     try:
         return (yield from _exec_union(ctx, node))
@@ -46,42 +38,59 @@ def exec_union(ctx, node: Union):
         span.close()
 
 
-def _exec_union(ctx, node: Union):
+def _exec_union(ctx, node: UnionOp):
     from .executor import exec_subtrees_parallel
     from .primitive import exec_pattern_to_site
 
-    left_leaf = _leaf_pattern(node.left)
-    right_leaf = _leaf_pattern(node.right)
+    left_leaf = _leaf(node.left)
+    right_leaf = _leaf(node.right)
     if left_leaf is not None and right_leaf is not None:
         # Plan the collection site from the location tables (Sect. IV-F's
         # D3 example): overlap -> both chains end at the shared node.
-        infos: List[PatternInfo] = yield from _locate_pair(ctx, left_leaf, right_leaf)
+        leaves = [left_leaf, right_leaf]
+        infos: List[PatternInfo] = yield from _locate_pair(ctx, leaves)
         if all(info.owner is not None for info in infos):
             site = choose_shared_site(infos)
             if site is not None:
                 ctx.report.merge_note(f"union site {site}")
                 processes = [
-                    ctx.sim.process(exec_pattern_to_site(ctx, info, site))
-                    for info in infos
+                    ctx.sim.process(
+                        exec_pattern_to_site(ctx, info, site, leaf=leaf))
+                    for leaf, info in zip(leaves, infos)
                 ]
                 left, right = yield ctx.sim.all_of(processes)
+                for leaf, h in zip(leaves, (left, right)):
+                    leaf.placement = h.site
+                    leaf.actual_rows = h.count
                 handle = yield from combine_handles(
-                    ctx, "union", left, right, site=site
+                    ctx, "union", left, right, site=site, edges=node.edges
                 )
                 return handle
 
-    left, right = yield from exec_subtrees_parallel(ctx, [node.left, node.right])
+    left, right = yield from exec_subtrees_parallel(
+        ctx, [node.left, node.right])
     if left.site == right.site:
-        handle = yield from combine_handles(ctx, "union", left, right, site=left.site)
+        handle = yield from combine_handles(ctx, "union", left, right,
+                                            site=left.site, edges=node.edges)
         return handle
-    handle = yield from combine_handles(ctx, "union", left, right)
+    handle = yield from combine_handles(ctx, "union", left, right,
+                                        edges=node.edges)
     return handle
 
 
-def _locate_pair(ctx, left_leaf, right_leaf):
-    processes = [
-        ctx.sim.process(ctx.locate(pattern, condition))
-        for pattern, condition in (left_leaf, right_leaf)
-    ]
-    infos = yield ctx.sim.all_of(processes)
-    return list(infos)
+def _locate_pair(ctx, leaves: List[ChainShip]):
+    """Generator: rows for both union leaves — prefetched in cost mode,
+    a parallel consultation (exactly the legacy traffic) otherwise."""
+    pending = [leaf for leaf in leaves if leaf.lookup.info is None]
+    located = {}
+    if pending:
+        processes = [
+            ctx.sim.process(ctx.locate(leaf.lookup.pattern,
+                                       leaf.lookup.condition))
+            for leaf in pending
+        ]
+        infos = yield ctx.sim.all_of(processes)
+        for leaf, info in zip(pending, infos):
+            located[id(leaf)] = info
+            note_lookup(leaf.lookup, info)
+    return [located.get(id(leaf), leaf.lookup.info) for leaf in leaves]

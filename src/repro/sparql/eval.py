@@ -16,19 +16,15 @@ from ..rdf.graph import Graph
 from ..rdf.terms import IRI, RDFTerm, Variable
 from ..rdf.triple import TriplePattern
 from . import ast
-from .algebra import BGP, Algebra, Filter, GraphNode, Join, LeftJoin, Union, translate_pattern
+from .algebra import BGP, Algebra, translate_pattern
 from .errors import SparqlError
-from .expr import filter_passes, order_key
+from .expr import order_key
 from .solutions import (
     EMPTY_MAPPING,
     SolutionMapping,
     SolutionSet,
     compile_extractor,
-    conditional_left_outer_join,
-    join,
-    left_outer_join,
     merge,
-    union,
 )
 
 __all__ = [
@@ -92,55 +88,19 @@ def evaluate_algebra(
     graph: Graph,
     named_graphs: Optional[Dict[IRI, Graph]] = None,
 ) -> SolutionSet:
-    """⟦P⟧_D for a full algebra tree (Sect. IV-B semantics)."""
-    if isinstance(node, BGP):
-        return evaluate_bgp(node, graph)
-    if isinstance(node, Join):
-        return join(
-            evaluate_algebra(node.left, graph, named_graphs),
-            evaluate_algebra(node.right, graph, named_graphs),
-        )
-    if isinstance(node, Union):
-        return union(
-            evaluate_algebra(node.left, graph, named_graphs),
-            evaluate_algebra(node.right, graph, named_graphs),
-        )
-    if isinstance(node, LeftJoin):
-        left = evaluate_algebra(node.left, graph, named_graphs)
-        right = evaluate_algebra(node.right, graph, named_graphs)
-        if node.condition is None:
-            return left_outer_join(left, right)
-        condition = node.condition
-        return conditional_left_outer_join(
-            left, right, lambda nu: filter_passes(condition, nu)
-        )
-    if isinstance(node, Filter):
-        return {
-            mu
-            for mu in evaluate_algebra(node.pattern, graph, named_graphs)
-            if filter_passes(node.condition, mu)
-        }
-    if isinstance(node, GraphNode):
-        return _evaluate_graph_node(node, graph, named_graphs or {})
-    raise SparqlError(f"cannot evaluate algebra node {type(node).__name__}")
+    """⟦P⟧_D for a full algebra tree (Sect. IV-B semantics).
 
+    Compiles to the shared physical-operator plan and interprets it —
+    the same operator classes the distributed engine executes
+    (:mod:`repro.query.physical`), so local and distributed evaluation
+    cannot drift apart. The import is deferred: the query package
+    imports this module at load time, and most callers (the storage
+    nodes' sub-query hot path) have it loaded long before the first
+    evaluation.
+    """
+    from ..query.physical import compile_local, interpret_local
 
-def _evaluate_graph_node(
-    node: GraphNode, graph: Graph, named_graphs: Dict[IRI, Graph]
-) -> SolutionSet:
-    if isinstance(node.graph, IRI):
-        target = named_graphs.get(node.graph)
-        if target is None:
-            return set()
-        return evaluate_algebra(node.pattern, target, named_graphs)
-    # Variable: union over all named graphs, binding the variable.
-    out: SolutionSet = set()
-    var = node.graph
-    for name, g in named_graphs.items():
-        binding = SolutionMapping({var: name})
-        for mu in evaluate_algebra(node.pattern, g, named_graphs):
-            out.update(join([binding], [mu]))
-    return out
+    return interpret_local(compile_local(node), graph, named_graphs)
 
 
 # ----------------------------------------------------------- query results
