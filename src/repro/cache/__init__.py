@@ -1,0 +1,34 @@
+"""Cross-query result caching with delta-exact invalidation (S13).
+
+The engine re-ships the same hot sub-results for every query that asks
+for them: the only reuse mechanism below this package is the *per-query*
+lookup LRU in :mod:`repro.query.executor`. This package adds a per-site
+semantic result cache in the spirit of PHD-Store's workload-adaptive
+placement and Peng et al.'s reusable partial results:
+
+* :mod:`repro.cache.epoch` — the key-scoped ``data_epoch`` ledger that
+  ``publish_delta`` / ``unpublish_delta`` advance; cached entries carry
+  epoch stamps and a stale stamp can only ever produce a *miss*.
+* :mod:`repro.cache.keys` — canonical cache keys for triple patterns and
+  BGPs (variables numbered by first occurrence), so key equality implies
+  structural equivalence up to variable renaming.
+* :mod:`repro.cache.result_cache` — the per-node store: frequency-gated
+  admission, a byte budget, LFU-tie-broken-LRU eviction.
+* :mod:`repro.cache.runtime` — executor-side probing for the
+  ``CacheProbe`` physical operator.
+
+Everything is off unless ``ExecutionOptions.result_cache`` is set; with
+it off the engine is byte-identical to a build without this package.
+"""
+
+from .epoch import DataEpochLedger
+from .keys import bgp_cache_key, pattern_cache_key
+from .result_cache import CacheEntry, ResultCache
+
+__all__ = [
+    "DataEpochLedger",
+    "pattern_cache_key",
+    "bgp_cache_key",
+    "CacheEntry",
+    "ResultCache",
+]

@@ -1,0 +1,147 @@
+"""The per-node cross-query result store.
+
+Admission is *workload-adaptive*: every probe bumps the key's observed
+access frequency, and a result is only materialized into the cache once
+its key has been asked for ``admit_threshold`` times — under a Zipf'd
+query mix the handful of hot keys clear the gate almost immediately
+while the long tail never pays the fill cost. Residency is bounded by a
+per-node byte budget with LFU-tie-broken-LRU eviction (frequencies
+survive eviction, so a re-heated key re-enters the cache quickly).
+
+Correctness is delegated entirely to epoch stamps: every entry records
+the ``data_epoch`` of each ring key it was computed from plus the
+network ``membership_epoch``, captured *before* its result was computed.
+A probe revalidates both against the live ledger; any delta or
+membership change since the stamps were taken turns the entry into a
+miss and drops it. Stale entries can cost a re-execution, never a wrong
+answer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..net.sizes import size_of
+
+__all__ = ["CacheEntry", "ResultCache"]
+
+#: Default per-node residency budget (bytes of cached solution data).
+DEFAULT_CACHE_BYTES = 262144
+
+#: Default admission gate: probes a key must accumulate before its
+#: result is materialized.
+DEFAULT_ADMIT_THRESHOLD = 2
+
+
+class CacheEntry:
+    """One memoized sub-result plus everything needed to revalidate it."""
+
+    __slots__ = ("value", "vars", "stamps", "membership_epoch",
+                 "nbytes", "last_used")
+
+    def __init__(self, value: Any, vars: Any, stamps: Dict[int, int],
+                 membership_epoch: int, nbytes: int, last_used: int) -> None:
+        self.value = value
+        self.vars = vars
+        self.stamps = stamps
+        self.membership_epoch = membership_epoch
+        self.nbytes = nbytes
+        self.last_used = last_used
+
+
+class ResultCache:
+    """Byte-budgeted store of sub-results for one index/combine node.
+
+    All instances share the network's :class:`CacheCounters`, so the
+    system-wide hit ratio aggregates naturally.
+    """
+
+    __slots__ = ("network", "byte_cap", "admit_threshold",
+                 "entries", "frequencies", "bytes_used", "_clock")
+
+    def __init__(self, network, byte_cap: int = DEFAULT_CACHE_BYTES,
+                 admit_threshold: int = DEFAULT_ADMIT_THRESHOLD) -> None:
+        self.network = network
+        self.byte_cap = byte_cap
+        self.admit_threshold = admit_threshold
+        self.entries: Dict[str, CacheEntry] = {}
+        #: Probe counts per key; survives eviction (the LFU signal).
+        self.frequencies: Dict[str, int] = {}
+        self.bytes_used = 0
+        self._clock = 0
+
+    # ------------------------------------------------------------- probing
+
+    def probe(self, key: str) -> Tuple[Optional[CacheEntry], bool]:
+        """Look *key* up, bump its frequency, revalidate the stamps.
+
+        Returns ``(entry, admit)``: *entry* is the current cached entry
+        (None on a miss) and *admit* says whether a fresh result for the
+        key has cleared the admission gate.
+        """
+        counters = self.network.cache
+        counters.probes += 1
+        freq = self.frequencies.get(key, 0) + 1
+        self.frequencies[key] = freq
+        entry = self.entries.get(key)
+        if entry is not None:
+            if (entry.membership_epoch == self.network.membership_epoch
+                    and self.network.data_epochs.current(entry.stamps)):
+                counters.hits += 1
+                self._clock += 1
+                entry.last_used = self._clock
+                return entry, False
+            # A delta or membership change outdated the stamps.
+            self._drop(key, entry)
+            counters.stale_drops += 1
+        counters.misses += 1
+        if freq >= self.admit_threshold:
+            return None, True
+        counters.admission_deferred += 1
+        return None, False
+
+    # ----------------------------------------------------------- admission
+
+    def admit(self, key: str, value: Any, vars: Any,
+              stamps: Dict[int, int], membership_epoch: int) -> bool:
+        """Materialize a result computed under *stamps*.
+
+        The stamps must have been captured *before* the result was
+        computed: a delta that raced the computation then makes the
+        entry dead on arrival instead of silently wrong.
+        """
+        nbytes = size_of(value)
+        if nbytes > self.byte_cap:
+            return False
+        counters = self.network.cache
+        old = self.entries.get(key)
+        if old is not None:
+            self._drop(key, old)
+        while self.bytes_used + nbytes > self.byte_cap and self.entries:
+            victim = min(
+                self.entries,
+                key=lambda k: (self.frequencies.get(k, 0),
+                               self.entries[k].last_used),
+            )
+            self._drop(key=victim, entry=self.entries[victim])
+            counters.evictions += 1
+        self._clock += 1
+        self.entries[key] = CacheEntry(
+            value, vars, dict(stamps), membership_epoch, nbytes, self._clock
+        )
+        self.bytes_used += nbytes
+        counters.admissions += 1
+        counters.bytes_cached += nbytes
+        return True
+
+    # ------------------------------------------------------------ internal
+
+    def _drop(self, key: str, entry: CacheEntry) -> None:
+        del self.entries[key]
+        self.bytes_used -= entry.nbytes
+        counters = self.network.cache
+        counters.bytes_cached -= entry.nbytes
+        counters.bytes_evicted += entry.nbytes
+
+    def __len__(self) -> int:
+        return len(self.entries)

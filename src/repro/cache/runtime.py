@@ -1,0 +1,110 @@
+"""Combine-site BGP caching: the :class:`CacheProbe` operator's runtime.
+
+The distributed compiler emits a :class:`~repro.query.physical.CacheProbe`
+(a :class:`~repro.query.physical.BGPWalk` subclass) for every
+multi-pattern conjunction when the result cache is on. Before running
+the walk, this module asks the *planned combine site* whether it already
+holds the walk's whole solution set:
+
+* **hit** — the site installs the memoized solutions into its mailbox
+  under a fresh correlation id, exactly where the walk would have left
+  them; every chain, provider fan-out, and pairwise join is skipped.
+* **miss past the admission gate** — the walk runs normally (pinned to
+  the probed site), then its finished mailbox entry is admitted with
+  data-epoch stamps captured *before* the walk started, so a delta that
+  raced the computation invalidates the entry rather than corrupting it.
+* **cold miss** — the walk runs; only the key's frequency is counted.
+
+The probe falls back to the plain walk whenever memoization is unsound
+or has no single home: broadcast patterns (no index key), pushed-down
+filter conditions, a post-filter, or the BASIC conjunction mode (which
+walks index node to index node and has no stable combine site).
+"""
+
+from __future__ import annotations
+
+from .keys import bgp_cache_key
+
+__all__ = ["exec_cache_probe"]
+
+
+def exec_cache_probe(ctx, walk):
+    """Generator: execute a CacheProbe operator → ResultHandle."""
+    from ..query.conjunction import _fallback_site, _locate_leaves, exec_bgp
+    from ..query.plan import ResultHandle, choose_shared_site
+    from ..query.strategies import ConjunctionMode
+
+    cfg = ctx.cache_cfg()
+    if cfg is None:
+        return (yield from exec_bgp(ctx, walk))
+
+    # Locate every leaf up front (the walk needs the rows anyway); pin
+    # the results so the fallback walk never consults the index twice.
+    steps = yield from _locate_leaves(ctx, walk.children)
+    for leaf, info in steps:
+        leaf.lookup.info = info
+    infos = [info for _leaf, info in steps]
+
+    mode = (ConjunctionMode(walk.plan_mode) if walk.plan_mode is not None
+            else ctx.options.conjunction_mode)
+    if (
+        mode is not ConjunctionMode.OPTIMIZED
+        or walk.post_filter is not None
+        or any(info.owner is None for info in infos)
+        or any(leaf.lookup.condition is not None for leaf in walk.children)
+    ):
+        walk.detail["cache"] = "bypass"
+        return (yield from exec_bgp(ctx, walk))
+
+    # The probe site must be exactly where the walk would combine, so a
+    # fill lands where the next probe looks. Pin it on the plan.
+    site = walk.plan_site
+    if site is None:
+        site = choose_shared_site(infos)
+    if site is None:
+        site = _fallback_site(ctx, infos)
+    walk.plan_site = site
+
+    ckey = bgp_cache_key(
+        [leaf.lookup.pattern for leaf in walk.children], ctx.live_vars)
+    corr = ctx.new_corr()
+    span = ctx.tracer.span("cache", key=ckey, site=site)
+    payload = {"ckey": ckey, "corr": corr, "cfg": cfg}
+    if site == ctx.initiator:
+        resp = ctx.initiator_peer.rpc_cache_probe(payload, ctx.initiator)
+    else:
+        resp = yield ctx.call(site, "cache_probe", payload)
+
+    if resp["hit"]:
+        walk.detail["cache"] = "hit"
+        span.close(outcome="hit", rows=resp["count"])
+        return ResultHandle(site, corr, resp["count"], resp["vars"])
+
+    admit = resp["admit"]
+    # Stamps cover every leaf's ring key and are read before the walk:
+    # any matching delta necessarily advances one of them.
+    stamps = {info.key: ctx.network.data_epochs.get(info.key)
+              for info in infos}
+    membership = ctx.network.membership_epoch
+
+    handle = yield from exec_bgp(ctx, walk)
+
+    if admit and handle.site == site:
+        admit_payload = {
+            "ckey": ckey,
+            "corr": handle.corr,
+            "vars": handle.vars,
+            "stamps": stamps,
+            "membership": membership,
+            "cfg": cfg,
+        }
+        if site == ctx.initiator:
+            ctx.initiator_peer.rpc_cache_admit(admit_payload, ctx.initiator)
+        else:
+            yield ctx.call(site, "cache_admit", admit_payload)
+        walk.detail["cache"] = "fill"
+        span.close(outcome="fill", rows=handle.count)
+    else:
+        walk.detail["cache"] = "miss"
+        span.close(outcome="miss")
+    return handle

@@ -177,6 +177,18 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
              "downstream call (default: none)",
     )
     parser.add_argument(
+        "--result-cache", action="store_true",
+        help="cross-query per-site result cache: index nodes memoize "
+             "primitive results and combine sites memoize BGP "
+             "sub-results, invalidated delta-exactly by the data-epoch "
+             "ledger (default off)",
+    )
+    parser.add_argument(
+        "--cache-bytes", type=int, default=262144, metavar="N",
+        help="per-node byte budget for cached solution data "
+             "(default 262144)",
+    )
+    parser.add_argument(
         "--state-dir", metavar="DIR", default=None,
         help="durable state directory: every node write-ahead logs its "
              "state under it (see 'repro checkpoint' / 'repro recover')",
@@ -611,6 +623,8 @@ def _build_options(args: argparse.Namespace) -> ExecutionOptions:
         failover=args.failover,
         hedge_delay=args.hedge,
         query_deadline=args.query_deadline,
+        result_cache=args.result_cache,
+        cache_bytes=args.cache_bytes,
     )
 
 

@@ -1,9 +1,16 @@
 """Measurement utilities (S12): series summaries and table rendering."""
 
-from .counters import DurabilityCounters, FailoverCounters, Summary, summarize
+from .counters import (
+    CacheCounters,
+    DurabilityCounters,
+    FailoverCounters,
+    Summary,
+    summarize,
+)
 from .tables import render_table
 
 __all__ = [
+    "CacheCounters",
     "DurabilityCounters",
     "FailoverCounters",
     "Summary",

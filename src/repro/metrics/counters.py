@@ -7,7 +7,8 @@ from dataclasses import dataclass, field
 from statistics import mean, median
 from typing import Dict, Iterable, List, Sequence
 
-__all__ = ["Summary", "summarize", "DurabilityCounters", "FailoverCounters"]
+__all__ = ["Summary", "summarize", "DurabilityCounters", "FailoverCounters",
+           "CacheCounters"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -142,6 +143,61 @@ class FailoverCounters:
         return FailoverCounters(**self.as_dict())
 
     def delta(self, since: "FailoverCounters") -> Dict[str, int]:
+        mine, theirs = self.as_dict(), since.as_dict()
+        return {key: mine[key] - theirs[key] for key in mine}
+
+
+@dataclass
+class CacheCounters:
+    """Ledger of the cross-query result cache's work (one per network).
+
+    All per-node caches increment the shared instance, so experiments
+    see the system-wide hit ratio with the same checkpoint/delta
+    discipline as :class:`FailoverCounters`.
+    """
+
+    #: Cache consultations (primitive executions + BGP probes).
+    probes: int = 0
+    #: Probes answered from a current cached entry.
+    hits: int = 0
+    #: Probes that found no entry for the key.
+    misses: int = 0
+    #: Probes that found an entry whose epoch stamps had gone stale
+    #: (counted *in addition to* the miss they become).
+    stale_drops: int = 0
+    #: Entries admitted after clearing the frequency gate.
+    admissions: int = 0
+    #: Fills skipped because the key had not yet cleared the gate.
+    admission_deferred: int = 0
+    #: Entries evicted to stay under the byte budget.
+    evictions: int = 0
+    #: Bytes currently resident across all caches.
+    bytes_cached: int = 0
+    #: Bytes freed by evictions (stale drops included).
+    bytes_evicted: int = 0
+
+    def hit_ratio(self) -> float:
+        """Hits over probes (0.0 before any probe)."""
+        return self.hits / self.probes if self.probes else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "probes": self.probes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale_drops": self.stale_drops,
+            "admissions": self.admissions,
+            "admission_deferred": self.admission_deferred,
+            "evictions": self.evictions,
+            "bytes_cached": self.bytes_cached,
+            "bytes_evicted": self.bytes_evicted,
+        }
+
+    def checkpoint(self) -> "CacheCounters":
+        """A frozen copy, for before/after deltas."""
+        return CacheCounters(**self.as_dict())
+
+    def delta(self, since: "CacheCounters") -> Dict[str, int]:
         mine, theirs = self.as_dict(), since.as_dict()
         return {key: mine[key] - theirs[key] for key in mine}
 

@@ -22,7 +22,8 @@ from types import GeneratorType
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
-from ..metrics.counters import FailoverCounters
+from ..cache.epoch import DataEpochLedger
+from ..metrics.counters import CacheCounters, FailoverCounters
 from ..trace.tracer import phase_for_method
 from .contention import ContentionModel
 from .sim import Event, Simulator, Timeout
@@ -193,6 +194,13 @@ class Network:
         #: Bumped on every membership change (join/leave/crash/recovery);
         #: cheap staleness check for caches of lookup results.
         self.membership_epoch = 0
+        #: Per-ring-key data versions, advanced by every live publication
+        #: (publish/unpublish deltas and attach-time bulk publish); the
+        #: staleness oracle for cached lookup rows and cached results.
+        self.data_epochs = DataEpochLedger()
+        #: Shared ledger of the cross-query result cache's work; stays
+        #: all zeros unless an executor opts in via ``--result-cache``.
+        self.cache = CacheCounters()
         #: Optional shared-resource capacity model (see
         #: :mod:`repro.net.contention`).  ``None`` — the default — keeps
         #: the classic infinite-parallelism link model; assign a

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional
 
+from ..cache.keys import canonical_rows, pattern_cache_key, rebind_rows
 from ..chord.idspace import IdentifierSpace
 from ..chord.node import ChordNode
 from ..net.transport import RpcError
@@ -217,28 +218,15 @@ class IndexNode(QueryPeer, ChordNode):
         """
         strategy = payload.get("strategy", "basic")
         entries = self.locate(payload["key"])
+        cache_cfg = payload.get("cache")
+        if cache_cfg is not None:
+            served = yield from self._execute_cached(
+                payload, src, entries, cache_cfg)
+            if served is not None:
+                return served
         if strategy == "basic":
             result, pruned = yield from self._execute_basic(payload, entries)
-            corr = payload.get("corr")
-            if payload.get("deposit"):
-                self.mailbox[corr] = set(result)
-                ack = {"mode": "deposited", "count": len(result)}
-                if pruned is not None:
-                    ack["pruned"] = pruned
-                return ack
-            final = payload.get("final")
-            encode = payload.get("encode", False)
-            if final is not None and final != src:
-                assert self.network is not None
-                self.network.send(
-                    self.node_id,
-                    final,
-                    "deliver",
-                    {"corr": corr, "data": encode_solutions(result, encode),
-                     "notify": payload.get("notify")},
-                )
-                return {"mode": "shipped", "count": len(result)}
-            return {"mode": "direct", "data": encode_solutions(result, encode)}
+            return self._primitive_reply(payload, src, result, pruned)
         if strategy in ("chained", "freq"):
             route = self._route(entries, strategy, end_at=payload.get("end_at"))
             if not route:
@@ -246,6 +234,93 @@ class IndexNode(QueryPeer, ChordNode):
             self._kickoff_chain(payload, route)
             return {"mode": "chained", "route": route}
         raise ValueError(f"unknown primitive strategy {strategy!r}")
+
+    def _primitive_reply(self, payload: Dict[str, Any], src: str,
+                         result, pruned):
+        """Deliver a basic-scheme result per the payload's directives
+        (deposit here / ship to ``final`` / reply directly)."""
+        corr = payload.get("corr")
+        if payload.get("deposit"):
+            self.mailbox[corr] = set(result)
+            ack = {"mode": "deposited", "count": len(result)}
+            if pruned is not None:
+                ack["pruned"] = pruned
+            return ack
+        final = payload.get("final")
+        encode = payload.get("encode", False)
+        if final is not None and final != src:
+            assert self.network is not None
+            self.network.send(
+                self.node_id,
+                final,
+                "deliver",
+                {"corr": corr, "data": encode_solutions(result, encode),
+                 "notify": payload.get("notify")},
+            )
+            return {"mode": "shipped", "count": len(result)}
+        return {"mode": "direct", "data": encode_solutions(result, encode)}
+
+    def _execute_cached(self, payload: Dict[str, Any], src: str,
+                        entries: List[LocationEntry], cfg: Dict[str, int]):
+        """Generator: serve a primitive through the result cache (S13).
+
+        Returns the finished ack on a hit or an admission fill, or None
+        when the normal (uncached) path should run — either the
+        sub-query is uncacheable (a pushed-down FILTER rides with it) or
+        the key has not yet cleared the admission gate.
+
+        A hit serves the *full* memoized rows and applies the request's
+        shipping decorations (digest pre-filter, projection) right here,
+        where the providers would have applied them; so one cached entry
+        serves every projection/digest variant of its pattern. A fill
+        forces an undecorated basic fan-out — chains deliver past this
+        node, so only the fan-out lets the owner see the rows it admits.
+        """
+        algebra = payload["algebra"]
+        patterns = getattr(algebra, "patterns", None)
+        if patterns is None or len(patterns) != 1:
+            return None
+        ckey, variables = pattern_cache_key(patterns[0])
+        cache = self.result_cache_for(cfg)
+        entry, admit = cache.probe(ckey)
+        tracer = self.sim.tracer
+        if entry is not None:
+            span = tracer.span("cache", key=ckey, outcome="hit")
+            solutions = rebind_rows(entry.value, variables)
+            result, pruned = self._decorate(solutions, payload)
+            span.close(rows=len(result))
+            return self._primitive_reply(payload, src, result, pruned)
+        if not admit:
+            return None
+        # Stamps are captured before the fan-out: a delta racing the
+        # evaluation makes the admitted entry dead on arrival.
+        key = payload["key"]
+        stamps = {key: self.network.data_epochs.get(key)}
+        membership = self.network.membership_epoch
+        span = tracer.span("cache", key=ckey, outcome="fill")
+        bare = {k: v for k, v in payload.items()
+                if k not in ("digest", "project")}
+        full, _ = yield from self._execute_basic(bare, entries)
+        cache.admit(ckey, canonical_rows(full, variables), variables,
+                    stamps, membership)
+        result, pruned = self._decorate(set(full), payload)
+        span.close(rows=len(result))
+        return self._primitive_reply(payload, src, result, pruned)
+
+    @staticmethod
+    def _decorate(solutions, payload: Dict[str, Any]):
+        """Apply a request's shipping decorations to full cached rows —
+        the exact transforms providers apply before shipping."""
+        pruned = None
+        digest = payload.get("digest")
+        if digest is not None:
+            kept = digest.filter(solutions)
+            pruned = len(solutions) - len(kept)
+            solutions = kept
+        keep = payload.get("project")
+        if keep is not None:
+            solutions = {mu.project(keep) for mu in solutions}
+        return sorted(solutions, key=_mapping_sort_key), pruned
 
     def _execute_basic(self, payload: Dict[str, Any], entries: List[LocationEntry]):
         """Parallel fan-out to every target storage node; union here.

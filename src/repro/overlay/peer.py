@@ -82,6 +82,72 @@ class QueryPeer:
             dead = self.__dict__["_qp_dead_corrs"] = set()
         return dead
 
+    # ------------------------------------------------------ result cache (S13)
+
+    @property
+    def result_cache(self):
+        """The node's cross-query result cache, or None if no cached
+        execution ever reached this node (state stays lazy, like the
+        mailbox)."""
+        return self.__dict__.get("_qp_result_cache")
+
+    def result_cache_for(self, cfg: Dict[str, int]):
+        """The node's result cache, created on first cached request.
+
+        *cfg* rides in the request payload (``{"bytes": .., "admit": ..}``
+        from the initiator's ExecutionOptions) so every node serves the
+        budget the querying side asked for without any global setup step.
+        """
+        from ..cache.result_cache import ResultCache
+
+        cache = self.__dict__.get("_qp_result_cache")
+        if cache is None:
+            cache = self.__dict__["_qp_result_cache"] = ResultCache(
+                self.network, cfg["bytes"], cfg["admit"]
+            )
+        else:
+            cache.byte_cap = cfg["bytes"]
+            cache.admit_threshold = cfg["admit"]
+        return cache
+
+    def rpc_cache_probe(self, payload: Dict[str, Any], src: str) -> Dict[str, Any]:
+        """Consult the result cache for a whole BGP sub-result.
+
+        On a hit the cached solutions are installed into this node's
+        mailbox under ``corr`` — exactly where the walk they replace
+        would have combined them — so downstream steps run unchanged.
+        The miss reply also says whether the key has cleared the
+        admission gate, steering the initiator's fill decision.
+        """
+        cache = self.result_cache_for(payload["cfg"])
+        entry, admit = cache.probe(payload["ckey"])
+        if entry is None:
+            return {"hit": False, "admit": admit}
+        data = set(entry.value)
+        self.mailbox[payload["corr"]] = data
+        return {"hit": True, "count": len(data), "vars": entry.vars}
+
+    def rpc_cache_admit(self, payload: Dict[str, Any], src: str) -> Dict[str, Any]:
+        """Materialize a finished mailbox entry into the result cache.
+
+        ``stamps``/``membership`` were captured by the initiator *before*
+        the walk computed the entry, so a delta that raced the walk makes
+        the entry dead on arrival rather than silently stale.
+        """
+        data = self.mailbox.get(payload["corr"])
+        if data is None:
+            # The result never landed here (failover moved the walk).
+            return {"admitted": False}
+        cache = self.result_cache_for(payload["cfg"])
+        admitted = cache.admit(
+            payload["ckey"],
+            frozenset(data),
+            payload.get("vars"),
+            payload["stamps"],
+            payload["membership"],
+        )
+        return {"admitted": admitted}
+
     # ------------------------------------------------------- query namespaces
 
     @property

@@ -239,6 +239,7 @@ class HybridSystem:
                                         key=lambda kv: (kv[0][1], kv[0][0].name)):
             owner = self.ring.owner_of(key)
             owner.table.add(key, storage.node_id, freq)
+            self.network.data_epochs.advance(key)
             count += 1
             for ref in owner.successor_list[: self.replication_factor - 1]:
                 if ref == owner.ref:
@@ -255,6 +256,8 @@ class HybridSystem:
             for (kind, key), freq in sorted(storage.key_counts(self.space).items(),
                                             key=lambda kv: (kv[0][1], kv[0][0].name))
         ]
+        for key, _freq in entries:
+            self.network.data_epochs.advance(key)
 
         # Publication is a long-running batch: give it a generous deadline
         # that scales with the batch instead of the per-RPC default.
@@ -293,6 +296,8 @@ class HybridSystem:
                 for (kind, key), freq in sorted(counts.items(),
                                                 key=lambda kv: (kv[0][1], kv[0][0].name))
             ]
+            for key, _freq in entries:
+                self.network.data_epochs.advance(key)
             deadline = max(60.0, 0.5 * len(entries))
 
             def proc():
@@ -310,6 +315,7 @@ class HybridSystem:
                                         key=lambda kv: (kv[0][1], kv[0][0].name)):
             owner = self.ring.owner_of(key)
             owner.table.add(key, storage.node_id, freq)
+            self.network.data_epochs.advance(key)
             count += 1
             for ref in owner.successor_list[: self.replication_factor - 1]:
                 if ref == owner.ref:
@@ -328,14 +334,25 @@ class HybridSystem:
         """
         counts = storage.key_counts_for(triples, self.space)
         removed = 0
-        for (kind, key), freq in counts.items():
+        for (kind, key), freq in sorted(counts.items(),
+                                        key=lambda kv: (kv[0][1], kv[0][0].name)):
             owner = self.ring.owner_of(key)
             owner.table.remove(key, storage.node_id, freq)
+            # A replica row may still sit at the owner itself after a
+            # failover promotion; clear it before sweeping the successors.
             owner.replicas.remove(key, storage.node_id, freq)
+            self.network.data_epochs.advance(key)
             removed += 1
-            for node in self.index_nodes.values():
-                if node is not owner:
-                    node.replicas.remove(key, storage.node_id, freq)
+            # Replicas live only on the owner's successor list — the same
+            # placement publish_delta writes to. Sweeping every index node
+            # here (the old behaviour) touched O(#nodes) replica tables
+            # per key for rows that could not exist off the successors.
+            for ref in owner.successor_list[: self.replication_factor - 1]:
+                if ref == owner.ref:
+                    continue
+                self.index_nodes[ref.node_id].replicas.remove(
+                    key, storage.node_id, freq
+                )
         return removed
 
     # -------------------------------------------------------------- queries

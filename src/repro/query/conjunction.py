@@ -146,6 +146,9 @@ def _exec_basic_mode(ctx, steps: List[Step]):
             payload["project"] = keep
         if opts.dictionary_encoding:
             payload["encode"] = True
+        cache_cfg = ctx.cache_cfg()
+        if cache_cfg is not None:
+            payload["cache"] = cache_cfg
         if (
             handle is not None
             and opts.semijoin

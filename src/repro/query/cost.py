@@ -57,9 +57,9 @@ from ..overlay.location_table import LocationEntry
 from ..sparql.algebra import BGP
 from ..sparql.optimizer import reorder_bgp
 from .physical import (
-    BGPWalk, ChainShip, EmptyScan, FilterOp, GraphScope, HashJoin,
-    IndexLookup, LeftJoinOp, LocalBGPScan, PhysOp, Ship, UnionOp,
-    note_lookup, walk_plan,
+    BGPWalk, CachedScan, CacheProbe, ChainShip, EmptyScan, FilterOp,
+    GraphScope, HashJoin, IndexLookup, LeftJoinOp, LocalBGPScan, PhysOp,
+    Ship, UnionOp, note_lookup, walk_plan,
 )
 from .strategies import PrimitiveStrategy
 
@@ -363,6 +363,11 @@ def _estimate(ctx, node: PhysOp) -> float:
         _pin_leaf_strategy(ctx, node)
         node.est_rows = rows
         node.est_bytes = rows * row_bytes
+        if isinstance(node, CachedScan):
+            # An expected hit serves the rows from the owner's cache and
+            # ships nothing from the providers; the system-wide observed
+            # hit ratio is the prior for how often that happens.
+            node.est_bytes *= 1.0 - ctx.network.cache.hit_ratio()
         return rows
 
     if isinstance(node, BGPWalk):
@@ -377,6 +382,9 @@ def _estimate(ctx, node: PhysOp) -> float:
         if node.post_filter is not None:
             node.est_rows = rows = rows * FILTER_SELECTIVITY
             node.est_bytes = rows * row_bytes
+        if isinstance(node, CacheProbe):
+            # A combine-site hit skips every chain and join of the walk.
+            node.est_bytes *= 1.0 - ctx.network.cache.hit_ratio()
         return rows
 
     if isinstance(node, (HashJoin, UnionOp, LeftJoinOp)):

@@ -48,9 +48,9 @@ from ..sparql.parser import parse_query
 from ..sparql.solutions import EMPTY_MAPPING, SolutionMapping
 from ..rdf.namespaces import COMMON_PREFIXES
 from .physical import (
-    BGPWalk, ChainShip, EmptyScan, FilterOp, GraphScope, HashJoin,
-    LeftJoinOp, PhysOp, UnionOp, compile_query_plan, execution_root,
-    pattern_leaf, record_postprocess,
+    BGPWalk, CacheProbe, ChainShip, EmptyScan, FilterOp, GraphScope,
+    HashJoin, LeftJoinOp, PhysOp, UnionOp, compile_query_plan,
+    execution_root, pattern_leaf, record_postprocess,
 )
 from .plan import PatternInfo, ResultHandle, compute_live_vars
 from .strategies import ExecutionOptions
@@ -87,6 +87,10 @@ class ExecutionReport:
     #: two-level index consultations; see ExecutionOptions.lookup_cache_size).
     lookup_cache_hits: int = 0
     lookup_cache_misses: int = 0
+    #: Cross-query result-cache effectiveness during this execution's
+    #: stats window (system-wide counters; see ExecutionOptions.result_cache).
+    cache_hits: int = 0
+    cache_misses: int = 0
     #: Rows dropped by semijoin digests before they could cross a link.
     rows_pruned: int = 0
     #: Exact overhead the semijoin technique added: digest round trips
@@ -329,6 +333,14 @@ class ExecutionContext:
         return ResultHandle(self.initiator, corr,
                             len(self.initiator_peer.mailbox[corr]), vars)
 
+    def cache_cfg(self) -> Optional[Dict[str, int]]:
+        """Result-cache config to ride with dispatched sub-queries, or
+        None when the cache is off (keeping payloads byte-identical)."""
+        if not self.options.result_cache:
+            return None
+        return {"bytes": self.options.cache_bytes,
+                "admit": self.options.cache_admit_threshold}
+
     def keep_vars(self, pattern_vars) -> Optional[List]:
         """Projection keep-list for a pattern's provider-side results, or
         None when pruning is off or nothing would be dropped."""
@@ -373,7 +385,7 @@ class ExecutionContext:
                 # key right now (patterns locate in parallel): wait
                 # for it instead of issuing a duplicate consultation.
                 try:
-                    owner_id, entries, fill_epoch = yield cached[1]
+                    owner_id, entries, fill_epoch, fill_depoch = yield cached[1]
                 except RpcError:
                     # The filler died (its sentinel is already evicted):
                     # resolve for ourselves instead of inheriting a loss
@@ -384,8 +396,19 @@ class ExecutionContext:
                     # handed was resolved under the old view; re-resolve
                     # rather than consume a possibly-stale owner.
                     continue
+                if fill_depoch != self.network.data_epochs.get(key):
+                    # A publish/unpublish delta touched this key between
+                    # the fill and this waiter waking: the row's entries
+                    # or frequencies may have changed. Re-consult.
+                    continue
             else:
                 owner_id, entries = cached[1], cached[2]
+                if cached[3] != self.network.data_epochs.get(key):
+                    # The cached row predates a delta on this key: evict
+                    # it and consult the index again (key-scoped, unlike
+                    # the membership epoch's whole-cache clear).
+                    self._lookup_cache.pop((kind, key), None)
+                    continue
             if (kind, key) in self._lookup_cache:
                 self._lookup_cache.move_to_end((kind, key))
             self.report.lookup_cache_hits += 1
@@ -395,6 +418,10 @@ class ExecutionContext:
             cached_span.close(hops=0)
             return PatternInfo(pattern, kind, key, owner_id, entries,
                                0, condition)
+        # The data-epoch stamp is read *before* the consultation goes out:
+        # a delta racing the resolve then keeps the row out of the cache
+        # instead of installing a silently stale one.
+        data_epoch = self.network.data_epochs.get(key)
         span = self.tracer.span("lookup", phase=PHASE_LOOKUP, pattern=str(pattern))
         hops = 0
         try:
@@ -411,15 +438,17 @@ class ExecutionContext:
         if pending is not None:
             self.report.lookup_cache_misses += 1
             fill_epoch = self.network.membership_epoch
-            if fill_epoch == self._lookup_epoch:
+            if (fill_epoch == self._lookup_epoch
+                    and data_epoch == self.network.data_epochs.get(key)):
                 self._lookup_cache[(kind, key)] = ("done", owner_id,
-                                                   tuple(entries))
+                                                   tuple(entries), data_epoch)
             elif self._lookup_cache.get((kind, key)) == ("pending", pending):
-                # Membership changed mid-flight: don't install a stale row.
+                # Membership or data changed mid-flight: don't install a
+                # stale row.
                 del self._lookup_cache[(kind, key)]
-            # Waiters get the fill-time epoch so they can re-validate it
-            # against the membership they wake under.
-            pending.succeed((owner_id, tuple(entries), fill_epoch))
+            # Waiters get the fill-time epochs so they can re-validate
+            # against the membership and data versions they wake under.
+            pending.succeed((owner_id, tuple(entries), fill_epoch, data_epoch))
             while len(self._lookup_cache) > cache_size:
                 self._lookup_cache.popitem(last=False)
         return PatternInfo(pattern, kind, key, owner_id, tuple(entries), hops, condition)
@@ -589,6 +618,10 @@ def exec_plan(ctx: ExecutionContext, node: PhysOp, at_home: bool = False):
                                    vars=frozenset())
     elif isinstance(node, ChainShip):
         handle = yield from primitive.exec_primitive(ctx, node, at_home=at_home)
+    elif isinstance(node, CacheProbe):
+        from ..cache.runtime import exec_cache_probe  # deferred: PR 9 layer
+
+        handle = yield from exec_cache_probe(ctx, node)
     elif isinstance(node, BGPWalk):
         handle = yield from conjunction.exec_bgp(ctx, node)
     elif isinstance(node, FilterOp):
@@ -744,6 +777,7 @@ class DistributedExecutor:
         root = execution_root(plan)
 
         checkpoint = self.system.stats.checkpoint()
+        cache_before = self.system.network.cache.checkpoint()
         t0 = self.sim_now()
         trace_checkpoint = tracer.checkpoint() if tracer is not None else None
         query_span = ctx.tracer.span("query", initiator=initiator,
@@ -764,6 +798,9 @@ class DistributedExecutor:
                 report.response_time = t_done - t0
                 report.messages = delta.messages
                 report.bytes_total = delta.bytes
+                cache_delta = self.system.network.cache.delta(cache_before)
+                report.cache_hits = cache_delta["hits"]
+                report.cache_misses = cache_delta["misses"]
                 if tracer is not None:
                     # Snapshot here so the phase totals cover exactly the
                     # same window as the stats delta (they partition

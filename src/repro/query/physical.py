@@ -56,6 +56,7 @@ from ..sparql.solutions import (
 __all__ = [
     "PhysOp",
     "IndexLookup", "ChainShip", "BGPWalk", "EmptyScan",
+    "CachedScan", "CacheProbe",
     "Ship", "SemijoinShip",
     "HashJoin", "UnionOp", "LeftJoinOp", "FilterOp",
     "LocalBGPScan", "GraphScope",
@@ -192,10 +193,37 @@ class BGPWalk(PhysOp):
         return text
 
 
+class CachedScan(ChainShip):
+    """A primitive leaf served through the per-site result cache (PR 9).
+
+    Runtime-compatible with :class:`ChainShip` — the owner index node
+    intercepts the primitive when the payload carries a cache config, so
+    the initiator-side execution path is untouched. The distinct kind
+    makes explain renders show where the cache may engage, and lets the
+    cost planner price the expected hit discount.
+    """
+
+    __slots__ = ()
+    kind = "CachedScan"
+
+
 class EmptyScan(PhysOp):
     """The unit solution set {µ∅} (an empty BGP)."""
 
     kind = "EmptyScan"
+
+
+class CacheProbe(BGPWalk):
+    """A BGP walk fronted by a combine-site sub-result cache (PR 9).
+
+    Before running the walk, the runtime probes the planned combine
+    site's cache for the whole BGP's solution set; a hit skips every
+    chain and join. Structurally a :class:`BGPWalk`, so planner
+    annotation (join order, site, modes) applies unchanged on a miss.
+    """
+
+    __slots__ = ()
+    kind = "CacheProbe"
 
 
 class Ship(PhysOp):
@@ -583,12 +611,17 @@ def compile_distributed(node: Algebra, options) -> PhysOp:
     with the same arguments in the same order (the golden-metrics grid
     pins this bit-for-bit).
     """
+    cached = getattr(options, "result_cache", False)
+
     if isinstance(node, BGP):
         if not node.patterns:
             return EmptyScan()
         if len(node.patterns) == 1:
+            if cached:
+                return CachedScan(IndexLookup(node.patterns[0]))
             return pattern_leaf(node.patterns[0])
-        return BGPWalk([pattern_leaf(p) for p in node.patterns])
+        leaves = [pattern_leaf(p) for p in node.patterns]
+        return CacheProbe(leaves) if cached else BGPWalk(leaves)
 
     if isinstance(node, Filter):
         target = node.pattern

@@ -139,6 +139,9 @@ def exec_pattern_to_site(ctx, info: PatternInfo, site: str,
         payload["project"] = keep
     if encode:
         payload["encode"] = True
+    cache_cfg = ctx.cache_cfg()
+    if cache_cfg is not None:
+        payload["cache"] = cache_cfg
     ack, info, corr = yield from dispatch_primitive(ctx, info, payload, corr)
     if ack["mode"] == "direct":
         # Empty route: no providers left; materialize the empty result.
@@ -176,6 +179,9 @@ def _basic(ctx, info: PatternInfo, algebra, site: str, corr: str,
         payload["project"] = keep
     if ctx.options.dictionary_encoding:
         payload["encode"] = True
+    cache_cfg = ctx.cache_cfg()
+    if cache_cfg is not None:
+        payload["cache"] = cache_cfg
     if site != ctx.initiator:
         payload["final"] = site
         payload["notify"] = ctx.initiator

@@ -163,6 +163,21 @@ class ExecutionOptions:
     #: travels with dispatched sub-queries. None = unbounded.
     query_deadline: Optional[float] = None
 
+    # --- cross-query result cache (PR 9) ---------------------------------
+    # Off by default: a run without ``result_cache`` is byte-identical to
+    # previous releases (no extra payload keys, no extra messages).
+
+    #: Enable the per-site semantic result cache (:mod:`repro.cache`):
+    #: index nodes memoize primitive-pattern results and combine sites
+    #: memoize whole BGP sub-results, invalidated delta-exactly via the
+    #: network's ``data_epochs`` ledger + ``membership_epoch``.
+    result_cache: bool = False
+    #: Per-node residency budget for cached solution data, in bytes.
+    cache_bytes: int = 262144
+    #: Admission gate: how many times a key must be asked for before its
+    #: result is materialized (1 = admit on first miss).
+    cache_admit_threshold: int = 2
+
     def __post_init__(self) -> None:
         if self.plan_mode not in ("legacy", "cost"):
             raise ValueError(

@@ -84,6 +84,10 @@ _METHOD_PHASES: Dict[str, str] = {
     "delivered": PHASE_SHIP,
     "ship": PHASE_SHIP,
     "digest": PHASE_SHIP,
+    # Cross-query result cache (PR 9): a probe stands in for the shipping
+    # it short-circuits; an admit copies a finished sub-result in place.
+    "cache_probe": PHASE_SHIP,
+    "cache_admit": PHASE_SHIP,
     # Combining at the join site.
     "combine": PHASE_JOIN,
     "filter_box": PHASE_JOIN,

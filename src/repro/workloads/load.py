@@ -27,6 +27,7 @@ arrival times) is drawn up front from one seeded RNG, so a given
 
 from __future__ import annotations
 
+import bisect
 import random
 import time
 from collections import Counter, deque
@@ -37,12 +38,14 @@ from ..metrics.counters import Summary, summarize
 from ..query.executor import DistributedExecutor, ExecutionReport, QueryFailed
 from ..query.strategies import ExecutionOptions
 from ..rdf.namespaces import COMMON_PREFIXES
+from ..rdf.terms import IRI
+from ..rdf.triple import Triple
 from ..sparql.eval import QueryResult
 from ..sparql.parser import parse_query
 from .queries import paper_query_mix
 
 __all__ = ["ChurnEvent", "LoadConfig", "QueryJob", "WorkloadReport",
-           "churn_schedule", "run_workload"]
+           "churn_schedule", "default_mutation_batch", "run_workload"]
 
 
 @dataclass(frozen=True)
@@ -87,6 +90,17 @@ class LoadConfig:
     #: fixed simulated times).  Empty = the classic churn-free run, whose
     #: simulation is byte-identical to previous releases.
     churn: Sequence[ChurnEvent] = ()
+    #: Query-popularity skew: 0.0 (default) draws uniformly from the mix
+    #: exactly as before; s > 0 draws query i with weight 1/(i+1)^s (the
+    #: classic Zipf shape over the mix order) — the regime where a
+    #: result cache earns its keep.
+    zipf_s: float = 0.0
+    #: Fraction of jobs that are *data mutations* instead of queries:
+    #: each mutation job publishes (or retracts) a deterministic delta
+    #: batch through the fast-mode incremental API, advancing the
+    #: data-epoch ledger mid-workload.  0.0 (default) = read-only, with
+    #: an RNG schedule identical to previous releases.
+    mutation_rate: float = 0.0
 
 
 @dataclass
@@ -97,6 +111,8 @@ class QueryJob:
     label: str
     query_text: str
     initiator: Optional[str]
+    #: ``"query"`` or ``"mutation"`` (a publish/unpublish delta job).
+    kind: str = "query"
     #: Scheduled arrival time (open-loop; 0.0 in closed-loop mode).
     arrival: float = 0.0
     submitted: Optional[float] = None
@@ -142,6 +158,12 @@ class WorkloadReport:
     #: Retry/failover work done during the run (delta of the network's
     #: :class:`~repro.metrics.counters.FailoverCounters`).
     failover: Dict[str, int] = field(default_factory=dict)
+    #: Result-cache work done during the run (delta of the network's
+    #: :class:`~repro.metrics.counters.CacheCounters`; all zeros with
+    #: the cache off).
+    cache: Dict[str, int] = field(default_factory=dict)
+    #: Mutation jobs applied (publish/unpublish delta batches).
+    mutations: int = 0
     #: Number of scheduled membership changes applied mid-run.
     churn_events: int = 0
     #: Real (host) seconds the simulation took to execute.  Unlike every
@@ -185,6 +207,8 @@ class WorkloadReport:
             "max_admission_queue": self.max_admission_queue,
             "contention": self.contention,
             "failover": self.failover,
+            "cache": self.cache,
+            "mutations": self.mutations,
             "churn_events": self.churn_events,
             "wall_clock_s": self.wall_clock_s,
             "queries_per_wall_second": self.queries_per_wall_second,
@@ -212,6 +236,18 @@ class WorkloadReport:
         return payload
 
 
+def default_mutation_batch(seq: int) -> List[Triple]:
+    """The deterministic delta batch mutation number *seq* publishes.
+
+    The triples live in the FOAF ``knows`` key space the paper queries
+    exercise, so every mutation genuinely invalidates cached results
+    for those patterns (a cache that survived them would be wrong)."""
+    knows = IRI("http://xmlns.com/foaf/0.1/knows")
+    s = IRI(f"http://example.org/load/delta{seq}/a")
+    o = IRI(f"http://example.org/load/delta{seq}/b")
+    return [Triple(s, knows, o), Triple(o, knows, s)]
+
+
 def build_jobs(config: LoadConfig) -> List[QueryJob]:
     """The deterministic schedule: every job's query, initiator, and
     (open-loop) arrival time, drawn before the simulation starts."""
@@ -219,12 +255,32 @@ def build_jobs(config: LoadConfig) -> List[QueryJob]:
         raise ValueError("load config needs a non-empty query mix")
     if config.mode not in ("closed", "open"):
         raise ValueError(f"unknown workload mode {config.mode!r}")
+    if config.zipf_s < 0:
+        raise ValueError("zipf_s must be >= 0")
+    if not 0.0 <= config.mutation_rate < 1.0:
+        raise ValueError("mutation_rate must lie in [0, 1)")
     rng = random.Random(config.seed)
     initiators = list(config.initiators)
+    # Extra RNG draws stay strictly gated behind non-default settings so
+    # the default schedule consumes the stream exactly as before.
+    cumulative: List[float] = []
+    if config.zipf_s > 0:
+        total = 0.0
+        for i in range(len(config.queries)):
+            total += 1.0 / (i + 1) ** config.zipf_s
+            cumulative.append(total)
     jobs: List[QueryJob] = []
     t = 0.0
     for i in range(config.num_queries):
-        label, text = config.queries[rng.randrange(len(config.queries))]
+        if config.zipf_s > 0:
+            r = rng.random() * cumulative[-1]
+            index = bisect.bisect_left(cumulative, r)
+            label, text = config.queries[min(index, len(config.queries) - 1)]
+        else:
+            label, text = config.queries[rng.randrange(len(config.queries))]
+        kind = "query"
+        if config.mutation_rate > 0 and rng.random() < config.mutation_rate:
+            kind, label, text = "mutation", "mutation", ""
         if config.mode == "open":
             t += rng.expovariate(config.arrival_rate)
         jobs.append(QueryJob(
@@ -232,6 +288,7 @@ def build_jobs(config: LoadConfig) -> List[QueryJob]:
             label=label,
             query_text=text,
             initiator=initiators[i % len(initiators)] if initiators else None,
+            kind=kind,
             arrival=t,
         ))
     return jobs
@@ -283,20 +340,46 @@ def run_workload(
     executor = DistributedExecutor(system, options)
     jobs = build_jobs(config)
     parsed = {
-        job.job_id: parse_query(job.query_text, COMMON_PREFIXES) for job in jobs
+        job.job_id: parse_query(job.query_text, COMMON_PREFIXES)
+        for job in jobs if job.kind == "query"
     }
     done_events = {job.job_id: sim.event() for job in jobs}
 
     state = {"in_flight": 0, "peak": 0, "shed": 0, "deferred": 0,
-             "max_queue": 0}
+             "max_queue": 0, "mutations": 0}
     waiting: deque = deque()
+    storage_ids = sorted(system.storage_nodes)
+    published: deque = deque()
+
+    def apply_mutation(job: QueryJob) -> None:
+        """Publish a fresh delta batch, or retract the oldest live one.
+
+        Odd-numbered mutations retract (keeping the dataset bounded);
+        the fast-mode incremental API advances the data-epoch ledger
+        either way, so every mutation is a real invalidation event."""
+        seq = state["mutations"]
+        state["mutations"] += 1
+        storage = system.storage_nodes[storage_ids[seq % len(storage_ids)]]
+        if seq % 2 == 1 and published:
+            victim_storage, batch = published.popleft()
+            victim_storage.remove_triples(batch)
+            system.unpublish_delta(victim_storage, batch)
+        else:
+            batch = default_mutation_batch(seq)
+            storage.add_triples(batch)
+            system.publish_delta(storage, batch)
+            published.append((storage, batch))
 
     def runner(job: QueryJob):
         try:
-            result, report = yield from executor.execute_process(
-                parsed[job.job_id], job.initiator
-            )
-            job.result, job.report = result, report
+            if job.kind == "mutation":
+                yield sim.timeout(0.0)
+                apply_mutation(job)
+            else:
+                result, report = yield from executor.execute_process(
+                    parsed[job.job_id], job.initiator
+                )
+                job.result, job.report = result, report
         except QueryFailed as exc:
             job.error = str(exc)
         job.finished = sim.now
@@ -345,6 +428,7 @@ def run_workload(
 
     checkpoint = system.stats.checkpoint()
     failover_before = system.network.failover.checkpoint()
+    cache_before = system.network.cache.checkpoint()
     wall_start = time.perf_counter()
     t_start = sim.now
     for churn_event in config.churn:
@@ -395,6 +479,8 @@ def run_workload(
         max_admission_queue=state["max_queue"],
         contention=contention,
         failover=system.network.failover.delta(failover_before),
+        cache=system.network.cache.delta(cache_before),
+        mutations=state["mutations"],
         churn_events=len(config.churn),
         wall_clock_s=wall_clock_s,
         queries_per_wall_second=(

@@ -1,0 +1,95 @@
+"""Property test (PR 9 satellite 3): the result cache is invisible.
+
+Random interleavings of ``publish_delta`` / ``unpublish_delta`` / query
+execution must return exactly the same answers with the cache on as with
+it off — and both must match the local oracle over the union of all
+provider graphs. The deltas deliberately add and remove ``foaf:knows``
+triples, the predicate every generated query touches, so cached entries
+actually go stale mid-script; an invalidation bug (a missed epoch
+advance, a stamp captured after instead of before the fill) shows up as
+a divergent answer here.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.query import DistributedExecutor, ExecutionOptions
+from repro.rdf import COMMON_PREFIXES, FOAF, IRI, Triple
+from repro.sparql import evaluate_query, parse_query
+from repro.workloads import FoafConfig, generate_foaf_triples, partition_triples
+
+from helpers import build_system
+
+QUERIES = [
+    "SELECT ?x ?y WHERE { ?x foaf:knows ?y . }",
+    "SELECT ?x ?z WHERE { ?x foaf:knows ?y . ?y foaf:knows ?z . }",
+    "SELECT ?y WHERE { <http://example.org/people/person0> foaf:knows ?y . }",
+]
+
+CACHED = ExecutionOptions(result_cache=True, cache_admit_threshold=1)
+PLAIN = ExecutionOptions()
+
+#: An op is ``(kind, parameter)``: 0 = query (parameter picks the text),
+#: 1 = publish a fresh delta batch, 2 = unpublish the oldest live batch.
+ops_st = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 999)),
+    min_size=2,
+    max_size=14,
+)
+
+
+def delta_batch(seq: int):
+    """A unique, never-colliding pair of knows-triples for delta *seq*."""
+    a = IRI(f"http://example.org/coherence/delta{seq}a")
+    b = IRI(f"http://example.org/coherence/delta{seq}b")
+    return [Triple(a, FOAF.knows, b), Triple(b, FOAF.knows, a)]
+
+
+def fresh_system(data_seed):
+    triples = generate_foaf_triples(FoafConfig(num_people=12, seed=data_seed))
+    parts = partition_triples(triples, 3, overlap=0.2, seed=data_seed + 1)
+    return build_system(parts=parts)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(data_seed=st.integers(0, 500), ops=ops_st)
+def test_property_cache_is_answer_invisible(data_seed, ops):
+    cached_system = fresh_system(data_seed)
+    plain_system = fresh_system(data_seed)
+    cached_exec = DistributedExecutor(cached_system, CACHED)
+    plain_exec = DistributedExecutor(plain_system, PLAIN)
+
+    storage_ids = sorted(cached_system.storage_nodes)
+    published = []  # (storage_id, batch) still live
+    seq = 0
+    for kind, param in ops:
+        if kind == 1:
+            batch = delta_batch(seq)
+            sid = storage_ids[param % len(storage_ids)]
+            for system in (cached_system, plain_system):
+                storage = system.storage_nodes[sid]
+                storage.add_triples(batch)
+                system.publish_delta(storage, batch)
+            published.append((sid, batch))
+            seq += 1
+        elif kind == 2 and published:
+            sid, batch = published.pop(param % len(published))
+            for system in (cached_system, plain_system):
+                storage = system.storage_nodes[sid]
+                storage.remove_triples(batch)
+                system.unpublish_delta(storage, batch)
+        else:
+            text = QUERIES[param % len(QUERIES)]
+            with_cache, _ = cached_exec.execute(text, initiator="D1")
+            without, _ = plain_exec.execute(text, initiator="D1")
+            assert with_cache.rows == without.rows
+            oracle = evaluate_query(
+                parse_query(text, COMMON_PREFIXES),
+                cached_system.union_graph(),
+            )
+            assert with_cache.rows == oracle.rows

@@ -133,10 +133,12 @@ class TestCoalescedLookups:
         def fill_stale(_e):
             # What a filler that raced a membership change does: evict the
             # sentinel, hand waiters a row stamped with the *fill-time*
-            # epoch — here one behind the live view, with a bogus owner.
+            # epochs — here one behind the live membership view, with a
+            # bogus owner.
             ctx._lookup_cache.pop(located, None)
             pending.succeed(
-                ("N-bogus", (), system.network.membership_epoch - 1))
+                ("N-bogus", (), system.network.membership_epoch - 1,
+                 system.network.data_epochs.get(located[1])))
 
         sim.timeout(0.0).callbacks.append(fill_stale)
         sim.run()
@@ -146,6 +148,54 @@ class TestCoalescedLookups:
         assert info.owner == knows_owner(system)
         assert ctx.report.lookup_cache_misses == 1
         assert ctx.report.lookup_cache_hits == 0
+
+    def test_waiter_revalidates_data_epoch_on_wake(self):
+        """PR 9 satellite: a delta published while a consultation was in
+        flight must not let coalesced waiters consume the pre-delta row —
+        the fill is stamped with the data epoch read at fill time, and a
+        waiter whose stamp no longer matches re-resolves."""
+        system = build_system(replication_factor=2)
+        ctx = self._context(system)
+        sim = system.sim
+        located = key_for_pattern(KNOWS_PATTERN, system.space)
+        pending = sim.event()
+        ctx._lookup_cache[located] = ("pending", pending)
+        waiter = sim.process(ctx.locate(KNOWS_PATTERN))
+
+        def fill_then_delta(_e):
+            # The filler completes under the pre-delta ledger, then a
+            # delta lands before the waiter is scheduled.
+            ctx._lookup_cache.pop(located, None)
+            pending.succeed(
+                ("N-bogus", (), system.network.membership_epoch,
+                 system.network.data_epochs.get(located[1])))
+            system.network.data_epochs.advance(located[1])
+
+        sim.timeout(0.0).callbacks.append(fill_then_delta)
+        sim.run()
+        info = waiter.value
+        assert info.owner == knows_owner(system)
+        assert ctx.report.lookup_cache_misses == 1
+        assert ctx.report.lookup_cache_hits == 0
+
+    def test_done_entry_dropped_after_delta(self):
+        """A cached done consultation goes stale the moment the key's
+        data epoch advances (a publish/unpublish touched the pattern):
+        the next locate re-consults instead of reusing the row."""
+        system = build_system()
+        ctx = self._context(system)
+        sim = system.sim
+        p1 = sim.process(ctx.locate(KNOWS_PATTERN))
+        sim.run()
+        located = key_for_pattern(KNOWS_PATTERN, system.space)
+        system.network.data_epochs.advance(located[1])
+        p2 = sim.process(ctx.locate(KNOWS_PATTERN))
+        sim.run()
+        assert p2.value.owner == p1.value.owner == knows_owner(system)
+        assert ctx.report.lookup_cache_misses == 2
+        assert ctx.report.lookup_cache_hits == 0
+        # The stale entry was evicted and replaced by the re-consultation.
+        assert ctx._lookup_cache[located][0] == "done"
 
     def test_failed_filler_does_not_strand_waiters(self):
         """The filler's lookup dies; the waiter re-resolves on its own

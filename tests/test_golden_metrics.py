@@ -154,3 +154,16 @@ def test_simulated_metrics_match_golden():
         f"{len(drifted)} configurations drifted from golden "
         f"(golden, got): {dict(itertools.islice(drifted.items(), 5))}"
     )
+
+
+def test_cache_off_leaves_cache_layer_untouched():
+    """PR 9 guard: with ``result_cache`` off (the default, and what every
+    golden-grid configuration runs with) the caching subsystem must do
+    exactly nothing — zero probes, zero admissions, zero bytes. This is
+    the structural reason the grid above cannot drift when the cache
+    ships: off means *absent*, not merely cold."""
+    system = build_system()
+    for text in QUERIES.values():
+        DistributedExecutor(system).execute(text, initiator="D1")
+    counters = system.network.cache.as_dict()
+    assert all(value == 0 for value in counters.values()), counters

@@ -96,3 +96,50 @@ class TestUnpublishDelta:
         storage.remove_triples(added)
         system.unpublish_delta(storage, added)
         assert {e.storage_id: e.frequency for e in knows_row(system)} == snapshot
+
+    def test_replica_sweep_scoped_to_successor_list(self):
+        """PR 9 satellite: unpublication sweeps replica rows only at the
+        owner and its ``replication_factor - 1`` successors — the exact
+        placement publish writes to — never across all index nodes."""
+        system = build_system(num_index=16, replication_factor=3)
+        storage = system.storage_nodes["D2"]
+        added = new_triples(1)
+        storage.add_triples(added)
+        system.publish_delta(storage, added)
+        counts = storage.key_counts_for(added, system.space)
+
+        expected_touches = 0
+        allowed = set()
+        for (_kind, key), _freq in counts.items():
+            owner = system.ring.owner_of(key)
+            allowed.add(owner.node_id)
+            expected_touches += 1  # owner-side promotion cleanup
+            for ref in owner.successor_list[:2]:
+                if ref != owner.ref:
+                    allowed.add(ref.node_id)
+                    expected_touches += 1
+
+        touched = {}
+
+        class CountingReplicas:
+            def __init__(self, node_id, table):
+                self._node_id = node_id
+                self._table = table
+
+            def remove(self, key, sid, freq):
+                touched[self._node_id] = touched.get(self._node_id, 0) + 1
+                return self._table.remove(key, sid, freq)
+
+            def __getattr__(self, name):
+                return getattr(self._table, name)
+
+        for node_id, node in system.index_nodes.items():
+            node.replicas = CountingReplicas(node_id, node.replicas)
+
+        storage.remove_triples(added)
+        system.unpublish_delta(storage, added)
+        assert set(touched) <= allowed
+        assert sum(touched.values()) == expected_touches
+        # Strictly cheaper than the old all-nodes sweep (one replica
+        # removal at every index node for every key).
+        assert expected_touches < len(counts) * len(system.index_nodes)
