@@ -152,7 +152,14 @@ class ChordNode(Node):
         except RpcError:
             # The chosen hop is dead: drop it from our tables and route via
             # the successor list instead (Chord's fault-tolerant lookup).
-            self._evict(nxt)
+            # With a fault injector installed the timeout is ambiguous
+            # (message loss, not death): evicting a live node would shift
+            # perceived key ownership and silently empty index rows, so
+            # the routing tables are left alone and only this lookup
+            # reroutes.
+            evict = self.network is None or self.network.faults is None
+            if evict:
+                self._evict(nxt)
             for backup in list(self.successor_list):
                 if backup == nxt:
                     continue
@@ -162,7 +169,8 @@ class ChordNode(Node):
                     )
                     return result
                 except RpcError:
-                    self._evict(backup)
+                    if evict:
+                        self._evict(backup)
             raise
 
     def rpc_notify(self, candidate: NodeRef, src: str) -> bool:

@@ -35,6 +35,15 @@ and prints throughput, latency percentiles, and admission statistics::
     python -m repro bench-load --data ./shared/*.nt \
         --mode closed --concurrency 16 --num-queries 64 --contention
 
+The ``chaos`` subcommand runs that workload under a seeded message-level
+fault plan (loss, duplication, delay spikes, directional partitions,
+node brownouts) with the gray-failure defenses switchable from the
+command line, and prints completion, latency, fault, and breaker
+counters — the same plans replay bit-identically for a fixed seed::
+
+    python -m repro chaos --data ./shared/*.nt --chaos-seed 7 \
+        --loss 0.05 --brownouts 1 --breaker --partial-results
+
 The ``profile`` subcommand runs the same workload under :mod:`cProfile`
 and prints the hottest functions by cumulative time — where the engine
 spends *real* time, for performance work on the engine itself::
@@ -74,6 +83,7 @@ __all__ = [
     "build_trace_parser",
     "build_explain_parser",
     "build_bench_load_parser",
+    "build_chaos_parser",
     "build_profile_parser",
     "build_checkpoint_parser",
     "build_recover_parser",
@@ -175,6 +185,24 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "--query-deadline", type=float, default=None, metavar="SECS",
         help="end-to-end deadline per query, propagated with every "
              "downstream call (default: none)",
+    )
+    parser.add_argument(
+        "--breaker", action="store_true",
+        help="per-peer health ledger + circuit breakers: open circuits "
+             "fail calls instantly and failover routes around them "
+             "before dialing (default off)",
+    )
+    parser.add_argument(
+        "--breaker-latency", type=float, default=None, metavar="SECS",
+        help="EWMA RTT above which a responding peer is treated as "
+             "browned out and its breaker tripped (gray-failure "
+             "detection; default: timeouts only)",
+    )
+    parser.add_argument(
+        "--partial-results", action="store_true",
+        help="degrade instead of fail: when every replica of a "
+             "sub-pattern is unreachable, return a flagged subset of the "
+             "answer rather than raising (default off)",
     )
     parser.add_argument(
         "--result-cache", action="store_true",
@@ -350,6 +378,128 @@ def build_bench_load_parser() -> argparse.ArgumentParser:
              "timeline) to this JSON file",
     )
     return parser
+
+
+def build_chaos_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Drive a bench-load workload under a seeded "
+                    "message-level fault plan (loss, duplication, delay "
+                    "spikes, partitions, node brownouts) and report "
+                    "completion rate, tail latency, and the faults "
+                    "actually injected.",
+    )
+    _add_common_options(parser)
+    _add_workload_options(parser)
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="fault-plan seed (independent of the workload seed; "
+             "default 0)",
+    )
+    parser.add_argument(
+        "--loss", type=float, default=0.0, metavar="P",
+        help="per-message drop probability on every link (default 0)",
+    )
+    parser.add_argument(
+        "--duplicate", type=float, default=0.0, metavar="P",
+        help="per-message duplication probability (default 0)",
+    )
+    parser.add_argument(
+        "--delay", type=float, default=0.0, metavar="P",
+        help="per-message delay-spike probability (default 0)",
+    )
+    parser.add_argument(
+        "--delay-spike", type=float, default=0.05, metavar="SECS",
+        help="delay-spike magnitude before jitter (default 0.05)",
+    )
+    parser.add_argument(
+        "--partitions", type=int, default=0, metavar="N",
+        help="asymmetric one-way link partitions between random node "
+             "pairs (default 0)",
+    )
+    parser.add_argument(
+        "--brownouts", type=int, default=0, metavar="N",
+        help="random nodes browned out (compute and egress scaled) "
+             "for the fault window (default 0)",
+    )
+    parser.add_argument(
+        "--brownout-factor", type=float, default=8.0, metavar="X",
+        help="service-time multiplier for browned-out nodes (default 8)",
+    )
+    parser.add_argument(
+        "--fault-start", type=float, default=0.0, metavar="SECS",
+        help="simulated time the fault window opens (default 0)",
+    )
+    parser.add_argument(
+        "--fault-window", type=float, default=60.0, metavar="SECS",
+        help="length of the fault window (default 60)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full workload report to this JSON file",
+    )
+    return parser
+
+
+def _chaos_main(argv: Sequence[str]) -> int:
+    from dataclasses import replace
+
+    from .net.faults import chaos_plan
+    from .workloads.load import run_workload
+
+    args = build_chaos_parser().parse_args(argv)
+    system, config = _workload_setup(args)
+    plan = chaos_plan(
+        sorted(system.network.nodes),
+        seed=args.chaos_seed,
+        start=args.fault_start,
+        window=args.fault_window,
+        loss=args.loss,
+        duplicate=args.duplicate,
+        delay=args.delay,
+        delay_spike=args.delay_spike,
+        partitions=args.partitions,
+        brownouts=args.brownouts,
+        brownout_factor=args.brownout_factor,
+    )
+    config = replace(config, faults=plan)
+    report = run_workload(system, config, _build_options(args))
+
+    injected = ", ".join(
+        f"{kind}={n}" for kind, n in sorted(report.faults_injected.items())
+    ) or "none"
+    print(
+        f"# chaos seed={args.chaos_seed} rules={len(plan.rules)} "
+        f"injected: {injected}"
+    )
+    print(
+        f"# completed={report.completed} failed={report.failed} "
+        f"incomplete={report.incomplete} shed={report.shed}"
+    )
+    if report.latency is not None:
+        lat = report.latency
+        print(
+            f"# latency ms: p50={lat.p50 * 1000:.2f} "
+            f"p95={lat.p95 * 1000:.2f} p99={lat.p99 * 1000:.2f}"
+        )
+    defense = {
+        k: v for k, v in sorted(report.failover.items())
+        if v and k != "lookup_rtts"
+    }
+    if defense:
+        print("# defense: " + ", ".join(f"{k}={v}" for k, v in defense.items()))
+    failures = [j for j in report.jobs if j.error is not None and not j.shed]
+    for job in failures[:5]:
+        print(f"# failed job {job.job_id} ({job.label}): {job.error}")
+    if args.json:
+        import json
+
+        path = pathlib.Path(args.json)
+        payload = report.as_dict(include_jobs=True)
+        payload["fault_plan"] = plan.as_dict()
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"# wrote workload report to {path}")
+    return 0
 
 
 def build_profile_parser() -> argparse.ArgumentParser:
@@ -623,6 +773,9 @@ def _build_options(args: argparse.Namespace) -> ExecutionOptions:
         failover=args.failover,
         hedge_delay=args.hedge,
         query_deadline=args.query_deadline,
+        breaker=args.breaker,
+        breaker_latency=args.breaker_latency,
+        partial_results=args.partial_results,
         result_cache=args.result_cache,
         cache_bytes=args.cache_bytes,
     )
@@ -665,6 +818,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _explain_main(argv[1:])
     if argv and argv[0] == "bench-load":
         return _bench_load_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _chaos_main(argv[1:])
     if argv and argv[0] == "profile":
         return _profile_main(argv[1:])
     if argv and argv[0] == "checkpoint":

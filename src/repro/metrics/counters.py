@@ -120,6 +120,26 @@ class FailoverCounters:
     promotions_rereplicated: int = 0
     #: Stale third-party replica rows swept on graceful departure.
     replica_rows_swept: int = 0
+    #: Circuit breakers tripped closed -> open (consecutive timeouts or
+    #: an EWMA latency above the gray-failure threshold).
+    breaker_trips: int = 0
+    #: Open breakers that let a single half-open probe through.
+    breaker_half_opens: int = 0
+    #: Call attempts rejected instantly by an open breaker (each one a
+    #: full RPC timeout the query did not have to wait out).
+    breaker_short_circuits: int = 0
+    #: RPC outcomes fed to the health ledger (successes + timeouts).
+    health_observations: int = 0
+    #: Duplicate ``execute_primitive``/``cache_admit`` deliveries
+    #: absorbed by receiver-side idempotent dedup instead of
+    #: re-executing.
+    duplicates_dropped: int = 0
+    #: Sub-patterns whose contribution was dropped (owner and replicas
+    #: all unreachable) under ``partial_results``.
+    partial_patterns_dropped: int = 0
+    #: Queries that returned a flagged-incomplete answer instead of
+    #: failing outright.
+    partial_results: int = 0
     #: Observed ``index_lookup`` round-trip times (only collected while
     #: hedging is enabled; feeds the auto hedge-delay percentile).
     lookup_rtts: List[float] = field(default_factory=list)
@@ -136,6 +156,13 @@ class FailoverCounters:
             "hedges_won": self.hedges_won,
             "promotions_rereplicated": self.promotions_rereplicated,
             "replica_rows_swept": self.replica_rows_swept,
+            "breaker_trips": self.breaker_trips,
+            "breaker_half_opens": self.breaker_half_opens,
+            "breaker_short_circuits": self.breaker_short_circuits,
+            "health_observations": self.health_observations,
+            "duplicates_dropped": self.duplicates_dropped,
+            "partial_patterns_dropped": self.partial_patterns_dropped,
+            "partial_results": self.partial_results,
         }
 
     def checkpoint(self) -> "FailoverCounters":

@@ -6,6 +6,8 @@ it, to keep simulation imports light.
 """
 
 from .contention import ContentionModel, ResourceQueue
+from .faults import FaultInjector, FaultPlan, FaultRule, chaos_plan
+from .health import HealthLedger, PeerHealth
 from .sim import AllOf, AnyOf, Event, Process, SimError, Simulator, Timeout
 from .sizes import HEADER_BYTES, size_of
 from .stats import MessageRecord, NetworkStats
@@ -42,4 +44,10 @@ __all__ = [
     "RpcTimeout",
     "RemoteError",
     "NodeUnknown",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "chaos_plan",
+    "HealthLedger",
+    "PeerHealth",
 ]

@@ -31,7 +31,7 @@ deterministic.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 __all__ = ["ResourceQueue", "ContentionModel"]
 
@@ -112,6 +112,11 @@ class ContentionModel:
 
     def __init__(self) -> None:
         self._queues: Dict[Tuple[str, str], ResourceQueue] = {}
+        #: Optional per-node service-time multiplier ``(node_id, at) ->
+        #: factor`` — wired by :meth:`Network.install_faults` so a
+        #: browned-out node's queues drain slower. ``None`` (the
+        #: default) keeps service times exactly as modeled.
+        self.service_scale: Optional[Callable[[str, float], float]] = None
 
     def _queue(self, kind: str, node_id: str) -> ResourceQueue:
         key = (kind, node_id)
@@ -129,8 +134,14 @@ class ContentionModel:
         the receiver's ingress resources."""
         if flow is None:
             return 0.0
-        wait = self._queue("out", src).admit(flow, at, transfer)
-        wait += self._queue("in", dst).admit(flow, at + wait, transfer)
+        scale = self.service_scale
+        out_service = in_service = transfer
+        if scale is not None:
+            out_service = transfer * scale(src, at)
+        wait = self._queue("out", src).admit(flow, at, out_service)
+        if scale is not None:
+            in_service = transfer * scale(dst, at + wait)
+        wait += self._queue("in", dst).admit(flow, at + wait, in_service)
         return wait
 
     def compute_wait(self, node_id: str, flow: Optional[Hashable],
@@ -139,6 +150,9 @@ class ContentionModel:
         *node_id* (the node's ``compute_delay``)."""
         if flow is None:
             return 0.0
+        scale = self.service_scale
+        if scale is not None:
+            service = service * scale(node_id, at)
         return self._queue("cpu", node_id).admit(flow, at, service)
 
     # ------------------------------------------------------------ reporting

@@ -1,0 +1,274 @@
+"""Deterministic message-level fault injection (the chaos layer).
+
+The crash-stop model (:meth:`Network.fail_node`) covers peers that die;
+an ad-hoc network also has peers that are merely *flaky*: links that lose
+or duplicate datagrams, windows of asymmetric partition, latency spikes,
+and nodes that brown out — alive and answering, but an order of magnitude
+slower. This module injects exactly those faults into the transport,
+deterministically: every decision is drawn from an RNG seeded with
+``(plan seed, link, per-link message ordinal)``, so a given
+:class:`FaultPlan` produces the same fault sequence on every run — the
+property the chaos regression suite pins its outcomes on.
+
+A plan is a set of :class:`FaultRule` windows over simulated time:
+
+* ``loss`` — each matching message is dropped with ``probability``;
+* ``duplicate`` — a second copy is delivered ``delay`` (+/- jitter)
+  after the first;
+* ``delay`` — an extra latency spike of ``delay`` (+/- jitter) seconds;
+* ``partition`` — directional drop: ``src -> dst`` messages vanish while
+  the reverse path keeps flowing (probability defaults to 1.0);
+* ``brownout`` — node ``node``'s service times (wire transfer and
+  compute, and its contention-queue occupancies) are scaled by
+  ``factor``.
+
+Faults model the *network*, not the sender: a lost or delayed message is
+still charged to the byte ledger (the bytes left the sender's NIC), so
+traffic accounting stays honest under chaos.
+
+The layer is entirely opt-in: ``network.faults`` is ``None`` until
+:meth:`Network.install_faults` is called, and the transport's fast paths
+are byte-identical when it is.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["FaultRule", "FaultPlan", "MessageFate", "FaultInjector",
+           "chaos_plan"]
+
+#: Rule kinds that act on individual messages (vs. node brownout).
+LINK_KINDS = ("loss", "duplicate", "delay", "partition")
+KINDS = LINK_KINDS + ("brownout",)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRule:
+    """One fault, active over a simulated-time window.
+
+    ``src``/``dst`` restrict link rules to a directional edge (``None``
+    matches any endpoint, so a single rule can degrade the whole fabric);
+    ``node`` names a brownout target. ``probability`` is the per-message
+    firing chance for link rules (partitions default it to 1.0 via
+    :func:`chaos_plan`). ``delay`` and ``jitter`` shape latency spikes
+    and the lag of duplicate copies; ``factor`` is the brownout
+    service-time multiplier.
+    """
+
+    kind: str
+    start: float = 0.0
+    end: float = math.inf
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    node: Optional[str] = None
+    probability: float = 1.0
+    delay: float = 0.0
+    jitter: float = 0.0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def in_window(self, at: float) -> bool:
+        return self.start <= at < self.end
+
+    def matches_link(self, src: str, dst: str, at: float) -> bool:
+        return (
+            self.kind in LINK_KINDS
+            and self.in_window(at)
+            and (self.src is None or self.src == src)
+            and (self.dst is None or self.dst == dst)
+        )
+
+    def matches_node(self, node_id: str, at: float) -> bool:
+        return (
+            self.kind == "brownout"
+            and self.in_window(at)
+            and (self.node is None or self.node == node_id)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """An immutable schedule of faults (safe to embed in frozen configs).
+
+    ``seed`` keys every probabilistic decision; two runs of the same plan
+    against the same workload observe identical fault sequences.
+    """
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Accept any sequence at construction; store a tuple.
+        if not isinstance(self.rules, tuple):
+            object.__setattr__(self, "rules", tuple(self.rules))
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rules": [
+                {k: getattr(rule, k)
+                 for k in ("kind", "start", "end", "src", "dst", "node",
+                           "probability", "delay", "jitter", "factor")}
+                for rule in self.rules
+            ],
+        }
+
+
+@dataclass(slots=True)
+class MessageFate:
+    """The injector's verdict for one message."""
+
+    drop: bool = False
+    duplicate: bool = False
+    extra_delay: float = 0.0
+    dup_delay: float = 0.0
+
+
+#: Shared "no fault" verdict — the common case inside an active window.
+_CLEAN = MessageFate()
+
+
+class FaultInjector:
+    """Runtime evaluator of a :class:`FaultPlan`.
+
+    Holds the per-link message ordinals that key the deterministic RNG,
+    and tallies every injected fault by kind (surfaced in workload
+    reports and the chaos benchmark).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._link_rules: List[FaultRule] = [
+            r for r in plan.rules if r.kind in LINK_KINDS
+        ]
+        self._node_rules: List[FaultRule] = [
+            r for r in plan.rules if r.kind == "brownout"
+        ]
+        #: (src, dst) -> messages seen on that directional link.
+        self._seq: Dict[Tuple[str, str], int] = {}
+        self.injected: Dict[str, int] = {k: 0 for k in LINK_KINDS}
+
+    # ------------------------------------------------------------- messages
+
+    def message_fate(self, src: str, dst: str, at: float) -> MessageFate:
+        """Decide this message's fate. Called once per transmission (the
+        request and its reply are separate messages on opposite links).
+
+        Every message on a link advances that link's ordinal whether or
+        not a rule fires, so a rule window opening later never perturbs
+        the draws of messages before it.
+        """
+        key = (src, dst)
+        n = self._seq.get(key, 0)
+        self._seq[key] = n + 1
+        rules = [r for r in self._link_rules if r.matches_link(src, dst, at)]
+        if not rules:
+            return _CLEAN
+        rng: Optional[random.Random] = None
+        fate = MessageFate()
+        for rule in rules:
+            if rule.probability >= 1.0:
+                hit = True
+            else:
+                if rng is None:
+                    rng = random.Random(f"{self.plan.seed}|{src}>{dst}|{n}")
+                hit = rng.random() < rule.probability
+            if not hit:
+                continue
+            if rule.kind in ("loss", "partition"):
+                self.injected[rule.kind] += 1
+                fate.drop = True
+                # A dropped message has no further fate.
+                fate.duplicate = False
+                break
+            if rule.jitter > 0.0:
+                if rng is None:
+                    rng = random.Random(f"{self.plan.seed}|{src}>{dst}|{n}")
+                u = rng.random()
+                lag = max(0.0, rule.delay * (1.0 + rule.jitter * (2.0 * u - 1.0)))
+            else:
+                lag = rule.delay
+            if rule.kind == "duplicate":
+                self.injected["duplicate"] += 1
+                fate.duplicate = True
+                fate.dup_delay = lag
+            else:  # delay spike
+                self.injected["delay"] += 1
+                fate.extra_delay += lag
+        return fate
+
+    # ---------------------------------------------------------------- nodes
+
+    def brownout_factor(self, node_id: str, at: float) -> float:
+        """Service-time multiplier for *node_id* at time *at* (1.0 when
+        healthy; factors of overlapping brownouts multiply)."""
+        factor = 1.0
+        for rule in self._node_rules:
+            if rule.matches_node(node_id, at):
+                factor *= rule.factor
+        return factor
+
+    def as_dict(self) -> dict:
+        return {"injected": dict(self.injected), "plan": self.plan.as_dict()}
+
+
+def chaos_plan(
+    node_ids: Sequence[str],
+    *,
+    seed: int = 0,
+    start: float = 0.0,
+    window: float = 60.0,
+    loss: float = 0.0,
+    duplicate: float = 0.0,
+    delay: float = 0.0,
+    delay_spike: float = 0.05,
+    jitter: float = 0.5,
+    dup_lag: float = 0.01,
+    partitions: int = 0,
+    brownouts: int = 0,
+    brownout_factor: float = 8.0,
+) -> FaultPlan:
+    """Build a seeded :class:`FaultPlan` (the `churn_schedule` analogue).
+
+    ``loss``/``duplicate``/``delay`` are fabric-wide per-message
+    probabilities over ``[start, start + window)``; ``partitions`` picks
+    that many directional node pairs to cut (A -> B drops while B -> A
+    flows), and ``brownouts`` picks that many nodes to slow by
+    ``brownout_factor``. Victim selection is drawn from
+    ``Random(f"chaos|{seed}")``, independent of the per-message fate RNG.
+    """
+    end = start + window
+    rules: List[FaultRule] = []
+    if loss > 0.0:
+        rules.append(FaultRule("loss", start=start, end=end, probability=loss))
+    if duplicate > 0.0:
+        rules.append(FaultRule("duplicate", start=start, end=end,
+                               probability=duplicate, delay=dup_lag,
+                               jitter=jitter))
+    if delay > 0.0:
+        rules.append(FaultRule("delay", start=start, end=end,
+                               probability=delay, delay=delay_spike,
+                               jitter=jitter))
+    rng = random.Random(f"chaos|{seed}")
+    if partitions > 0:
+        if len(node_ids) < 2:
+            raise ValueError("partitions need at least two nodes")
+        for _ in range(partitions):
+            a, b = rng.sample(list(node_ids), 2)
+            rules.append(FaultRule("partition", start=start, end=end,
+                                   src=a, dst=b))
+    if brownouts > 0:
+        if not node_ids:
+            raise ValueError("brownouts need at least one node")
+        victims = rng.sample(list(node_ids), min(brownouts, len(node_ids)))
+        for victim in victims:
+            rules.append(FaultRule("brownout", start=start, end=end,
+                                   node=victim, factor=brownout_factor))
+    return FaultPlan(rules=tuple(rules), seed=seed)

@@ -1,0 +1,177 @@
+"""Per-peer health scoring and circuit breaking (gray-failure defense).
+
+Crash-stop failures are caught by timeouts (Sect. III-D); *gray*
+failures — a browned-out peer that answers, slowly, or a lossy link that
+times out only some of the time — are not: each call pays the full
+timeout before failover kicks in, burning the query deadline on a peer
+that recent history already condemned.
+
+The :class:`HealthLedger` closes that gap. Every RPC attempt feeds it an
+observation (EWMA round-trip latency on success, a consecutive-failure
+count on timeout), and each peer carries a classic three-state circuit
+breaker:
+
+* **closed** — traffic flows; observations update the score;
+* **open** — tripped after ``failure_threshold`` consecutive timeouts
+  (or an EWMA RTT above ``latency_threshold``); calls are short-circuited
+  with an immediate :class:`~repro.net.transport.RpcTimeout` instead of
+  waiting out a real one;
+* **half-open** — after ``reset_after`` seconds of open, exactly one
+  probe call is let through; success closes the breaker, failure
+  re-opens it.
+
+Consulted in two places: the transport short-circuits individual
+attempts (cheap, and the retry loop's backoff naturally spaces the
+half-open probes), and :func:`repro.query.failover.dispatch_primitive`
+routes *around* an open-circuit owner before ever dialing it.
+
+Opt-in: ``network.health`` stays ``None`` (and every counter zero)
+unless an executor enables ``ExecutionOptions.breaker``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..metrics.counters import FailoverCounters
+    from .sim import Simulator
+
+__all__ = ["PeerHealth", "HealthLedger", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class PeerHealth:
+    """Mutable per-peer record: score + breaker state."""
+
+    __slots__ = ("ewma_rtt", "failures", "state", "opened_at",
+                 "probe_inflight")
+
+    def __init__(self) -> None:
+        self.ewma_rtt: Optional[float] = None
+        self.failures = 0
+        self.state = CLOSED
+        self.opened_at = 0.0
+        self.probe_inflight = False
+
+    def as_dict(self) -> dict:
+        return {
+            "ewma_rtt": self.ewma_rtt,
+            "failures": self.failures,
+            "state": self.state,
+        }
+
+
+class HealthLedger:
+    """Network-wide peer health scores feeding per-peer breakers."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        counters: "FailoverCounters",
+        *,
+        failure_threshold: int = 3,
+        reset_after: float = 1.0,
+        latency_threshold: Optional[float] = None,
+        alpha: float = 0.3,
+    ) -> None:
+        self.sim = sim
+        self.counters = counters
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self.latency_threshold = latency_threshold
+        self.alpha = alpha
+        self._peers: Dict[str, PeerHealth] = {}
+
+    def peer(self, peer_id: str) -> PeerHealth:
+        health = self._peers.get(peer_id)
+        if health is None:
+            health = self._peers[peer_id] = PeerHealth()
+        return health
+
+    # ---------------------------------------------------------- observations
+
+    def observe_success(self, peer_id: str, rtt: float) -> None:
+        """A call to *peer_id* returned after *rtt* simulated seconds."""
+        self.counters.health_observations += 1
+        health = self.peer(peer_id)
+        if health.ewma_rtt is None:
+            health.ewma_rtt = rtt
+        else:
+            health.ewma_rtt += self.alpha * (rtt - health.ewma_rtt)
+        health.failures = 0
+        if health.state == HALF_OPEN:
+            # The half-open probe came back: the peer has recovered.
+            health.state = CLOSED
+            health.probe_inflight = False
+        if (self.latency_threshold is not None
+                and health.ewma_rtt > self.latency_threshold):
+            # Answering, but too slowly to be useful — the gray failure.
+            self._trip(health)
+
+    def observe_failure(self, peer_id: str) -> None:
+        """A call to *peer_id* timed out (RemoteError does not count:
+        an exception proves the peer is alive and reachable)."""
+        self.counters.health_observations += 1
+        health = self.peer(peer_id)
+        health.failures += 1
+        if health.state == HALF_OPEN:
+            # The probe failed: straight back to open.
+            health.state = OPEN
+            health.opened_at = self.sim.now
+            health.probe_inflight = False
+        elif (health.state == CLOSED
+              and health.failures >= self.failure_threshold):
+            self._trip(health)
+
+    def _trip(self, health: PeerHealth) -> None:
+        if health.state == OPEN:
+            return
+        health.state = OPEN
+        health.opened_at = self.sim.now
+        health.probe_inflight = False
+        self.counters.breaker_trips += 1
+
+    # ---------------------------------------------------------- consultation
+
+    def allow(self, peer_id: str) -> bool:
+        """May a call to *peer_id* proceed right now?
+
+        Mutating: an open breaker whose reset period elapsed transitions
+        to half-open and *claims* this call as its single probe. Callers
+        that only want to peek use :meth:`open_now`.
+        """
+        health = self._peers.get(peer_id)
+        if health is None or health.state == CLOSED:
+            return True
+        if health.state == OPEN:
+            if self.sim.now - health.opened_at < self.reset_after:
+                return False
+            health.state = HALF_OPEN
+            health.probe_inflight = False
+        # Half-open: exactly one probe at a time.
+        if health.probe_inflight:
+            return False
+        health.probe_inflight = True
+        self.counters.breaker_half_opens += 1
+        return True
+
+    def open_now(self, peer_id: str) -> bool:
+        """Non-mutating peek: is the breaker currently rejecting traffic
+        to *peer_id*? Used by routing decisions (failover dispatch) that
+        should not claim the half-open probe."""
+        health = self._peers.get(peer_id)
+        if health is None or health.state == CLOSED:
+            return False
+        if health.state == OPEN:
+            return self.sim.now - health.opened_at < self.reset_after
+        return health.probe_inflight
+
+    # ------------------------------------------------------------ reporting
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {peer_id: health.as_dict()
+                for peer_id, health in sorted(self._peers.items())}

@@ -26,6 +26,8 @@ from ..cache.epoch import DataEpochLedger
 from ..metrics.counters import CacheCounters, FailoverCounters
 from ..trace.tracer import phase_for_method
 from .contention import ContentionModel
+from .faults import FaultInjector, FaultPlan
+from .health import HealthLedger
 from .sim import Event, Simulator, Timeout
 from .sizes import HEADER_BYTES, size_of
 from .stats import NetworkStats
@@ -209,6 +211,29 @@ class Network:
         #: compute.  Messages without a flow id bypass the model either
         #: way, so single-query runs are byte-identical in both settings.
         self.contention: Optional[ContentionModel] = None
+        #: Chaos layer (see :mod:`repro.net.faults`): ``None`` — the
+        #: default — delivers every message exactly once at its modeled
+        #: delay; :meth:`install_faults` swaps in a deterministic
+        #: injector for loss / duplication / delay spikes / partitions /
+        #: brownouts.
+        self.faults: Optional[FaultInjector] = None
+        #: Gray-failure defense (see :mod:`repro.net.health`): ``None``
+        #: until an executor opts in via ``ExecutionOptions.breaker``;
+        #: then every call attempt feeds the ledger and consults the
+        #: per-peer circuit breaker.
+        self.health: Optional[HealthLedger] = None
+
+    def install_faults(self, plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
+        """Attach (or, with ``None``, detach) a chaos plan. When a
+        contention model is present its service times inherit the plan's
+        brownout factors, so a browned-out node is slow on the wire *and*
+        in its queues."""
+        self.faults = FaultInjector(plan) if plan is not None else None
+        if self.contention is not None:
+            self.contention.service_scale = (
+                self.faults.brownout_factor if self.faults is not None else None
+            )
+        return self.faults
 
     @staticmethod
     def _sniff_flow(payload: Any) -> Optional[str]:
@@ -373,11 +398,31 @@ class Network:
         flow: Optional[str] = None,
     ) -> Event:
         """One attempt of :meth:`call`: the classic fail-fast RPC."""
+        health = self.health
+        if health is not None and not health.allow(dst):
+            # Open circuit: fail this attempt immediately instead of
+            # burning a real timeout on a peer recent history condemned.
+            self.failover.breaker_short_circuits += 1
+            result = self.sim.event()
+            self.sim._schedule_now(
+                result.fail,
+                RpcTimeout(f"{src} -> {dst}.{method}: circuit open"))
+            return result
         result = self.sim.event()
         deadline = timeout if timeout is not None else self.default_timeout
         if flow is None:
             flow = self._sniff_flow(payload)
         state: dict = {"done": False, "flow": flow}
+        if health is not None:
+            started = self.sim.now
+
+            def observe(event: Event) -> None:
+                if event.failure is None:
+                    health.observe_success(dst, self.sim.now - started)
+                elif isinstance(event.failure, RpcTimeout):
+                    health.observe_failure(dst)
+
+            result.callbacks.append(observe)
 
         def expire(_event: Event) -> None:
             if not state["done"]:
@@ -403,6 +448,16 @@ class Network:
             return result
 
         delay = self.link.delay(request_bytes)
+        faults = self.faults
+        fate = None
+        if faults is not None:
+            now = self.sim.now
+            scale = faults.brownout_factor(src, now)
+            if scale != 1.0:
+                # Brownout: the sender's NIC serves bytes `scale` slower.
+                delay += (request_bytes / self.link.bandwidth) * (scale - 1.0)
+            fate = faults.message_fate(src, dst, now)
+            delay += fate.extra_delay
         if self.contention is not None:
             delay += self.contention.transfer_wait(
                 src, dst, flow, self.sim.now,
@@ -412,6 +467,17 @@ class Network:
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.message("rpc_request", src, dst, method, request_bytes, delay)
+        if fate is not None:
+            if fate.drop:
+                # Lost in flight (bytes already charged to the sender);
+                # the caller's timer will fire.
+                return result
+            if fate.duplicate:
+                dup = self.sim.timeout(delay + fate.dup_delay)
+                dup.callbacks.append(
+                    lambda _e: self._deliver(src, dst, method, payload,
+                                             result, state)
+                )
         arrival = self.sim.timeout(delay)
         arrival.callbacks.append(
             lambda _e: self._deliver(src, dst, method, payload, result, state)
@@ -428,6 +494,15 @@ class Network:
         if dst not in self.nodes:
             return
         delay = self.link.delay(nbytes)
+        faults = self.faults
+        fate = None
+        if faults is not None:
+            now = self.sim.now
+            scale = faults.brownout_factor(src, now)
+            if scale != 1.0:
+                delay += (nbytes / self.link.bandwidth) * (scale - 1.0)
+            fate = faults.message_fate(src, dst, now)
+            delay += fate.extra_delay
         if self.contention is not None:
             if flow is None:
                 flow = self._sniff_flow(payload)
@@ -438,6 +513,13 @@ class Network:
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.message("oneway", src, dst, method, nbytes, delay)
+        if fate is not None:
+            if fate.drop:
+                return  # datagram lost in flight
+            if fate.duplicate:
+                dup = self.sim.timeout(delay + fate.dup_delay)
+                dup.callbacks.append(
+                    lambda _e: self._deliver_oneway(src, dst, method, payload))
         arrival = self.sim.timeout(delay)
         arrival.callbacks.append(lambda _e: self._deliver_oneway(src, dst, method, payload))
 
@@ -514,6 +596,18 @@ class Network:
         response_bytes = HEADER_BYTES + size_of(value)
         self.stats.record(self.sim.now, dst, src, f"{method}.reply", response_bytes)
         total_delay = self.link.delay(response_bytes) + target.compute_delay
+        faults = self.faults
+        fate = None
+        if faults is not None:
+            now = self.sim.now
+            scale = faults.brownout_factor(dst, now)
+            if scale != 1.0:
+                # Browned-out responder: its compute and egress both slow.
+                total_delay += (
+                    response_bytes / self.link.bandwidth + target.compute_delay
+                ) * (scale - 1.0)
+            fate = faults.message_fate(dst, src, now)
+            total_delay += fate.extra_delay
         if self.contention is not None:
             flow = state.get("flow")
             now = self.sim.now
@@ -528,12 +622,18 @@ class Network:
         if tracer.enabled:
             tracer.message("rpc_reply", dst, src, f"{method}.reply",
                            response_bytes, total_delay)
-        arrival = self.sim.timeout(total_delay)
 
         def finish(_event: Event) -> None:
             if self._settle(state):
                 result.succeed(value)
 
+        if fate is not None:
+            if fate.drop:
+                return  # reply lost in flight; the caller's timer fires
+            if fate.duplicate:
+                dup = self.sim.timeout(total_delay + fate.dup_delay)
+                dup.callbacks.append(finish)
+        arrival = self.sim.timeout(total_delay)
         arrival.callbacks.append(finish)
 
     def _respond_failure(
@@ -541,6 +641,15 @@ class Network:
     ) -> None:
         response_bytes = HEADER_BYTES + size_of(str(exc))
         delay = self.link.delay(response_bytes)
+        faults = self.faults
+        fate = None
+        if faults is not None:
+            now = self.sim.now
+            scale = faults.brownout_factor(dst, now)
+            if scale != 1.0:
+                delay += (response_bytes / self.link.bandwidth) * (scale - 1.0)
+            fate = faults.message_fate(dst, src, now)
+            delay += fate.extra_delay
         if self.contention is not None:
             delay += self.contention.transfer_wait(
                 dst, src, state.get("flow"), self.sim.now,
@@ -551,10 +660,16 @@ class Network:
         if tracer.enabled:
             tracer.message("rpc_error", dst, src, f"{method}.error",
                            response_bytes, delay, detail={"error": str(exc)})
-        arrival = self.sim.timeout(delay)
 
         def finish(_event: Event) -> None:
             if self._settle(state):
                 result.fail(exc)
 
+        if fate is not None:
+            if fate.drop:
+                return  # error reply lost; the caller's timer fires
+            if fate.duplicate:
+                dup = self.sim.timeout(delay + fate.dup_delay)
+                dup.callbacks.append(finish)
+        arrival = self.sim.timeout(delay)
         arrival.callbacks.append(finish)

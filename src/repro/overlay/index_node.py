@@ -215,7 +215,50 @@ class IndexNode(QueryPeer, ChordNode):
           site to the end of the route, as in the paper's D1 example);
         * neither — *basic* replies with the data directly (the reply to
           the caller is the N7→N1 transfer of the paper's basic scheme).
+
+        Under a fault plan the request is idempotent per corr: the first
+        delivery executes and settles an inflight event with its ack; a
+        duplicate (message duplication, or a retry whose original was
+        merely slow) awaits that event and returns the equivalent ack —
+        never a second execution, never a second chain kickoff. A corr
+        the initiator already tombstoned is acknowledged emptily without
+        executing at all.
         """
+        if self._chaos_keep:
+            corr = payload.get("corr")
+            if corr is not None:
+                if corr in self._dead_corrs:
+                    self.network.failover.duplicates_dropped += 1
+                    return {"mode": "direct", "data": []}
+                inflight = self._inflight
+                done = inflight.get(corr)
+                if done is not None:
+                    self.network.failover.duplicates_dropped += 1
+                    return self._await_primitive(done)
+                done = inflight[corr] = self.sim.event()
+                return self._execute_primitive_once(payload, src, done)
+        return self._execute_primitive(payload, src)
+
+    def _await_primitive(self, done):
+        """Generator: a duplicate request rides the first execution's
+        inflight event and replies with the same ack."""
+        reply = yield done
+        return reply
+
+    def _execute_primitive_once(self, payload: Dict[str, Any], src: str, done):
+        """Generator: run the primitive and settle the inflight event so
+        any duplicate deliveries observe this execution's outcome."""
+        try:
+            reply = yield from self._execute_primitive(payload, src)
+        except BaseException as exc:
+            if not done.triggered:
+                done.fail(exc)
+            raise
+        if not done.triggered:
+            done.succeed(reply)
+        return reply
+
+    def _execute_primitive(self, payload: Dict[str, Any], src: str):
         strategy = payload.get("strategy", "basic")
         entries = self.locate(payload["key"])
         cache_cfg = payload.get("cache")
@@ -225,8 +268,10 @@ class IndexNode(QueryPeer, ChordNode):
             if served is not None:
                 return served
         if strategy == "basic":
-            result, pruned = yield from self._execute_basic(payload, entries)
-            return self._primitive_reply(payload, src, result, pruned)
+            result, pruned, dropped = yield from self._execute_basic(
+                payload, entries)
+            return self._primitive_reply(payload, src, result, pruned,
+                                         dropped)
         if strategy in ("chained", "freq"):
             route = self._route(entries, strategy, end_at=payload.get("end_at"))
             if not route:
@@ -236,29 +281,43 @@ class IndexNode(QueryPeer, ChordNode):
         raise ValueError(f"unknown primitive strategy {strategy!r}")
 
     def _primitive_reply(self, payload: Dict[str, Any], src: str,
-                         result, pruned):
+                         result, pruned, dropped: int = 0):
         """Deliver a basic-scheme result per the payload's directives
-        (deposit here / ship to ``final`` / reply directly)."""
+        (deposit here / ship to ``final`` / reply directly).
+
+        ``dropped`` — providers that vanished during the fan-out — rides
+        back in the ack only when the initiator asked for it via the
+        ``partial`` payload flag, keeping the wire byte-identical for
+        every other configuration.
+        """
         corr = payload.get("corr")
+        flag_partial = dropped and payload.get("partial")
         if payload.get("deposit"):
             self.mailbox[corr] = set(result)
             ack = {"mode": "deposited", "count": len(result)}
             if pruned is not None:
                 ack["pruned"] = pruned
+            if flag_partial:
+                ack["dropped"] = dropped
             return ack
         final = payload.get("final")
         encode = payload.get("encode", False)
         if final is not None and final != src:
             assert self.network is not None
-            self.network.send(
-                self.node_id,
-                final,
-                "deliver",
-                {"corr": corr, "data": encode_solutions(result, encode),
-                 "notify": payload.get("notify")},
-            )
-            return {"mode": "shipped", "count": len(result)}
-        return {"mode": "direct", "data": encode_solutions(result, encode)}
+            delivery = {"corr": corr,
+                        "data": encode_solutions(result, encode),
+                        "notify": payload.get("notify")}
+            if "notify_corr" in payload:
+                delivery["notify_corr"] = payload["notify_corr"]
+            self.network.send(self.node_id, final, "deliver", delivery)
+            ack = {"mode": "shipped", "count": len(result)}
+            if flag_partial:
+                ack["dropped"] = dropped
+            return ack
+        ack = {"mode": "direct", "data": encode_solutions(result, encode)}
+        if flag_partial:
+            ack["dropped"] = dropped
+        return ack
 
     def _execute_cached(self, payload: Dict[str, Any], src: str,
                         entries: List[LocationEntry], cfg: Dict[str, int]):
@@ -300,7 +359,7 @@ class IndexNode(QueryPeer, ChordNode):
         span = tracer.span("cache", key=ckey, outcome="fill")
         bare = {k: v for k, v in payload.items()
                 if k not in ("digest", "project")}
-        full, _ = yield from self._execute_basic(bare, entries)
+        full, _, _dropped = yield from self._execute_basic(bare, entries)
         cache.admit(ckey, canonical_rows(full, variables), variables,
                     stamps, membership)
         result, pruned = self._decorate(set(full), payload)
@@ -367,6 +426,7 @@ class IndexNode(QueryPeer, ChordNode):
         ]
         solutions: set = set()
         pruned = 0 if "digest" in payload else None
+        dropped = 0
         for storage_id, event in calls:
             try:
                 batch = yield event
@@ -375,15 +435,26 @@ class IndexNode(QueryPeer, ChordNode):
                     raise ValueError(
                         "query deadline exceeded during storage fan-out")
                 # No acknowledgement within the timeout: the storage node
-                # is gone — drop its stale entries (Sect. III-D).
-                self.table.remove_storage_node(storage_id)
-                self.replicas.remove_storage_node(storage_id)
+                # is gone — drop its stale entries (Sect. III-D). Under
+                # crash-stop that keeps the answer exact (a dead
+                # provider's data left the dataset); under message loss
+                # the provider may be alive and its rows merely missing,
+                # so the drop count rides back to initiators that asked
+                # for partial-result accounting.  With a fault injector
+                # installed a timeout is exactly that ambiguous signal —
+                # deleting a live provider's row would silently shrink
+                # every later query's answer — so the destructive cleanup
+                # is suppressed and only the drop count is kept.
+                if self.network.faults is None:
+                    self.table.remove_storage_node(storage_id)
+                    self.replicas.remove_storage_node(storage_id)
+                dropped += 1
                 continue
             if isinstance(batch, FilteredResult):
                 pruned = (pruned or 0) + batch.pruned
                 batch = batch.data
             solutions = omega_union(solutions, as_solution_set(batch))
-        return sorted(solutions, key=_mapping_sort_key), pruned
+        return sorted(solutions, key=_mapping_sort_key), pruned, dropped
 
     def _route(
         self,
@@ -416,7 +487,7 @@ class IndexNode(QueryPeer, ChordNode):
             "corr": payload["corr"],
             "notify": payload.get("notify"),
         }
-        for key in ("digest", "project", "encode"):
+        for key in ("digest", "project", "encode", "notify_corr"):
             if key in payload:
                 step[key] = payload[key]
         self.network.send(self.node_id, first, "chain_step", step)

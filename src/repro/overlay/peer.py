@@ -75,12 +75,55 @@ class QueryPeer:
     def _dead_corrs(self) -> Set[str]:
         """Correlation ids abandoned after a delivery timeout: a late
         ``deliver``/``delivered`` for one of these is dropped on arrival
-        (consuming the tombstone) instead of parking in the mailbox with
-        no one ever fetching it."""
+        instead of parking in the mailbox with no one ever fetching it.
+
+        Tombstones persist until :meth:`purge_corrs` sweeps them (they
+        are *not* consumed by the first late arrival): under message
+        duplication or a retried send, several late copies can trail in,
+        and a tombstone that vanished after copy one would let copy two
+        land in a recycled correlation slot of a later query.
+        """
         dead = self.__dict__.get("_qp_dead_corrs")
         if dead is None:
             dead = self.__dict__["_qp_dead_corrs"] = set()
         return dead
+
+    # --------------------------------------------------- idempotent receivers
+
+    @property
+    def _inflight(self) -> Dict[str, Event]:
+        """Corr-keyed idempotency ledger for ``execute_primitive``: the
+        first delivery installs an event that settles with the reply; a
+        duplicate delivery (message duplication, or a retry whose
+        original was merely slow) awaits that event instead of
+        re-executing. Populated only while a fault plan is installed."""
+        inflight = self.__dict__.get("_qp_inflight")
+        if inflight is None:
+            inflight = self.__dict__["_qp_inflight"] = {}
+        return inflight
+
+    @property
+    def _replied(self) -> Dict[str, Dict[str, Any]]:
+        """Corr-keyed memo of replies to side-effecting requests
+        (``cache_admit``): a duplicate delivery returns the recorded
+        reply rather than re-running the admission (which would
+        double-count cache bytes). Populated only under a fault plan."""
+        replied = self.__dict__.get("_qp_replied")
+        if replied is None:
+            replied = self.__dict__["_qp_replied"] = {}
+        return replied
+
+    @property
+    def _chaos_keep(self) -> bool:
+        """True while a fault plan is installed: destructive mailbox
+        discards (fetch/ship/combine consuming their inputs) are
+        suppressed so that a duplicated or retried request re-reads the
+        same inputs and recomputes the same answer — set-union data
+        semantics make every mailbox operation idempotent once nothing
+        is consumed. :meth:`purge_corrs` reclaims the memory at query
+        end, exactly as for abandoned entries."""
+        network = self.network
+        return network is not None and network.faults is not None
 
     # ------------------------------------------------------ result cache (S13)
 
@@ -132,8 +175,24 @@ class QueryPeer:
 
         ``stamps``/``membership`` were captured by the initiator *before*
         the walk computed the entry, so a delta that raced the walk makes
-        the entry dead on arrival rather than silently stale.
+        the entry dead on arrival rather than silently stale. Under a
+        fault plan the reply is memoized per corr: a duplicated or
+        retried admit returns the recorded verdict instead of admitting
+        (and charging cache bytes) twice.
         """
+        if self._chaos_keep:
+            corr = payload["corr"]
+            memo = self._replied.setdefault(corr, {})
+            reply = memo.get("cache_admit")
+            if reply is not None:
+                self.network.failover.duplicates_dropped += 1
+                return reply
+            reply = self._cache_admit(payload, src)
+            memo["cache_admit"] = reply
+            return reply
+        return self._cache_admit(payload, src)
+
+    def _cache_admit(self, payload: Dict[str, Any], src: str) -> Dict[str, Any]:
         data = self.mailbox.get(payload["corr"])
         if data is None:
             # The result never landed here (failover moved the walk).
@@ -200,6 +259,8 @@ class QueryPeer:
         expected = state.get("_qp_expected")
         early = state.get("_qp_delivered_early")
         dead = state.get("_qp_dead_corrs")
+        inflight = state.get("_qp_inflight")
+        replied = state.get("_qp_replied")
         for corr in corrs:
             if box and box.pop(corr, None) is not None:
                 removed += 1
@@ -212,6 +273,16 @@ class QueryPeer:
                 removed += 1
             if dead and corr in dead:
                 dead.discard(corr)
+                removed += 1
+            if inflight:
+                event = inflight.pop(corr, None)
+                if event is not None:
+                    if not event.triggered:
+                        # Unblock any duplicate still awaiting the first
+                        # execution with a benign empty ack.
+                        event.succeed({"mode": "direct", "data": []})
+                    removed += 1
+            if replied and replied.pop(corr, None) is not None:
                 removed += 1
         return removed
 
@@ -242,8 +313,9 @@ class QueryPeer:
         corr = payload["corr"]
         if corr in self._dead_corrs:
             # Late notification for an abandoned delivery (the waiter
-            # already timed out and fell back): swallow it.
-            self._dead_corrs.discard(corr)
+            # already timed out and fell back): swallow it. The tombstone
+            # stays — further copies may trail in — until purge_corrs
+            # sweeps it.
             return
         count = payload.get("count", 0)
         event = self._expected.pop(corr, None)
@@ -265,20 +337,27 @@ class QueryPeer:
             # The orchestrator gave up on this correlation id (delivery
             # timeout → fallback already re-executed): drop the payload
             # instead of leaking it into the mailbox, and send no
-            # notification that could re-latch upstream state.
-            self._dead_corrs.discard(corr)
+            # notification that could re-latch upstream state. The
+            # tombstone persists for any further late copies.
             return
         data = payload.get("data", ())
         box = self.mailbox.setdefault(corr, set())
         box.update(as_solution_set(data))
         notify = payload.get("notify")
+        # Under a fault plan the sender stamps each wait epoch with a
+        # fresh notification key: a duplicated copy of an *earlier*
+        # notification for this mailbox corr then cannot satisfy a later
+        # wait (e.g. a chain-completion dup forging a ship's arrival).
+        notify_corr = payload.get("notify_corr", corr)
         if notify == self.node_id:
             # The initiator is the final site: resolve locally, no message.
-            self.rpc_delivered({"corr": corr, "count": len(box)}, self.node_id)
+            self.rpc_delivered({"corr": notify_corr, "count": len(box)},
+                               self.node_id)
         elif notify is not None:
             assert self.network is not None
             self.network.send(
-                self.node_id, notify, "delivered", {"corr": corr, "count": len(box)}
+                self.node_id, notify, "delivered",
+                {"corr": notify_corr, "count": len(box)}
             )
 
     def rpc_fetch(self, payload: Dict[str, Any], src: str):
@@ -286,7 +365,7 @@ class QueryPeer:
         transfer to the query initiator, charged as reply traffic."""
         corr = payload["corr"]
         data = self.mailbox.get(corr, set())
-        if payload.get("discard", True):
+        if payload.get("discard", True) and not self._chaos_keep:
             self.mailbox.pop(corr, None)
         return encode_solutions(data, payload.get("encode", False))
 
@@ -309,7 +388,7 @@ class QueryPeer:
         """
         corr = payload["corr"]
         data = self.mailbox.get(corr, set())
-        if payload.get("discard", True):
+        if payload.get("discard", True) and not self._chaos_keep:
             self.mailbox.pop(corr, None)
         digest: Optional[JoinDigest] = payload.get("digest")
         pruned = 0
@@ -321,16 +400,14 @@ class QueryPeer:
         if keep is not None:
             data = {mu.project(keep) for mu in data}
         assert self.network is not None
-        self.network.send(
-            self.node_id,
-            payload["dst"],
-            "deliver",
-            {
-                "corr": payload.get("dst_corr", corr),
-                "data": encode_solutions(data, payload.get("encode", False)),
-                "notify": payload.get("notify"),
-            },
-        )
+        delivery = {
+            "corr": payload.get("dst_corr", corr),
+            "data": encode_solutions(data, payload.get("encode", False)),
+            "notify": payload.get("notify"),
+        }
+        if "notify_corr" in payload:
+            delivery["notify_corr"] = payload["notify_corr"]
+        self.network.send(self.node_id, payload["dst"], "deliver", delivery)
         if digest is not None:
             return {"count": len(data), "pruned": pruned}
         return len(data)
@@ -361,7 +438,7 @@ class QueryPeer:
         left = self.mailbox.get(payload["left"], set())
         right = self.mailbox.get(payload["right"], set())
         out = _combine(payload["op"], left, right, payload.get("condition"))
-        if payload.get("discard_inputs", True):
+        if payload.get("discard_inputs", True) and not self._chaos_keep:
             self.mailbox.pop(payload["left"], None)
             self.mailbox.pop(payload["right"], None)
         self.mailbox[payload["out"]] = out

@@ -160,7 +160,7 @@ class StorageNode(QueryPeer, Node):
                 "corr": payload["corr"],
                 "notify": payload.get("notify"),
             }
-            for key in ("digest", "project", "encode"):
+            for key in ("digest", "project", "encode", "notify_corr"):
                 if key in payload:
                     forward[key] = payload[key]
             self.network.send(self.node_id, next_hop, "chain_step", forward)
@@ -170,6 +170,8 @@ class StorageNode(QueryPeer, Node):
                 "data": encode_solutions(merged, encode),
                 "notify": payload.get("notify"),
             }
+            if "notify_corr" in payload:
+                delivery["notify_corr"] = payload["notify_corr"]
             if payload["final"] == self.node_id:
                 # This node *is* the destination site (the shared node the
                 # chain was routed to end at): deposit locally, no message.

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..net.sizes import size_of
+from ..net.transport import RpcTimeout
 from ..net.wire import PRUNED_COUNTER_BYTES
 from ..sparql import ast
 from .failover import dispatch_primitive
@@ -59,21 +60,52 @@ def _locate_leaves(ctx, leaves: List[ChainShip]):
     located = {}
     if pending:
         processes = [
-            ctx.sim.process(ctx.locate(leaf.lookup.pattern,
-                                       leaf.lookup.condition))
-            for leaf in pending
+            ctx.sim.process(_locate_one(ctx, leaf)) for leaf in pending
         ]
         infos = yield ctx.sim.all_of(processes)
         for leaf, info in zip(pending, infos):
-            located[id(leaf)] = info
-            note_lookup(leaf.lookup, info)
+            if info is not None:
+                located[id(leaf)] = info
+                note_lookup(leaf.lookup, info)
     return [(leaf, located.get(id(leaf), leaf.lookup.info))
             for leaf in leaves]
+
+
+def _locate_one(ctx, leaf: ChainShip):
+    """Generator: one leaf's location-table row. Under
+    ``options.partial_results`` an index row whose owner *and* replicas
+    are all unreachable degrades to ``None`` (the pattern is dropped,
+    flagged) instead of failing the whole walk."""
+    try:
+        info = yield from ctx.locate(leaf.lookup.pattern,
+                                     leaf.lookup.condition)
+    except RpcTimeout:
+        if not ctx.options.partial_results:
+            raise
+        ctx.flag_partial(str(leaf.lookup.pattern), node=leaf)
+        return None
+    return info
+
+
+def _empty_walk(ctx, walk: BGPWalk, steps: List[Step]):
+    """The degraded (flagged) result of a conjunction walk with a dropped
+    pattern: join(x, ∅) = ∅, so the whole walk contributes the empty set
+    — a guaranteed subset of the true answer."""
+    walk.detail["incomplete"] = True
+    vars_ = frozenset()
+    for leaf, _info in steps:
+        vars_ |= frozenset(leaf.lookup.pattern.variables())
+    return ctx.local_deposit(ctx.new_corr(), set(), vars=vars_)
 
 
 def _exec_bgp(ctx, walk: BGPWalk):
     steps: List[Step] = yield from _locate_leaves(ctx, walk.children)
     post_filter = walk.post_filter
+    if any(info is None for _leaf, info in steps):
+        # partial_results: a pattern with no reachable index replica was
+        # dropped by _locate_one; its contribution is the empty set and
+        # the whole conjunction collapses to the (safe) empty subset.
+        return _empty_walk(ctx, walk, steps)
 
     broadcast_steps = [s for s in steps if s[1].owner is None]
     indexed_steps = [s for s in steps if s[1].owner is not None]
@@ -100,9 +132,13 @@ def _exec_bgp(ctx, walk: BGPWalk):
             else ctx.options.conjunction_mode)
     walk.detail["mode"] = mode.value
     if mode is ConjunctionMode.BASIC:
-        handle = yield from _exec_basic_mode(ctx, indexed_steps)
+        handle = yield from _exec_basic_mode(ctx, walk, indexed_steps)
     else:
         handle = yield from _exec_optimized_mode(ctx, walk, indexed_steps)
+    if handle is None:
+        # A pattern on the walk had no reachable replica (flagged by the
+        # mode helper): degrade to the empty subset.
+        return _empty_walk(ctx, walk, steps)
 
     for _leaf, info in broadcast_steps:
         h = yield from exec_broadcast(ctx, subquery_algebra(info))
@@ -111,7 +147,7 @@ def _exec_bgp(ctx, walk: BGPWalk):
     return (yield from _apply_post_filter(ctx, handle, post_filter))
 
 
-def _exec_basic_mode(ctx, steps: List[Step]):
+def _exec_basic_mode(ctx, walk: BGPWalk, steps: List[Step]):
     """The paper's basic conjunction walk over index nodes.
 
     With the shipping optimizations on, each step also (a) pushes the
@@ -146,6 +182,8 @@ def _exec_basic_mode(ctx, steps: List[Step]):
             payload["project"] = keep
         if opts.dictionary_encoding:
             payload["encode"] = True
+        if opts.partial_results:
+            payload["partial"] = True
         cache_cfg = ctx.cache_cfg()
         if cache_cfg is not None:
             payload["cache"] = cache_cfg
@@ -167,8 +205,20 @@ def _exec_basic_mode(ctx, steps: List[Step]):
                         (1 + len(info.entries)) * digest_embed_cost(digest)
                         + len(info.entries) * PRUNED_COUNTER_BYTES
                     )
-        ack, info, corr = yield from dispatch_primitive(
-            ctx, info, payload, corr, timeout=ctx.options.delivery_timeout * 4)
+        try:
+            ack, info, corr = yield from dispatch_primitive(
+                ctx, info, payload, corr,
+                timeout=ctx.options.delivery_timeout * 4)
+        except RpcTimeout:
+            if not opts.partial_results:
+                raise
+            ctx.flag_partial(str(info.pattern), node=leaf)
+            return None
+        if ack.get("dropped"):
+            # Some providers of this pattern timed out of the owner's
+            # fan-out: the step's rows are a subset — flag, keep going.
+            ctx.flag_partial(
+                f"{ack['dropped']} providers of {info.pattern}")
         if "digest" in payload:
             pruned = ack.get("pruned", 0)
             ctx.report.rows_pruned += pruned
@@ -205,10 +255,12 @@ def _exec_optimized_mode(ctx, walk: BGPWalk, steps: List[Step]):
     ctx.report.merge_note(f"conjunction site {site}")
 
     processes = [
-        ctx.sim.process(exec_pattern_to_site(ctx, info, site, leaf=leaf))
+        ctx.sim.process(_pattern_to_site_guarded(ctx, info, site, leaf))
         for leaf, info in steps
     ]
     handles: List[ResultHandle] = yield ctx.sim.all_of(processes)
+    if any(h is None for h in handles):
+        return None  # a pattern dropped (flagged in the guard)
     for (leaf, _info), h in zip(steps, handles):
         leaf.placement = h.site
         leaf.actual_rows = h.count
@@ -219,6 +271,19 @@ def _exec_optimized_mode(ctx, walk: BGPWalk, steps: List[Step]):
     for nxt in handles[1:]:
         handle = yield from combine_handles(ctx, "join", handle, nxt, site=site)
     return handle
+
+
+def _pattern_to_site_guarded(ctx, info: PatternInfo, site: str,
+                             leaf: ChainShip):
+    """Generator: :func:`exec_pattern_to_site`, degrading an unreachable
+    pattern to ``None`` under ``options.partial_results``."""
+    if not ctx.options.partial_results:
+        return (yield from exec_pattern_to_site(ctx, info, site, leaf=leaf))
+    try:
+        return (yield from exec_pattern_to_site(ctx, info, site, leaf=leaf))
+    except RpcTimeout:
+        ctx.flag_partial(str(info.pattern), node=leaf)
+        return None
 
 
 def _fallback_site(ctx, infos: List[PatternInfo]) -> str:

@@ -97,6 +97,13 @@ class ExecutionReport:
     #: plus digest embeds in ship/evaluate payloads. The documented bound:
     #: enabling semijoin never costs more than this many extra bytes.
     digest_bytes: int = 0
+    #: Degraded-mode flag (``ExecutionOptions.partial_results``): True
+    #: when some sub-pattern's contribution was dropped because its owner
+    #: and replicas were all unreachable — the answer is then a verified
+    #: *subset* of the true answer, never wrong or extra rows.
+    incomplete: bool = False
+    #: Which patterns were dropped (human-readable, for reports/explain).
+    dropped_patterns: List[str] = field(default_factory=list)
     #: Name of the plan shape actually executed (diagnostics).
     notes: List[str] = field(default_factory=list)
     #: Per-workflow-phase cost breakdown (lookup / ship / join / finalize),
@@ -143,6 +150,19 @@ class ExecutionContext:
             if options.query_deadline is not None else None
         )
         self._retry = options.retry_policy()
+        if options.breaker and system.network.health is None:
+            # First breaker-enabled query installs the network-wide
+            # ledger; later queries (and the transport) share it, so
+            # health observed during one query protects the next.
+            from ..net.health import HealthLedger
+
+            system.network.health = HealthLedger(
+                system.sim,
+                system.network.failover,
+                failure_threshold=options.breaker_failures,
+                reset_after=options.breaker_reset,
+                latency_threshold=options.breaker_latency,
+            )
         #: Observability hook shared by the operator modules; the no-op
         #: tracer by default, so untraced spans cost one method call.
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -257,7 +277,36 @@ class ExecutionContext:
                 target.abandon_corr(corr)
         self._abandoned.add(corr)
 
-    def wait_delivery(self, corr: str, site: Optional[str] = None):
+    def flag_partial(self, what: str, node=None) -> None:
+        """Record that *what* (a sub-pattern / branch) contributed nothing
+        because every replica was unreachable: the query's answer is now a
+        flagged *subset* of the truth (``options.partial_results``)."""
+        self.report.incomplete = True
+        self.report.dropped_patterns.append(what)
+        self.network.failover.partial_patterns_dropped += 1
+        self.report.merge_note(f"partial: dropped {what}")
+        if node is not None:
+            node.detail["dropped"] = True
+            node.actual_rows = 0
+
+    def delivery_tag(self, corr: str) -> Optional[str]:
+        """A fresh notification key for one delivery-wait epoch of *corr*.
+
+        ``None`` without a fault plan: the mailbox corr itself doubles as
+        the notification key, byte-identical to previous releases. Under
+        chaos the same mailbox corr can be waited on more than once (a
+        chain completes into it, then a ship lands in it), and message
+        duplication means a trailing copy of the *first* epoch's
+        notification could forge the second epoch's acknowledgement —
+        so each epoch gets its own key (swept with the query's other
+        corrs at release).
+        """
+        if self.network.faults is None:
+            return None
+        return self.new_corr()
+
+    def wait_delivery(self, corr: str, site: Optional[str] = None,
+                      notify_corr: Optional[str] = None):
         """Generator: wait for a `delivered` notification with a timeout.
 
         Returns the delivered solution count; raises DeliveryTimeout when
@@ -265,16 +314,21 @@ class ExecutionContext:
         loser of the race never lingers: a won delivery cancels the timer;
         a timeout abandons the correlation id here and at *site* (the
         delivery destination, when given), so a late arrival is dropped
-        instead of leaking into a mailbox no one reads.
+        instead of leaking into a mailbox no one reads. *notify_corr* (a
+        :meth:`delivery_tag`) keys the wait on this epoch's notification
+        instead of the shared mailbox corr.
         """
         wait = self.options.delivery_timeout
         if self.deadline_at is not None:
             wait = min(wait, max(self.deadline_at - self.sim.now, 0.0))
-        expected = self.initiator_peer.expect(corr)
+        expected = self.initiator_peer.expect(notify_corr or corr)
         timer = self.sim.timeout(wait)
         index, value = yield self.sim.any_of([expected, timer])
         if index == 1:
             self.abandon(corr, site=site)
+            if notify_corr is not None:
+                self.initiator_peer.abandon_corr(notify_corr)
+                self._abandoned.add(notify_corr)
             if (self.deadline_at is not None
                     and self.sim.now >= self.deadline_at):
                 self.network.failover.deadline_exhausted += 1
@@ -300,30 +354,50 @@ class ExecutionContext:
         Correlation ids abandoned after a delivery timeout keep their
         dead-letter tombstones for one more ``delivery_timeout``: a late
         one-way message may still be in flight, and the tombstone is what
-        drops it on arrival.  A delayed sweep removes whatever the late
-        arrival did not consume.
+        drops it on arrival.  A delayed sweep removes the tombstones —
+        and only then frees the initiator's namespace slot, so a recycled
+        slot can never mint a correlation id that a still-in-flight late
+        reply would land in.
+
+        With a fault plan installed *every* minted corr is quarantined
+        this way (not just the explicitly abandoned ones): message-level
+        duplication means any corr may have a trailing copy in flight.
         """
-        if self._slot is not None:
-            self.initiator_peer.release_query_slot(self._slot)
-            self._slot = None
+        network = self.network
+        slot, self._slot = self._slot, None
         if not self._corrs:
+            if slot is not None:
+                self.initiator_peer.release_query_slot(slot)
             return 0
-        prompt = [c for c in self._corrs if c not in self._abandoned]
+        if network.faults is not None:
+            late = sorted(self._corrs)
+            prompt: List[str] = []
+            # Tombstone everywhere: a duplicated one-way may trail in at
+            # any peer, not just the sites abandon() knew about.
+            for node in network.nodes.values():
+                if isinstance(node, QueryPeer):
+                    node._dead_corrs.update(late)
+        else:
+            late = sorted(self._abandoned)
+            prompt = [c for c in self._corrs if c not in self._abandoned]
         removed = 0
-        for node in self.network.nodes.values():
+        for node in network.nodes.values():
             if isinstance(node, QueryPeer):
                 removed += node.purge_corrs(prompt)
-        if self._abandoned:
-            late = sorted(self._abandoned)
-            network = self.network
+        if late:
+            peer = self.initiator_peer
 
             def sweep(_event) -> None:
                 for node in network.nodes.values():
                     if isinstance(node, QueryPeer):
                         node.purge_corrs(late)
+                if slot is not None:
+                    peer.release_query_slot(slot)
 
             self.sim.timeout(self.options.delivery_timeout).callbacks.append(sweep)
             self._abandoned = set()
+        elif slot is not None:
+            self.initiator_peer.release_query_slot(slot)
         self._corrs.clear()
         return removed
 
@@ -827,6 +901,11 @@ class DistributedExecutor:
         report.result_count = self._count_results(query, result)
         record_postprocess(plan, root.actual_rows, report.result_count,
                            initiator)
+        if report.incomplete:
+            # Counted only for queries that *returned* (flagged) answers;
+            # a query that degrades and then fails anyway is not a
+            # partial result.
+            self.system.network.failover.partial_results += 1
         return result, report
 
     @staticmethod

@@ -64,9 +64,21 @@ def dispatch_primitive(ctx, info, payload: dict, corr: str,
     reply from a half-dead owner can never collide with the replica's
     answer (the original id is tombstoned here and at the final site).
     Without ``options.failover`` this is exactly one plain call.
+
+    With a health ledger installed (``options.breaker``) an owner whose
+    circuit is currently open is routed around *before* being dialed:
+    the step goes straight to the replica holder, with no timeout burned
+    from the query deadline on a peer recent history already condemned.
     """
     if ctx.deadline_at is not None:
         payload = dict(payload, deadline=ctx.deadline_at)
+    health = ctx.network.health
+    if (health is not None and ctx.options.failover and info.key is not None
+            and health.open_now(info.owner)):
+        result = yield from _failover_dispatch(
+            ctx, info, payload, corr, timeout,
+            RpcTimeout(f"{info.owner}.execute_primitive: circuit open"))
+        return result
     try:
         ack = yield ctx.call(info.owner, "execute_primitive", payload,
                              timeout=timeout)
@@ -74,22 +86,31 @@ def dispatch_primitive(ctx, info, payload: dict, corr: str,
     except RpcTimeout as exc:
         if not ctx.options.failover or info.key is None:
             raise
-        dead = info.owner
-        span = ctx.tracer.span("failover", phase=PHASE_LOOKUP, dead=dead,
-                               key=info.key, corr=corr)
-        try:
-            # The dead owner may have started the fan-out before dying: a
-            # late delivery under the old id must be dropped on arrival.
-            ctx.abandon(corr, site=payload.get("final"))
-            owner_id, _hops = yield from resolve_avoiding(ctx, info.key, [dead])
-            if owner_id == dead:
-                raise exc
-            corr = ctx.new_corr()
-            retry_payload = dict(payload, corr=corr)
-            ack = yield ctx.call(owner_id, "execute_primitive", retry_payload,
-                                 timeout=timeout)
-        finally:
-            span.close()
-        ctx.network.failover.dispatch_failovers += 1
-        ctx.report.merge_note(f"dispatch failover {dead} -> {owner_id}")
-        return ack, replace(info, owner=owner_id), corr
+        result = yield from _failover_dispatch(ctx, info, payload, corr,
+                                               timeout, exc)
+        return result
+
+
+def _failover_dispatch(ctx, info, payload: dict, corr: str,
+                       timeout: Optional[float], exc: RpcTimeout):
+    """Generator: re-resolve around ``info.owner`` and re-dispatch there
+    under a fresh corr (shared by the timeout and open-circuit paths)."""
+    dead = info.owner
+    span = ctx.tracer.span("failover", phase=PHASE_LOOKUP, dead=dead,
+                           key=info.key, corr=corr)
+    try:
+        # The dead owner may have started the fan-out before dying: a
+        # late delivery under the old id must be dropped on arrival.
+        ctx.abandon(corr, site=payload.get("final"))
+        owner_id, _hops = yield from resolve_avoiding(ctx, info.key, [dead])
+        if owner_id == dead:
+            raise exc
+        corr = ctx.new_corr()
+        retry_payload = dict(payload, corr=corr)
+        ack = yield ctx.call(owner_id, "execute_primitive", retry_payload,
+                             timeout=timeout)
+    finally:
+        span.close()
+    ctx.network.failover.dispatch_failovers += 1
+    ctx.report.merge_note(f"dispatch failover {dead} -> {owner_id}")
+    return ack, replace(info, owner=owner_id), corr

@@ -142,6 +142,8 @@ def ship_handle(ctx, handle: ResultHandle, site: str, live=None,
     *live* (optional) overrides ``ctx.live_vars`` as the projection
     target; *digest* (optional) pre-filters the moving rows.
     """
+    from .executor import DeliveryTimeout
+
     if handle.site == site:
         return handle
     opts = ctx.options
@@ -173,14 +175,31 @@ def ship_handle(ctx, handle: ResultHandle, site: str, live=None,
             ctx.report.digest_bytes += digest_embed_cost(digest)
         if opts.dictionary_encoding:
             payload["encode"] = True
-        ack = yield ctx.call(handle.site, "ship", payload)
-        if isinstance(ack, dict):
-            count = ack["count"]
-            ctx.report.rows_pruned += ack.get("pruned", 0)
-        else:
-            count = ack
-        yield from ctx.wait_delivery(handle.corr, site=site)
-        return ResultHandle(site, handle.corr, count, shipped_vars)
+        # Under a fault plan the holder keeps its mailbox copy, so a
+        # transfer whose one-way deliver vanished can be re-shipped into
+        # a fresh landing corr (the timed-out one is tombstoned).
+        attempts = 1 if ctx.network.faults is None else 2
+        corr = handle.corr
+        for attempt in range(attempts):
+            payload["dst_corr"] = corr
+            tag = ctx.delivery_tag(handle.corr)
+            if tag is not None:
+                payload["notify_corr"] = tag
+            ack = yield ctx.call(handle.site, "ship", payload)
+            if isinstance(ack, dict):
+                count = ack["count"]
+                ctx.report.rows_pruned += ack.get("pruned", 0)
+            else:
+                count = ack
+            try:
+                yield from ctx.wait_delivery(corr, site=site, notify_corr=tag)
+                break
+            except DeliveryTimeout:
+                if attempt + 1 >= attempts:
+                    raise
+                ctx.report.merge_note(f"ship retry for {handle.corr}")
+                corr = ctx.new_corr()
+        return ResultHandle(site, corr, count, shipped_vars)
     finally:
         span.close()
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..net.transport import RpcTimeout
 from ..net.wire import DICT_WIRE_SCALE, as_solution_set
 from ..sparql.solutions import union as omega_union
 from .failover import dispatch_primitive
@@ -65,6 +66,16 @@ def exec_primitive(ctx, leaf: ChainShip, at_home: bool = False):
             heaviest = max(info.entries, key=lambda e: (e.frequency, e.storage_id))
             site = heaviest.storage_id
         return (yield from exec_pattern_to_site(ctx, info, site, leaf=leaf))
+    except RpcTimeout:
+        # partial_results: a pattern whose owner and replicas are all
+        # unreachable contributes the empty set (a safe subset), flagged
+        # on the report and the plan, instead of failing the query.
+        if not ctx.options.partial_results:
+            raise
+        ctx.flag_partial(str(lookup.pattern), node=leaf)
+        return ctx.local_deposit(
+            ctx.new_corr(), set(),
+            vars=frozenset(lookup.pattern.variables()))
     finally:
         span.close()
 
@@ -126,6 +137,7 @@ def exec_pattern_to_site(ctx, info: PatternInfo, site: str,
         return (yield from _basic(ctx, info, algebra, site, corr,
                                   keep=keep, result_vars=result_vars))
 
+    tag = ctx.delivery_tag(corr)
     payload = {
         "algebra": algebra,
         "key": info.key,
@@ -135,24 +147,28 @@ def exec_pattern_to_site(ctx, info: PatternInfo, site: str,
         "corr": corr,
         "notify": ctx.initiator,
     }
+    if tag is not None:
+        payload["notify_corr"] = tag
     if keep is not None:
         payload["project"] = keep
     if encode:
         payload["encode"] = True
+    if ctx.options.partial_results:
+        payload["partial"] = True
     cache_cfg = ctx.cache_cfg()
     if cache_cfg is not None:
         payload["cache"] = cache_cfg
     ack, info, corr = yield from dispatch_primitive(ctx, info, payload, corr)
     if ack["mode"] == "direct":
         # Empty route: no providers left; materialize the empty result.
-        ctx.unexpect(corr)
+        ctx.unexpect(tag or corr)
         data = as_solution_set(ack["data"])
         if site == ctx.initiator:
             return ctx.local_deposit(corr, data, vars=result_vars)
         yield ctx.call(site, "deliver", {"corr": corr, "data": ack["data"]})
         return ResultHandle(site, corr, len(data), result_vars)
     try:
-        count = yield from ctx.wait_delivery(corr, site=site)
+        count = yield from ctx.wait_delivery(corr, site=site, notify_corr=tag)
     except DeliveryTimeout:
         # A storage node on the route died mid-chain. Re-execute with the
         # BASIC strategy: its per-node timeouts clean the stale entries.
@@ -179,24 +195,40 @@ def _basic(ctx, info: PatternInfo, algebra, site: str, corr: str,
         payload["project"] = keep
     if ctx.options.dictionary_encoding:
         payload["encode"] = True
+    if ctx.options.partial_results:
+        payload["partial"] = True
     cache_cfg = ctx.cache_cfg()
     if cache_cfg is not None:
         payload["cache"] = cache_cfg
     if site != ctx.initiator:
         payload["final"] = site
         payload["notify"] = ctx.initiator
+        tag = ctx.delivery_tag(corr)
+        if tag is not None:
+            payload["notify_corr"] = tag
         ack, info, corr = yield from dispatch_primitive(
             ctx, info, payload, corr, timeout=ctx.options.delivery_timeout * 4)
+        _note_dropped(ctx, ack, info)
         if ack["mode"] == "direct":
             yield ctx.call(site, "deliver", {"corr": corr, "data": ack["data"]})
             return ResultHandle(site, corr, len(as_solution_set(ack["data"])),
                                 result_vars)
-        yield from ctx.wait_delivery(corr, site=site)
+        yield from ctx.wait_delivery(corr, site=site, notify_corr=tag)
         return ResultHandle(site, corr, ack["count"], result_vars)
     response, info, corr = yield from dispatch_primitive(
         ctx, info, payload, corr, timeout=ctx.options.delivery_timeout * 4)
+    _note_dropped(ctx, response, info)
     return ctx.local_deposit(corr, as_solution_set(response["data"]),
                              vars=result_vars)
+
+
+def _note_dropped(ctx, ack, info: PatternInfo) -> None:
+    """The gray-failure hint: the owner's fan-out silently timed some
+    providers out (exact under crash-stop, a subset under message loss),
+    and — because the payload opted in with ``partial`` — said so in the
+    ack. Flag the report; the rows we did get remain a safe subset."""
+    if ack.get("dropped"):
+        ctx.flag_partial(f"{ack['dropped']} providers of {info.pattern}")
 
 
 # --------------------------------------------------------------- broadcast
@@ -251,5 +283,12 @@ def exec_broadcast(ctx, algebra):
             for batch in results:
                 solutions = omega_union(solutions, batch)
         return ctx.local_deposit(corr, solutions)
+    except RpcTimeout:
+        # partial_results: an unreachable node on the ring walk or in the
+        # fan-out degrades the broadcast to the empty (safe) subset.
+        if not ctx.options.partial_results:
+            raise
+        ctx.flag_partial("broadcast (?s ?p ?o)")
+        return ctx.local_deposit(ctx.new_corr(), set())
     finally:
         span.close()

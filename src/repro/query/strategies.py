@@ -163,6 +163,32 @@ class ExecutionOptions:
     #: travels with dispatched sub-queries. None = unbounded.
     query_deadline: Optional[float] = None
 
+    # --- chaos defense (PR 10) -------------------------------------------
+    # Off by default: without ``breaker``/``partial_results`` no health
+    # ledger exists, no payload key changes, and every new counter stays
+    # zero — the golden grid is byte-identical.
+
+    #: Per-peer health ledger (EWMA latency + consecutive failures) and
+    #: closed/open/half-open circuit breaker: open circuits short-circuit
+    #: call attempts instantly and failover dispatch routes around them
+    #: before dialing, so a browned-out owner stops burning the query
+    #: deadline one timeout at a time.
+    breaker: bool = False
+    #: Consecutive RPC timeouts that trip a peer's breaker open.
+    breaker_failures: int = 3
+    #: Seconds an open breaker waits before admitting one half-open probe.
+    breaker_reset: float = 1.0
+    #: EWMA round-trip latency (seconds) above which a *responding* peer
+    #: is treated as browned out and its breaker tripped (the gray-failure
+    #: trigger). None disables latency tripping.
+    breaker_latency: Optional[float] = None
+    #: Degrade instead of fail: when a sub-pattern's owner and replicas
+    #: are all unreachable, its contribution becomes the empty set (a
+    #: guaranteed *subset* of the true answer — never wrong or extra
+    #: rows) and the result is flagged incomplete on the report and the
+    #: physical plan, rather than the whole query raising.
+    partial_results: bool = False
+
     # --- cross-query result cache (PR 9) ---------------------------------
     # Off by default: a run without ``result_cache`` is byte-identical to
     # previous releases (no extra payload keys, no extra messages).

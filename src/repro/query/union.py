@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..net.transport import RpcTimeout
 from .join_site import combine_handles
 from .physical import ChainShip, PhysOp, UnionOp, note_lookup
 from .plan import PatternInfo, choose_shared_site
@@ -47,25 +48,34 @@ def _exec_union(ctx, node: UnionOp):
     if left_leaf is not None and right_leaf is not None:
         # Plan the collection site from the location tables (Sect. IV-F's
         # D3 example): overlap -> both chains end at the shared node.
-        leaves = [left_leaf, right_leaf]
-        infos: List[PatternInfo] = yield from _locate_pair(ctx, leaves)
-        if all(info.owner is not None for info in infos):
-            site = choose_shared_site(infos)
-            if site is not None:
-                ctx.report.merge_note(f"union site {site}")
-                processes = [
-                    ctx.sim.process(
-                        exec_pattern_to_site(ctx, info, site, leaf=leaf))
-                    for leaf, info in zip(leaves, infos)
-                ]
-                left, right = yield ctx.sim.all_of(processes)
-                for leaf, h in zip(leaves, (left, right)):
-                    leaf.placement = h.site
-                    leaf.actual_rows = h.count
-                handle = yield from combine_handles(
-                    ctx, "union", left, right, site=site, edges=node.edges
-                )
-                return handle
+        try:
+            leaves = [left_leaf, right_leaf]
+            infos: List[PatternInfo] = yield from _locate_pair(ctx, leaves)
+            if all(info.owner is not None for info in infos):
+                site = choose_shared_site(infos)
+                if site is not None:
+                    ctx.report.merge_note(f"union site {site}")
+                    processes = [
+                        ctx.sim.process(
+                            exec_pattern_to_site(ctx, info, site, leaf=leaf))
+                        for leaf, info in zip(leaves, infos)
+                    ]
+                    left, right = yield ctx.sim.all_of(processes)
+                    for leaf, h in zip(leaves, (left, right)):
+                        leaf.placement = h.site
+                        leaf.actual_rows = h.count
+                    handle = yield from combine_handles(
+                        ctx, "union", left, right, site=site, edges=node.edges
+                    )
+                    return handle
+        except RpcTimeout:
+            # partial_results: the shared-site shortcut hit a dead node;
+            # fall through to the general path, whose per-branch guards
+            # degrade an unreachable branch instead of failing (union is
+            # monotone, so surviving branches are a safe subset).
+            if not ctx.options.partial_results:
+                raise
+            ctx.report.merge_note("union shared-site path degraded")
 
     left, right = yield from exec_subtrees_parallel(
         ctx, [node.left, node.right])

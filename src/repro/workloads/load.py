@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..metrics.counters import Summary, summarize
+from ..net.faults import FaultPlan
 from ..query.executor import DistributedExecutor, ExecutionReport, QueryFailed
 from ..query.strategies import ExecutionOptions
 from ..rdf.namespaces import COMMON_PREFIXES
@@ -101,6 +102,11 @@ class LoadConfig:
     #: data-epoch ledger mid-workload.  0.0 (default) = read-only, with
     #: an RNG schedule identical to previous releases.
     mutation_rate: float = 0.0
+    #: Seeded message-level fault plan (loss, duplication, delay spikes,
+    #: partitions, brownouts) installed on the network for the run — the
+    #: chaos twin of :attr:`churn`.  None (default) = the fault-free
+    #: simulation, byte-identical to previous releases.
+    faults: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -166,6 +172,12 @@ class WorkloadReport:
     mutations: int = 0
     #: Number of scheduled membership changes applied mid-run.
     churn_events: int = 0
+    #: Completed jobs whose answers were flagged incomplete (a safe
+    #: subset) by ``ExecutionOptions.partial_results``.
+    incomplete: int = 0
+    #: Faults the installed plan actually injected during the run, by
+    #: kind (empty without a :attr:`LoadConfig.faults` plan).
+    faults_injected: Dict[str, int] = field(default_factory=dict)
     #: Real (host) seconds the simulation took to execute.  Unlike every
     #: other field this is *not* deterministic — it measures the engine,
     #: not the simulated system — and exists for performance tracking.
@@ -210,6 +222,8 @@ class WorkloadReport:
             "cache": self.cache,
             "mutations": self.mutations,
             "churn_events": self.churn_events,
+            "incomplete": self.incomplete,
+            "faults_injected": self.faults_injected,
             "wall_clock_s": self.wall_clock_s,
             "queries_per_wall_second": self.queries_per_wall_second,
         }
@@ -426,6 +440,8 @@ def run_workload(
             submit(job)
             yield done_events[job.job_id]
 
+    if config.faults is not None:
+        system.network.install_faults(config.faults)
     checkpoint = system.stats.checkpoint()
     failover_before = system.network.failover.checkpoint()
     cache_before = system.network.cache.checkpoint()
@@ -482,6 +498,14 @@ def run_workload(
         cache=system.network.cache.delta(cache_before),
         mutations=state["mutations"],
         churn_events=len(config.churn),
+        incomplete=sum(
+            1 for j in jobs
+            if j.ok and j.report is not None and j.report.incomplete
+        ),
+        faults_injected=(
+            dict(system.network.faults.injected)
+            if system.network.faults is not None else {}
+        ),
         wall_clock_s=wall_clock_s,
         queries_per_wall_second=(
             completed / wall_clock_s if wall_clock_s > 0 else 0.0

@@ -1,0 +1,385 @@
+"""Chaos layer: fault injection, health/breakers, and defenses (PR 10).
+
+Covers the deterministic :class:`FaultInjector` (seeded per-link fates,
+window independence, brownout scaling), the :class:`HealthLedger`
+breaker state machine, the transport's open-circuit short-circuit, the
+duplicate-absorbing corr lifecycle across the release sweep boundary,
+hedged index reads against a slow-not-dead owner, and the all-zero
+guard: with every chaos feature off, none of the new machinery runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import FailoverCounters
+from repro.net.faults import FaultInjector, FaultPlan, FaultRule, chaos_plan
+from repro.net.health import CLOSED, HALF_OPEN, OPEN, HealthLedger
+from repro.net.sim import Simulator
+from repro.net.transport import RpcTimeout
+from repro.query import DistributedExecutor, ExecutionOptions
+from repro.workloads import PAPER_FIG_QUERIES
+
+from helpers import build_system
+
+
+def _rows(result):
+    return sorted(map(repr, result.rows))
+
+
+def _oracle(query: str):
+    result, _ = DistributedExecutor(build_system(replication_factor=2)).execute(query)
+    return _rows(result)
+
+
+# --------------------------------------------------------------------------
+# FaultInjector determinism
+
+
+class TestFaultInjector:
+    def _fates(self, injector, n=40, src="A", dst="B", at=0.0):
+        return [
+            (f.drop, f.duplicate, round(f.extra_delay, 9), round(f.dup_delay, 9))
+            for f in (injector.message_fate(src, dst, at) for _ in range(n))
+        ]
+
+    def test_same_seed_same_fates(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule("loss", probability=0.3),
+                FaultRule("delay", probability=0.4, delay=0.05, jitter=0.5),
+            ),
+            seed=11,
+        )
+        a = self._fates(FaultInjector(plan))
+        b = self._fates(FaultInjector(plan))
+        assert a == b
+        assert any(drop for drop, _, _, _ in a)  # the plan actually fires
+
+    def test_different_links_draw_independently(self):
+        plan = FaultPlan(rules=(FaultRule("loss", probability=0.5),), seed=3)
+        inj = FaultInjector(plan)
+        ab = self._fates(inj, src="A", dst="B")
+        # The reverse direction is a distinct link with its own stream.
+        ba = self._fates(inj, src="B", dst="A")
+        assert ab != ba
+
+    def test_window_start_does_not_perturb_draws(self):
+        """The RNG is keyed by (seed, link, ordinal) only: the same
+        message ordinal gets the same fate no matter when the rule's
+        window opened."""
+        now = FaultPlan(rules=(FaultRule("loss", probability=0.5),), seed=5)
+        late = FaultPlan(
+            rules=(FaultRule("loss", probability=0.5, start=50.0),), seed=5
+        )
+        a = self._fates(FaultInjector(now), at=100.0)
+        b = self._fates(FaultInjector(late), at=100.0)
+        assert a == b
+
+    def test_outside_window_is_clean_but_ordinals_advance(self):
+        plan = FaultPlan(rules=(FaultRule("loss", probability=0.5,
+                                          start=10.0, end=20.0),), seed=7)
+        warm = FaultInjector(plan)
+        # 25 pre-window messages: all clean, but each advances the link
+        # ordinal...
+        pre = self._fates(warm, n=25, at=0.0)
+        assert all(fate == (False, False, 0.0, 0.0) for fate in pre)
+        # ...so the in-window draws match a fresh injector fast-forwarded
+        # to the same ordinals.
+        cold = FaultInjector(plan)
+        self._fates(cold, n=25, at=0.0)
+        assert self._fates(warm, n=25, at=15.0) == self._fates(cold, n=25, at=15.0)
+
+    def test_partition_is_directional(self):
+        plan = FaultPlan(rules=(FaultRule("partition", src="A", dst="B"),))
+        inj = FaultInjector(plan)
+        assert inj.message_fate("A", "B", 0.0).drop
+        assert not inj.message_fate("B", "A", 0.0).drop
+        assert inj.injected["partition"] == 1
+
+    def test_brownout_factor_windowed_and_multiplicative(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule("brownout", node="N1", factor=8.0, start=5.0, end=15.0),
+                FaultRule("brownout", node="N1", factor=2.0, start=10.0, end=20.0),
+            )
+        )
+        inj = FaultInjector(plan)
+        assert inj.brownout_factor("N1", 0.0) == 1.0
+        assert inj.brownout_factor("N1", 6.0) == 8.0
+        assert inj.brownout_factor("N1", 12.0) == 16.0  # overlap multiplies
+        assert inj.brownout_factor("N1", 19.0) == 2.0
+        assert inj.brownout_factor("N2", 12.0) == 1.0
+
+    def test_chaos_plan_is_deterministic(self):
+        nodes = [f"N{i}" for i in range(8)]
+        a = chaos_plan(nodes, seed=4, loss=0.1, partitions=2, brownouts=1)
+        b = chaos_plan(nodes, seed=4, loss=0.1, partitions=2, brownouts=1)
+        assert a.as_dict() == b.as_dict()
+        for rule in a.rules:
+            if rule.kind == "partition":
+                assert rule.src != rule.dst
+
+
+# --------------------------------------------------------------------------
+# Breaker state machine
+
+
+def _ledger(**kwargs):
+    sim = Simulator()
+    counters = FailoverCounters()
+    ledger = HealthLedger(sim, counters, **kwargs)
+    return sim, counters, ledger
+
+
+class TestBreakerStateMachine:
+    def test_trips_after_consecutive_failures(self):
+        _, counters, ledger = _ledger(failure_threshold=3)
+        ledger.observe_failure("X")
+        ledger.observe_failure("X")
+        assert ledger.peer("X").state == CLOSED
+        ledger.observe_failure("X")
+        assert ledger.peer("X").state == OPEN
+        assert counters.breaker_trips == 1
+        assert counters.health_observations == 3
+
+    def test_success_resets_failure_streak(self):
+        _, _, ledger = _ledger(failure_threshold=3)
+        ledger.observe_failure("X")
+        ledger.observe_failure("X")
+        ledger.observe_success("X", 0.01)
+        ledger.observe_failure("X")
+        ledger.observe_failure("X")
+        assert ledger.peer("X").state == CLOSED
+
+    def test_latency_trip_on_slow_ewma(self):
+        """The gray failure: answering, but too slowly to be useful."""
+        _, counters, ledger = _ledger(latency_threshold=0.1)
+        ledger.observe_success("X", 0.01)
+        assert ledger.peer("X").state == CLOSED
+        for _ in range(20):
+            ledger.observe_success("X", 5.0)
+        assert ledger.peer("X").state == OPEN
+        assert counters.breaker_trips == 1
+
+    def test_open_rejects_until_reset_then_half_opens_one_probe(self):
+        sim, counters, ledger = _ledger(failure_threshold=1, reset_after=2.0)
+        ledger.observe_failure("X")
+        assert not ledger.allow("X")
+        assert ledger.open_now("X")
+        sim.now = 3.0
+        # Reset elapsed: exactly one probe is let through.
+        assert ledger.allow("X")
+        assert ledger.peer("X").state == HALF_OPEN
+        assert not ledger.allow("X")  # second caller must wait for the probe
+        assert counters.breaker_half_opens == 1
+
+    def test_half_open_probe_success_closes(self):
+        sim, _, ledger = _ledger(failure_threshold=1, reset_after=1.0)
+        ledger.observe_failure("X")
+        sim.now = 2.0
+        assert ledger.allow("X")
+        ledger.observe_success("X", 0.02)
+        assert ledger.peer("X").state == CLOSED
+        assert ledger.allow("X")
+
+    def test_half_open_probe_failure_reopens(self):
+        sim, _, ledger = _ledger(failure_threshold=1, reset_after=1.0)
+        ledger.observe_failure("X")
+        sim.now = 2.0
+        assert ledger.allow("X")
+        ledger.observe_failure("X")
+        assert ledger.peer("X").state == OPEN
+        assert ledger.peer("X").opened_at == 2.0
+        assert not ledger.allow("X")
+
+    def test_open_now_is_non_mutating(self):
+        sim, counters, ledger = _ledger(failure_threshold=1, reset_after=1.0)
+        ledger.observe_failure("X")
+        sim.now = 2.0
+        # Peeking after the reset period must not claim the probe.
+        assert not ledger.open_now("X")
+        assert ledger.peer("X").state == OPEN
+        assert counters.breaker_half_opens == 0
+
+    def test_open_breaker_short_circuits_transport_call(self):
+        system = build_system()
+        net = system.network
+        net.health = HealthLedger(system.sim, net.failover,
+                                  failure_threshold=1, reset_after=60.0)
+        net.health.observe_failure("N0")
+        seen = {}
+
+        def proc():
+            try:
+                yield net.call("D1", "N0", "index_lookup", {"key": 1})
+            except RpcTimeout as exc:
+                seen["exc"] = exc
+
+        started = system.sim.now
+        system.sim.process(proc())
+        system.sim.run()
+        assert "circuit open" in str(seen["exc"])
+        assert net.failover.breaker_short_circuits == 1
+        # Short-circuit means *instant*: no real timeout was burned.
+        assert system.sim.now == started
+
+
+# --------------------------------------------------------------------------
+# Satellite 1: duplicates across the release sweep boundary
+
+
+class TestDuplicateStorm:
+    def test_duplicates_across_sweep_boundary_stay_exact(self):
+        """Every message is duplicated with a lag that straddles query
+        completion: the late copies land after ``release()`` quarantined
+        the query's corr ids and must be absorbed by the tombstones —
+        which only the deferred sweep may remove. Serial queries then
+        recycle initiator slot 0 (and with it the corr-id namespace), so
+        any leaked duplicate would surface as extra rows in the *next*
+        query's answer."""
+        queries = ["fig4", "fig7", "fig5"]
+        oracle = {name: _oracle(PAPER_FIG_QUERIES[name]) for name in queries}
+        system = build_system(replication_factor=2)
+        plan = FaultPlan(
+            rules=(FaultRule("duplicate", probability=1.0,
+                             delay=0.5, jitter=0.5),),
+            seed=7,
+        )
+        system.network.install_faults(plan)
+        executor = DistributedExecutor(
+            system, ExecutionOptions(retries=2, failover=True))
+        for name in queries:
+            result, report = executor.execute(PAPER_FIG_QUERIES[name])
+            assert _rows(result) == oracle[name], name
+            assert not report.incomplete
+        assert system.network.faults.injected["duplicate"] > 0
+        # sim.run drained the heap, so every deferred sweep has fired:
+        # no tombstones, mailboxes, or memoized replies may survive.
+        for node in system.network.nodes.values():
+            state = node.__dict__
+            assert not state.get("_qp_mailbox"), node.node_id
+            assert not state.get("_qp_dead_corrs"), node.node_id
+            assert not state.get("_qp_replied"), node.node_id
+
+    def test_duplicate_execute_primitive_absorbed_by_dedup(self):
+        """Receiver-side idempotent dedup: a duplicated two-way RPC whose
+        second copy arrives while (or after) the first executed must not
+        re-run the primitive."""
+        system = build_system(replication_factor=2)
+        plan = FaultPlan(
+            rules=(FaultRule("duplicate", probability=1.0, delay=0.2),),
+            seed=1,
+        )
+        system.network.install_faults(plan)
+        executor = DistributedExecutor(system, ExecutionOptions())
+        for name in ("fig4", "fig6"):
+            result, _ = executor.execute(PAPER_FIG_QUERIES[name])
+            assert _rows(result) == _oracle(PAPER_FIG_QUERIES[name])
+        assert system.network.failover.duplicates_dropped > 0
+
+
+# --------------------------------------------------------------------------
+# Satellite 3: hedged index reads against a slow-not-dead owner
+
+
+class TestHedgeUnderChaos:
+    def test_hedge_wins_against_slow_owner_and_counts_once(self):
+        query = PAPER_FIG_QUERIES["fig5"]
+        # Find the index node that serves fig5's single lookup when
+        # nothing is injected (the topology is deterministic).
+        probe = build_system(replication_factor=2)
+        served = []
+        for node_id, node in probe.index_nodes.items():
+            original = node.rpc_index_lookup
+
+            def spy(payload, src, _orig=original, _id=node_id):
+                served.append(_id)
+                return _orig(payload, src)
+
+            node.rpc_index_lookup = spy
+        result, _ = DistributedExecutor(probe).execute(query, initiator="D2")
+        oracle, (owner,) = _rows(result), served
+
+        # Same topology, but the owner is browned out and every message
+        # to or from it drags an extra half second: slow, not dead.
+        system = build_system(replication_factor=2)
+        plan = FaultPlan(
+            rules=(
+                FaultRule("delay", dst=owner, probability=1.0, delay=0.5),
+                FaultRule("delay", src=owner, probability=1.0, delay=0.5),
+                FaultRule("brownout", node=owner, factor=8.0),
+            ),
+            seed=1,
+        )
+        system.network.install_faults(plan)
+        options = ExecutionOptions(failover=True, retries=1, hedge_delay=0.02)
+        result, _ = DistributedExecutor(system, options).execute(
+            query, initiator="D2")
+        counters = system.network.failover
+        assert _rows(result) == oracle
+        assert counters.hedges_launched == 1
+        assert counters.hedges_won == 1
+        # One logical lookup in the ledger despite two physical reads:
+        # the loser's reply is discarded, not double-counted.
+        assert len(counters.lookup_rtts) == 1
+        assert counters.lookup_rtts[0] < 0.5  # the hedge's RTT, not the owner's
+
+    def test_hedge_not_launched_when_owner_is_fast(self):
+        system = build_system(replication_factor=2)
+        options = ExecutionOptions(failover=True, hedge_delay=5.0)
+        result, _ = DistributedExecutor(system, options).execute(
+            PAPER_FIG_QUERIES["fig5"], initiator="D2")
+        assert system.network.failover.hedges_launched == 0
+
+
+# --------------------------------------------------------------------------
+# Satellite 2: all chaos features off -> nothing moved
+
+
+CHAOS_COUNTERS = (
+    "breaker_trips",
+    "breaker_half_opens",
+    "breaker_short_circuits",
+    "health_observations",
+    "duplicates_dropped",
+    "partial_patterns_dropped",
+    "partial_results",
+)
+
+
+class TestChaosOffGuard:
+    def test_default_run_leaves_chaos_layer_untouched(self):
+        system = build_system(replication_factor=2)
+        executor = DistributedExecutor(system)
+        for query in PAPER_FIG_QUERIES.values():
+            _, report = executor.execute(query)
+            assert report.incomplete is False
+            assert report.dropped_patterns == []
+        network = system.network
+        assert network.faults is None
+        assert network.health is None
+        counters = network.failover.as_dict()
+        for name in CHAOS_COUNTERS:
+            assert counters[name] == 0, name
+        assert network.failover.lookup_rtts == []
+
+    def test_fault_features_on_but_no_faults_stays_exact(self):
+        """Breakers + partial results enabled against a healthy fabric:
+        answers stay bit-identical and no degradation is recorded."""
+        options = ExecutionOptions(retries=2, failover=True, breaker=True,
+                                   partial_results=True)
+        system = build_system(replication_factor=2)
+        executor = DistributedExecutor(system, options)
+        for name, query in PAPER_FIG_QUERIES.items():
+            result, report = executor.execute(query)
+            assert _rows(result) == _oracle(query), name
+            assert not report.incomplete
+        counters = system.network.failover
+        assert counters.breaker_trips == 0
+        assert counters.partial_patterns_dropped == 0
+        assert counters.partial_results == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

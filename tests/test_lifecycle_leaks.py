@@ -131,7 +131,13 @@ class TestDeadCorrelations:
         peer.abandon_corr("c1")
         peer.rpc_deliver({"corr": "c1", "data": [1, 2, 3]}, "D2")
         assert "c1" not in peer.mailbox
-        # The tombstone is consumed by the late arrival, not retained.
+        # The tombstone survives the first late arrival: a duplicated or
+        # retried send can trail in more copies, and each must be
+        # dropped. purge_corrs (the executor's sweep) removes it.
+        peer.rpc_deliver({"corr": "c1", "data": [4, 5]}, "D2")
+        assert "c1" not in peer.mailbox
+        assert "c1" in peer._dead_corrs
+        assert peer.purge_corrs(["c1"]) == 1
         assert "c1" not in peer._dead_corrs
 
     def test_late_delivered_after_abandon_is_dropped(self):
@@ -142,7 +148,11 @@ class TestDeadCorrelations:
         peer.rpc_delivered({"corr": "c2", "count": 7}, "D2")
         assert not event.triggered or event.cancelled
         assert "c2" not in peer._delivered_early
-        assert "c2" not in peer._dead_corrs
+        # A second late copy is dropped by the same tombstone.
+        peer.rpc_delivered({"corr": "c2", "count": 7}, "D2")
+        assert "c2" not in peer._delivered_early
+        assert "c2" in peer._dead_corrs
+        assert peer.purge_corrs(["c2"]) == 1
 
     def test_chain_timeout_fallback_leaves_no_state(self):
         """The satellite-2 scenario: the chain's final delivery is slower
